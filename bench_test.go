@@ -1,0 +1,372 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus ablation benches for the design choices called out in DESIGN.md.
+// Each benchmark reports the relevant quality metric (edge-cut or opcount)
+// alongside time, so `go test -bench=.` reproduces both axes the paper
+// compares. cmd/mlbench prints the same data in the paper's table layouts.
+package mlpart_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mlpart/internal/chaco"
+	"mlpart/internal/coarsen"
+	"mlpart/internal/experiments"
+	"mlpart/internal/matgen"
+	"mlpart/internal/mmd"
+	"mlpart/internal/multilevel"
+	"mlpart/internal/ordering"
+	"mlpart/internal/refine"
+	"mlpart/internal/sparse"
+	"mlpart/internal/spectral"
+)
+
+// benchScale keeps the benchmark workloads small enough that the full
+// suite completes in minutes; cmd/mlbench runs the full-size sweeps.
+const benchScale = 0.08
+
+// benchGraph is the representative 3D FE workload used by the per-phase
+// benchmarks (the paper's BRACK2 class).
+func benchGraph(b *testing.B) *matgen.Named {
+	b.Helper()
+	w, err := matgen.Generate("BRCK", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &w
+}
+
+// BenchmarkTable1Suite measures generating the full Table 1 workload suite.
+func BenchmarkTable1Suite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ws := matgen.Suite(matgen.AllNames(), benchScale)
+		if len(ws) != len(matgen.AllNames()) {
+			b.Fatal("suite incomplete")
+		}
+	}
+}
+
+// BenchmarkTable2Matching reproduces Table 2: a 32-way partition per
+// matching scheme (GGGP init, BKLGR refinement), reporting the edge-cut.
+func BenchmarkTable2Matching(b *testing.B) {
+	w := benchGraph(b)
+	for _, s := range []coarsen.Scheme{coarsen.RM, coarsen.HEM, coarsen.LEM, coarsen.HCM} {
+		b.Run(s.String(), func(b *testing.B) {
+			var cut int
+			for i := 0; i < b.N; i++ {
+				res, err := multilevel.Partition(w.Graph, 32,
+					multilevel.Options{Seed: 1}.WithMatching(s))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.EdgeCut
+			}
+			b.ReportMetric(float64(cut), "edgecut")
+		})
+	}
+}
+
+// BenchmarkTable3NoRefine reproduces Table 3: the same sweep with
+// refinement disabled, isolating coarsening quality.
+func BenchmarkTable3NoRefine(b *testing.B) {
+	w := benchGraph(b)
+	for _, s := range []coarsen.Scheme{coarsen.RM, coarsen.HEM, coarsen.LEM, coarsen.HCM} {
+		b.Run(s.String(), func(b *testing.B) {
+			var cut int
+			for i := 0; i < b.N; i++ {
+				res, err := multilevel.Partition(w.Graph, 32,
+					multilevel.Options{Seed: 1}.
+						WithMatching(s).
+						WithRefinement(refine.NoRefine))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.EdgeCut
+			}
+			b.ReportMetric(float64(cut), "edgecut")
+		})
+	}
+}
+
+// BenchmarkTable4Refine reproduces Table 4: a 32-way partition per
+// refinement policy (HEM coarsening, GGGP init).
+func BenchmarkTable4Refine(b *testing.B) {
+	w := benchGraph(b)
+	for _, p := range []refine.Policy{refine.GR, refine.KLR, refine.BGR, refine.BKLR, refine.BKLGR} {
+		b.Run(p.String(), func(b *testing.B) {
+			var cut int
+			for i := 0; i < b.N; i++ {
+				res, err := multilevel.Partition(w.Graph, 32,
+					multilevel.Options{Seed: 1}.WithRefinement(p))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.EdgeCut
+			}
+			b.ReportMetric(float64(cut), "edgecut")
+		})
+	}
+}
+
+// figureBench runs our algorithm and one baseline to a 64-way partition,
+// reporting both cuts — the data behind one bar of Figures 1-3.
+func figureBench(b *testing.B, baseline experiments.Baseline) {
+	w := benchGraph(b)
+	const k = 64
+	b.Run("Ours", func(b *testing.B) {
+		var cut int
+		for i := 0; i < b.N; i++ {
+			res, err := multilevel.Partition(w.Graph, k, multilevel.Options{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cut = res.EdgeCut
+		}
+		b.ReportMetric(float64(cut), "edgecut")
+	})
+	b.Run(baseline.String(), func(b *testing.B) {
+		var cut int
+		for i := 0; i < b.N; i++ {
+			var where []int
+			switch baseline {
+			case experiments.MSB:
+				where = spectral.MSBPartition(w.Graph, k, spectral.MSBOptions{}, rand.New(rand.NewSource(1)))
+			case experiments.MSBKL:
+				where = spectral.MSBPartition(w.Graph, k, spectral.MSBOptions{KL: true}, rand.New(rand.NewSource(1)))
+			case experiments.ChacoML:
+				where = chaco.Partition(w.Graph, k, chaco.Options{}, 1)
+			}
+			cut = refine.ComputeCut(w.Graph, where)
+		}
+		b.ReportMetric(float64(cut), "edgecut")
+	})
+}
+
+// BenchmarkFigure1VsMSB reproduces Figure 1: ours vs multilevel spectral
+// bisection (quality via the edgecut metric, speed via ns/op — Figure 4's
+// axis for the same pair).
+func BenchmarkFigure1VsMSB(b *testing.B) { figureBench(b, experiments.MSB) }
+
+// BenchmarkFigure2VsMSBKL reproduces Figure 2: ours vs MSB-KL.
+func BenchmarkFigure2VsMSBKL(b *testing.B) { figureBench(b, experiments.MSBKL) }
+
+// BenchmarkFigure3VsChacoML reproduces Figure 3: ours vs Chaco-ML.
+func BenchmarkFigure3VsChacoML(b *testing.B) { figureBench(b, experiments.ChacoML) }
+
+// BenchmarkFigure4Runtime reproduces Figure 4 directly: the wall-clock of
+// each partitioner on the same 64-way problem; relative ns/op values are
+// the figure's bars.
+func BenchmarkFigure4Runtime(b *testing.B) {
+	w := benchGraph(b)
+	const k = 64
+	b.Run("Ours", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := multilevel.Partition(w.Graph, k, multilevel.Options{Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ChacoML", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			chaco.Partition(w.Graph, k, chaco.Options{}, 1)
+		}
+	})
+	b.Run("MSB", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			spectral.MSBPartition(w.Graph, k, spectral.MSBOptions{}, rand.New(rand.NewSource(1)))
+		}
+	})
+	b.Run("MSBKL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			spectral.MSBPartition(w.Graph, k, spectral.MSBOptions{KL: true}, rand.New(rand.NewSource(1)))
+		}
+	})
+}
+
+// BenchmarkFigure5Ordering reproduces Figure 5: the three fill-reducing
+// orderings of the same stiffness matrix, reporting the factorization
+// opcount each produces.
+func BenchmarkFigure5Ordering(b *testing.B) {
+	w, err := matgen.Generate("BC30", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	report := func(b *testing.B, perm []int) {
+		a, err := sparse.Analyze(w.Graph, perm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(a.Flops, "opcount")
+	}
+	b.Run("MLND", func(b *testing.B) {
+		var perm []int
+		for i := 0; i < b.N; i++ {
+			perm = ordering.MLND(w.Graph, ordering.Options{Seed: 1})
+		}
+		report(b, perm)
+	})
+	b.Run("MMD", func(b *testing.B) {
+		var perm []int
+		for i := 0; i < b.N; i++ {
+			perm = mmd.Order(w.Graph)
+		}
+		report(b, perm)
+	})
+	b.Run("SND", func(b *testing.B) {
+		var perm []int
+		for i := 0; i < b.N; i++ {
+			perm = ordering.SND(w.Graph, ordering.Options{Seed: 1})
+		}
+		report(b, perm)
+	})
+}
+
+// BenchmarkAblationMatching isolates coarsening: HEM vs RM at fixed
+// (BKLGR) refinement on a bisection, the comparison behind the paper's
+// choice of HEM.
+func BenchmarkAblationMatching(b *testing.B) {
+	w := benchGraph(b)
+	for _, s := range []coarsen.Scheme{coarsen.RM, coarsen.HEM} {
+		b.Run(s.String(), func(b *testing.B) {
+			var cut int
+			for i := 0; i < b.N; i++ {
+				bis, _ := multilevel.Bisect(w.Graph, 0,
+					multilevel.Options{Seed: 1}.WithMatching(s),
+					rand.New(rand.NewSource(1)))
+				cut = bis.Cut
+			}
+			b.ReportMetric(float64(cut), "edgecut")
+		})
+	}
+}
+
+// BenchmarkAblationBoundary isolates the boundary optimization: KLR vs
+// BKLR at fixed HEM coarsening.
+func BenchmarkAblationBoundary(b *testing.B) {
+	w := benchGraph(b)
+	for _, p := range []refine.Policy{refine.KLR, refine.BKLR} {
+		b.Run(p.String(), func(b *testing.B) {
+			var cut int
+			for i := 0; i < b.N; i++ {
+				bis, _ := multilevel.Bisect(w.Graph, 0,
+					multilevel.Options{Seed: 1}.WithRefinement(p),
+					rand.New(rand.NewSource(1)))
+				cut = bis.Cut
+			}
+			b.ReportMetric(float64(cut), "edgecut")
+		})
+	}
+}
+
+// BenchmarkAblationTrials varies the GGGP trial count (the paper uses 5).
+func BenchmarkAblationTrials(b *testing.B) {
+	w := benchGraph(b)
+	for _, trials := range []int{1, 5, 10} {
+		b.Run(fmt.Sprintf("trials=%d", trials), func(b *testing.B) {
+			var cut int
+			for i := 0; i < b.N; i++ {
+				res, err := multilevel.Partition(w.Graph, 32,
+					multilevel.Options{Seed: 1, InitTrials: trials})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.EdgeCut
+			}
+			b.ReportMetric(float64(cut), "edgecut")
+		})
+	}
+}
+
+// BenchmarkAblationCoarsestSize varies where coarsening stops (the paper
+// coarsens to ~100 vertices).
+func BenchmarkAblationCoarsestSize(b *testing.B) {
+	w := benchGraph(b)
+	for _, ct := range []int{50, 100, 200} {
+		b.Run(fmt.Sprintf("coarsenTo=%d", ct), func(b *testing.B) {
+			var cut int
+			for i := 0; i < b.N; i++ {
+				res, err := multilevel.Partition(w.Graph, 32,
+					multilevel.Options{Seed: 1, CoarsenTo: ct})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.EdgeCut
+			}
+			b.ReportMetric(float64(cut), "edgecut")
+		})
+	}
+}
+
+// BenchmarkAblationStopRule varies the refinement stop window x (the paper
+// uses x = 50).
+func BenchmarkAblationStopRule(b *testing.B) {
+	w := benchGraph(b)
+	for _, x := range []int{10, 50, 200} {
+		b.Run(fmt.Sprintf("x=%d", x), func(b *testing.B) {
+			var cut int
+			for i := 0; i < b.N; i++ {
+				res, err := multilevel.Partition(w.Graph, 32,
+					multilevel.Options{Seed: 1, StopWindow: x})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.EdgeCut
+			}
+			b.ReportMetric(float64(cut), "edgecut")
+		})
+	}
+}
+
+// BenchmarkAblationParallelKway compares sequential and parallel recursive
+// k-way decomposition (identical results, different wall-clock).
+func BenchmarkAblationParallelKway(b *testing.B) {
+	w, err := matgen.Generate("WAVE", 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []bool{false, true} {
+		name := "sequential"
+		if par {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := multilevel.Partition(w.Graph, 64,
+					multilevel.Options{Seed: 1, Parallel: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDirectKWay compares recursive bisection with the direct
+// multilevel k-way extension at k=64 (quality via edgecut, speed via
+// ns/op): the direct scheme coarsens once instead of k-1 times.
+func BenchmarkAblationDirectKWay(b *testing.B) {
+	w := benchGraph(b)
+	const k = 64
+	b.Run("recursive", func(b *testing.B) {
+		var cut int
+		for i := 0; i < b.N; i++ {
+			res, err := multilevel.Partition(w.Graph, k, multilevel.Options{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cut = res.EdgeCut
+		}
+		b.ReportMetric(float64(cut), "edgecut")
+	})
+	b.Run("direct", func(b *testing.B) {
+		var cut int
+		for i := 0; i < b.N; i++ {
+			res, err := multilevel.PartitionKWay(w.Graph, k, multilevel.Options{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cut = res.EdgeCut
+		}
+		b.ReportMetric(float64(cut), "edgecut")
+	})
+}

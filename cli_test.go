@@ -1,0 +1,107 @@
+package mlpart_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runTool builds-and-runs one of the repository's commands via `go run`,
+// returning combined output. These are end-to-end tests of the CLI layer;
+// they are skipped with -short to keep the inner loop fast.
+func runTool(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPartitionGenerated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests build binaries")
+	}
+	out := runTool(t, "./cmd/mlpart", "-k", "8", "-gen", "4ELT", "-scale", "0.05", "-stats")
+	for _, want := range []string{"8-way partition", "edge-cut", "comm-volume"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIGraphgenThenPartitionAndOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests build binaries")
+	}
+	dir := t.TempDir()
+	runTool(t, "./cmd/graphgen", "-scale", "0.05", "-dir", dir, "BC28")
+	graphFile := filepath.Join(dir, "BC28.graph")
+	if _, err := os.Stat(graphFile); err != nil {
+		t.Fatal(err)
+	}
+	partFile := filepath.Join(dir, "out.part")
+	out := runTool(t, "./cmd/mlpart", "-k", "4", "-o", partFile, graphFile)
+	if !strings.Contains(out, "4-way partition") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	data, err := os.ReadFile(partFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(strings.TrimSpace(string(data)))
+	for _, l := range lines {
+		if l != "0" && l != "1" && l != "2" && l != "3" {
+			t.Fatalf("bad part id %q in partition file", l)
+		}
+	}
+	out = runTool(t, "./cmd/mlorder", graphFile)
+	for _, want := range []string{"MLND", "MMD", "opcount"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mlorder output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIGraphgenMatrixMarket(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests build binaries")
+	}
+	dir := t.TempDir()
+	runTool(t, "./cmd/graphgen", "-scale", "0.05", "-dir", dir, "-format", "mtx", "LS34")
+	mtx := filepath.Join(dir, "LS34.mtx")
+	out := runTool(t, "./cmd/mlpart", "-k", "2", mtx)
+	if !strings.Contains(out, "2-way partition") {
+		t.Fatalf("mtx input not handled:\n%s", out)
+	}
+}
+
+func TestCLIMlbenchSingleTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests build binaries")
+	}
+	out := runTool(t, "./cmd/mlbench", "-table", "3", "-scale", "0.03")
+	for _, want := range []string{"Table 3", "HEM", "LEM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mlbench output missing %q", want)
+		}
+	}
+}
+
+func TestCLIWeightedAndDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests build binaries")
+	}
+	out := runTool(t, "./cmd/mlpart", "-gen", "4ELT", "-scale", "0.05", "-weighted", "3,1")
+	if !strings.Contains(out, "2-way partition") {
+		t.Fatalf("weighted run failed:\n%s", out)
+	}
+	out = runTool(t, "./cmd/mlpart", "-gen", "4ELT", "-scale", "0.05", "-k", "8", "-direct")
+	if !strings.Contains(out, "8-way partition") {
+		t.Fatalf("direct run failed:\n%s", out)
+	}
+}

@@ -1,0 +1,84 @@
+// Command graphgen writes the synthetic workloads standing in for the
+// paper's Table 1 matrices to METIS graph files.
+//
+// Usage:
+//
+//	graphgen -list                      # list workload names
+//	graphgen -scale 0.25 4ELT BC30      # write 4ELT.graph and BC30.graph
+//	graphgen -scale 0.25 -all -dir out  # write the full suite
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mlpart"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "workload scale (1.0 = laptop-sized)")
+	all := flag.Bool("all", false, "generate the full Table 1 suite")
+	list := flag.Bool("list", false, "list workload names and exit")
+	dir := flag.String("dir", ".", "output directory")
+	format := flag.String("format", "metis", "output format: metis or mtx")
+	flag.Parse()
+
+	if *format != "metis" && *format != "mtx" {
+		fmt.Fprintf(os.Stderr, "graphgen: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+
+	if *list {
+		for _, n := range mlpart.WorkloadNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	names := flag.Args()
+	if *all {
+		names = mlpart.WorkloadNames()
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "graphgen: no workloads named; use -all, -list or name them (see -h)")
+		os.Exit(1)
+	}
+	for _, name := range names {
+		g, err := mlpart.GenerateWorkload(name, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		ext := ".graph"
+		if *format == "mtx" {
+			ext = ".mtx"
+		}
+		path := filepath.Join(*dir, name+ext)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		if *format == "mtx" {
+			err = mlpart.WriteMatrixMarket(w, g)
+		} else {
+			err = mlpart.WriteGraph(w, g)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8s n=%-8d m=%-9d -> %s\n", name, g.NumVertices(), g.NumEdges(), path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+// Command mlpart partitions a graph in METIS format into k parts with the
+// multilevel scheme and reports the edge-cut, balance and timing. The
+// partition vector (one part id per line, in vertex order) can be written
+// with -o.
+//
+// Usage:
+//
+//	mlpart -k 32 [-match HEM] [-init GGGP] [-refine BKLGR] [-seed 0]
+//	       [-parallel] [-direct] [-weighted 4,2,1,1] [-stats]
+//	       [-o out.part] graph.file(.graph or .mtx)
+//
+// With -gen NAME the input file is replaced by a generated workload (see
+// mlpart.WorkloadNames), e.g. `mlpart -k 32 -gen 4ELT`.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mlpart"
+)
+
+func main() {
+	k := flag.Int("k", 2, "number of parts")
+	match := flag.String("match", "HEM", "matching scheme: RM, HEM, LEM, HCM")
+	init := flag.String("init", "GGGP", "initial partitioner: GGGP, GGP, SBP")
+	ref := flag.String("refine", "BKLGR", "refinement: NONE, GR, KLR, BGR, BKLR, BKLGR")
+	seed := flag.Int64("seed", 0, "random seed (fixed seed => fixed result)")
+	parallel := flag.Bool("parallel", false, "partition independent subgraphs concurrently")
+	out := flag.String("o", "", "write the partition vector to this file")
+	stats := flag.Bool("stats", false, "print extended quality metrics (comm volume, connectivity, ...)")
+	direct := flag.Bool("direct", false, "use direct multilevel k-way instead of recursive bisection")
+	weighted := flag.String("weighted", "", "comma-separated target fractions (overrides -k), e.g. 4,2,1,1")
+	gen := flag.String("gen", "", "generate the named synthetic workload instead of reading a file")
+	scale := flag.Float64("scale", 0.25, "workload scale when -gen is used")
+	flag.Parse()
+
+	g, name, err := loadGraph(*gen, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph %s: %d vertices, %d edges\n", name, g.NumVertices(), g.NumEdges())
+
+	opts := &mlpart.Options{
+		Matching:   *match,
+		InitPart:   *init,
+		Refinement: *ref,
+		Seed:       *seed,
+		Parallel:   *parallel,
+	}
+	t0 := time.Now()
+	var res *mlpart.Partitioning
+	switch {
+	case *weighted != "":
+		var fractions []float64
+		for _, tok := range strings.Split(*weighted, ",") {
+			f, perr := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if perr != nil {
+				fatal(fmt.Errorf("bad -weighted fraction %q: %v", tok, perr))
+			}
+			fractions = append(fractions, f)
+		}
+		*k = len(fractions)
+		res, err = mlpart.PartitionWeighted(g, fractions, opts)
+	case *direct:
+		res, err = mlpart.PartitionDirectKWay(g, *k, opts)
+	default:
+		res, err = mlpart.Partition(g, *k, opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(t0)
+
+	fmt.Printf("%d-way partition: edge-cut %d, balance %.3f, time %.3fs\n",
+		*k, res.EdgeCut, res.Balance(), elapsed.Seconds())
+	fmt.Printf("part weights: %v\n", res.PartWeights)
+	if *stats {
+		report, err := mlpart.EvaluatePartition(g, res.Where, *k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		for _, p := range res.Where {
+			fmt.Fprintln(w, p)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("partition vector written to %s\n", *out)
+	}
+}
+
+func loadGraph(gen string, scale float64) (*mlpart.Graph, string, error) {
+	if gen != "" {
+		g, err := mlpart.GenerateWorkload(gen, scale)
+		return g, gen, err
+	}
+	if flag.NArg() != 1 {
+		return nil, "", fmt.Errorf("usage: mlpart [flags] graph.file (or -gen NAME); see -h")
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	var g *mlpart.Graph
+	if strings.HasSuffix(path, ".mtx") {
+		g, err = mlpart.ReadMatrixMarket(bufio.NewReader(f))
+	} else {
+		g, err = mlpart.ReadGraph(bufio.NewReader(f))
+	}
+	return g, path, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlpart:", err)
+	os.Exit(1)
+}

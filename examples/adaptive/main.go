@@ -1,0 +1,72 @@
+// Adaptive load balancing: a solver partitions its mesh once, computes,
+// and then adaptive refinement concentrates work in one region. Instead of
+// repartitioning from scratch (which moves most of the data), Repartition
+// restores balance with minimal migration from the incumbent placement.
+//
+// Run with:
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlpart"
+)
+
+func main() {
+	g, err := mlpart.GenerateWorkload("4ELT", 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const k = 16
+	initial, err := mlpart.Partition(g, k, &mlpart.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial: %d vertices on %d procs, cut %d, balance %.3f\n",
+		g.NumVertices(), k, initial.EdgeCut, initial.Balance())
+
+	// The solver adapts: one corner of the mesh becomes 6x more expensive.
+	n := g.NumVertices()
+	for v := 0; v < n/5; v++ {
+		g.Vwgt[v] = 6
+	}
+	stale, _ := mlpart.EvaluatePartition(g, initial.Where, k)
+	fmt.Printf("after adaptation: balance degraded to %.3f\n\n", stale.Balance)
+
+	// Option 1: repartition from scratch — good cut, massive migration.
+	fresh, err := mlpart.Partition(g, k, &mlpart.Options{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	migFresh := 0
+	for v := range fresh.Where {
+		if fresh.Where[v] != initial.Where[v] {
+			migFresh += g.Vwgt[v]
+		}
+	}
+
+	// Option 2: adapt the incumbent partition.
+	adapted, err := mlpart.Repartition(g, k, initial.Where, &mlpart.RepartitionOptions{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	total := g.TotalVertexWeight()
+	fmt.Printf("%-14s %10s %10s %14s\n", "strategy", "cut", "balance", "migrated")
+	fmt.Printf("%-14s %10d %10.3f %9d (%2.0f%%)\n", "from scratch",
+		fresh.EdgeCut, fresh.Balance(), migFresh, 100*float64(migFresh)/float64(total))
+	bal := 0.0
+	maxw := 0
+	for _, w := range adapted.PartWeights {
+		if w > maxw {
+			maxw = w
+		}
+	}
+	bal = float64(k*maxw) / float64(total)
+	fmt.Printf("%-14s %10d %10.3f %9d (%2.0f%%)\n", "Repartition",
+		adapted.EdgeCut, bal, adapted.MigratedWeight,
+		100*float64(adapted.MigratedWeight)/float64(total))
+}

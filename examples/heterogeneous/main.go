@@ -1,0 +1,61 @@
+// Heterogeneous load balancing: partition a mesh for a machine whose
+// processors have different speeds, so each processor should receive work
+// proportional to its speed rather than an equal share. PartitionWeighted
+// takes arbitrary positive target fractions.
+//
+// Run with:
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlpart"
+)
+
+func main() {
+	g, err := mlpart.GenerateWorkload("ROTR", 0.15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mesh: %d vertices, %d edges\n\n", g.NumVertices(), g.NumEdges())
+
+	// A machine with two fast nodes (4 units of speed each), two regular
+	// nodes (2 units) and two slow nodes (1 unit).
+	speeds := []float64{4, 4, 2, 2, 1, 1}
+	res, err := mlpart.PartitionWeighted(g, speeds, &mlpart.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	total := 0
+	for _, w := range res.PartWeights {
+		total += w
+	}
+	speedSum := 0.0
+	for _, s := range speeds {
+		speedSum += s
+	}
+	fmt.Printf("%-6s %8s %10s %10s %10s\n", "proc", "speed", "target", "assigned", "rel.err")
+	for p, s := range speeds {
+		target := float64(total) * s / speedSum
+		got := float64(res.PartWeights[p])
+		fmt.Printf("%-6d %8.0f %10.0f %10.0f %9.1f%%\n",
+			p, s, target, got, 100*(got-target)/target)
+	}
+	fmt.Printf("\nedge-cut: %d\n", res.EdgeCut)
+
+	// The per-processor finish time is work/speed; with proportional
+	// targets every processor finishes together.
+	worst := 0.0
+	for p, s := range speeds {
+		if t := float64(res.PartWeights[p]) / s; t > worst {
+			worst = t
+		}
+	}
+	ideal := float64(total) / speedSum
+	fmt.Printf("makespan: %.0f vs ideal %.0f (%.1f%% overhead)\n",
+		worst, ideal, 100*(worst-ideal)/ideal)
+}

@@ -1,0 +1,95 @@
+// Parallel sparse matrix-vector multiplication, the motivating application
+// of the paper's introduction: assigning matrix rows to p processors is a
+// graph partitioning problem, and the edge-cut of the partition bounds the
+// communication volume of every SpMV iteration. This example partitions a
+// 2D finite-element matrix for 16 processors with the multilevel scheme and
+// compares the resulting per-iteration communication against a naive block
+// (contiguous-rows) assignment, then runs both through a simulated
+// iterative solve to show the traffic difference.
+//
+// Run with:
+//
+//	go run ./examples/spmv
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlpart"
+)
+
+const processors = 16
+
+func main() {
+	g, err := mlpart.GenerateWorkload("4ELT", 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := g.NumVertices()
+	fmt.Printf("matrix: %d rows, %d off-diagonal nonzeros, %d processors\n",
+		n, 2*g.NumEdges(), processors)
+
+	// Naive assignment: contiguous blocks of rows.
+	naive := make([]int, n)
+	for v := 0; v < n; v++ {
+		naive[v] = v * processors / n
+	}
+
+	// Multilevel assignment.
+	res, err := mlpart.Partition(g, processors, &mlpart.Options{Seed: 3, Parallel: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-12s %12s %16s %14s\n", "assignment", "edge-cut", "comm volume", "max per-proc")
+	for _, row := range []struct {
+		name  string
+		where []int
+	}{
+		{"block-rows", naive},
+		{"multilevel", res.Where},
+	} {
+		vol, maxProc := commVolume(g, row.where)
+		fmt.Printf("%-12s %12d %16d %14d\n",
+			row.name, mlpart.EdgeCut(g, row.where), vol, maxProc)
+	}
+
+	// Simulate 10 iterations of an iterative solver: every iteration each
+	// processor must fetch the x-values of off-processor neighbor rows.
+	iters := 10
+	volNaive, _ := commVolume(g, naive)
+	volML, _ := commVolume(g, res.Where)
+	fmt.Printf("\nafter %d SpMV iterations: %d words moved with block rows, %d with multilevel (%.1fx less)\n",
+		iters, iters*volNaive, iters*volML, float64(volNaive)/float64(volML))
+}
+
+// commVolume counts, for an SpMV with rows assigned by `where`, the total
+// number of x-vector entries that must cross processor boundaries per
+// iteration (each boundary vertex is sent once to each neighboring
+// processor that needs it), plus the maximum volume handled by one
+// processor.
+func commVolume(g *mlpart.Graph, where []int) (total, maxPerProc int) {
+	perProc := make(map[int]int)
+	seen := make(map[[2]int]bool) // (vertex, destination processor)
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if where[u] == where[v] {
+				continue
+			}
+			key := [2]int{v, where[u]}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			total++
+			perProc[where[v]]++
+		}
+	}
+	for _, c := range perProc {
+		if c > maxPerProc {
+			maxPerProc = c
+		}
+	}
+	return total, maxPerProc
+}

@@ -1,0 +1,72 @@
+// Tuning: sweep every (matching scheme x refinement policy) combination of
+// the multilevel algorithm on one workload — the kind of exploration behind
+// the paper's Tables 2 and 4 — and print the edge-cut / time grid, showing
+// why HEM + BKLGR is the recommended default.
+//
+// Run with:
+//
+//	go run ./examples/tuning [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mlpart"
+)
+
+func main() {
+	name := "BRCK"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	g, err := mlpart.GenerateWorkload(name, 0.15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d vertices, %d edges; 32-way partitions\n\n",
+		name, g.NumVertices(), g.NumEdges())
+
+	matchings := []string{mlpart.MatchRM, mlpart.MatchHEM, mlpart.MatchLEM, mlpart.MatchHCM}
+	refinements := []string{
+		mlpart.RefineNone, mlpart.RefineGR, mlpart.RefineKLR,
+		mlpart.RefineBGR, mlpart.RefineBKLR, mlpart.RefineBKLGR,
+	}
+
+	fmt.Printf("%-8s", "")
+	for _, r := range refinements {
+		fmt.Printf(" %16s", r)
+	}
+	fmt.Println()
+	type cell struct {
+		cut int
+		dur time.Duration
+	}
+	best := cell{cut: int(^uint(0) >> 1)}
+	var bestM, bestR string
+	for _, m := range matchings {
+		fmt.Printf("%-8s", m)
+		for _, r := range refinements {
+			t0 := time.Now()
+			res, err := mlpart.Partition(g, 32, &mlpart.Options{
+				Matching: m, Refinement: r, Seed: 1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			c := cell{res.EdgeCut, time.Since(t0)}
+			fmt.Printf(" %9d/%5.2fs", c.cut, c.dur.Seconds())
+			// Track the best refined cut (NONE excluded: it isolates
+			// coarsening quality, it is not a practical configuration).
+			if r != mlpart.RefineNone && c.cut < best.cut {
+				best, bestM, bestR = c, m, r
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nbest refined configuration here: %s + %s (cut %d in %.2fs)\n",
+		bestM, bestR, best.cut, best.dur.Seconds())
+	fmt.Println("the paper recommends HEM + BKLGR as the best quality/time balance")
+}

@@ -1,0 +1,111 @@
+// Package chaco reimplements the multilevel partitioner of the Chaco
+// package (Hendrickson & Leland), which the paper compares against in
+// Figures 3 and 4 as "Chaco-ML": random-matching coarsening, spectral
+// bisection of the coarsest graph, and Kernighan-Lin refinement applied at
+// every other level of the uncoarsening phase.
+package chaco
+
+import (
+	"math/rand"
+
+	"mlpart/internal/coarsen"
+	"mlpart/internal/graph"
+	"mlpart/internal/initpart"
+	"mlpart/internal/refine"
+)
+
+// Options configures the Chaco-ML reimplementation.
+type Options struct {
+	// CoarsenTo is the coarsest-graph size (0 means 100).
+	CoarsenTo int
+	// RefineEvery applies KL refinement at every RefineEvery-th level of
+	// the uncoarsening (0 means 2, Chaco's "every other level").
+	RefineEvery int
+	// TargetPwgt0 is the desired weight of part 0 (0 means half).
+	TargetPwgt0 int
+}
+
+func (o Options) withDefaults(g *graph.Graph) Options {
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 100
+	}
+	if o.RefineEvery <= 0 {
+		o.RefineEvery = 2
+	}
+	if o.TargetPwgt0 <= 0 {
+		o.TargetPwgt0 = g.TotalVertexWeight() / 2
+	}
+	return o
+}
+
+// Bisect runs the Chaco-ML bisection of g and returns refinement state on
+// the original graph.
+func Bisect(g *graph.Graph, opts Options, rng *rand.Rand) *refine.Bisection {
+	opts = opts.withDefaults(g)
+	h := coarsen.Coarsen(g, coarsen.Options{Scheme: coarsen.RM, CoarsenTo: opts.CoarsenTo}, rng)
+	b := initpart.Partition(h.Coarsest(), initpart.Options{
+		Method:      initpart.SBP,
+		TargetPwgt0: opts.TargetPwgt0,
+	}, rng)
+	ropts := refine.Options{
+		TargetPwgt: [2]int{opts.TargetPwgt0, g.TotalVertexWeight() - opts.TargetPwgt0},
+		OrigNvtxs:  g.NumVertices(),
+	}
+	refine.ForceBalance(b, ropts)
+	refine.Refine(b, refine.KLR, ropts)
+	uncoarsened := 0
+	for li := len(h.Levels) - 2; li >= 0; li-- {
+		b = refine.Project(h.Levels[li].Graph, h.Levels[li].Cmap, b)
+		uncoarsened++
+		// KL at every other level, and always at the finest level so the
+		// final partition is locally optimal (as Chaco does).
+		if uncoarsened%opts.RefineEvery == 0 || li == 0 {
+			refine.Refine(b, refine.KLR, ropts)
+		}
+	}
+	return b
+}
+
+// Partition divides g into k parts by recursive Chaco-ML bisection.
+func Partition(g *graph.Graph, k int, opts Options, seed int64) []int {
+	where := make([]int, g.NumVertices())
+	ids := make([]int, g.NumVertices())
+	for i := range ids {
+		ids[i] = i
+	}
+	recurse(g, ids, k, 0, opts, seed, where)
+	return where
+}
+
+func recurse(g *graph.Graph, ids []int, k, base int, opts Options, seed int64, out []int) {
+	if k <= 1 || g.NumVertices() == 0 {
+		for _, id := range ids {
+			out[id] = base
+		}
+		return
+	}
+	kl := k / 2
+	kr := k - kl
+	o := opts
+	o.TargetPwgt0 = g.TotalVertexWeight() * kl / k
+	rng := rand.New(rand.NewSource(seed))
+	b := Bisect(g, o, rng)
+	left, l2gL := g.PartSubgraph(b.Where, 0)
+	right, l2gR := g.PartSubgraph(b.Where, 1)
+	idsL := make([]int, left.NumVertices())
+	for i, lv := range l2gL {
+		idsL[i] = ids[lv]
+	}
+	idsR := make([]int, right.NumVertices())
+	for i, rv := range l2gR {
+		idsR[i] = ids[rv]
+	}
+	recurse(left, idsL, kl, base, opts, deriveSeed(seed, 2), out)
+	recurse(right, idsR, kr, base+kl, opts, deriveSeed(seed, 3), out)
+}
+
+func deriveSeed(seed int64, branch int64) int64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(branch)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}

@@ -1,0 +1,84 @@
+package chaco
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpart/internal/matgen"
+	"mlpart/internal/refine"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestBisectGrid(t *testing.T) {
+	g := matgen.Grid2D(24, 24)
+	b := Bisect(g, Options{}, rng(1))
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Cut > 72 { // optimal 24; allow 3x
+		t.Errorf("Chaco-ML cut %d on 24x24 grid", b.Cut)
+	}
+	if bal := b.Balance(); bal > 1.1 {
+		t.Errorf("balance %v", bal)
+	}
+}
+
+func TestBisectBeatsNoRefinement(t *testing.T) {
+	// Sanity: the KL-every-other-level schedule should still give a decent
+	// result on an irregular mesh.
+	g := matgen.Mesh2DTri(30, 30, 0.02, 2)
+	b := Bisect(g, Options{}, rng(3))
+	random := make([]int, g.NumVertices())
+	r := rng(4)
+	for i := range random {
+		random[i] = r.Intn(2)
+	}
+	if b.Cut >= refine.ComputeCut(g, random)/2 {
+		t.Errorf("Chaco-ML cut %d vs random %d", b.Cut, refine.ComputeCut(g, random))
+	}
+}
+
+func TestPartitionKWay(t *testing.T) {
+	g := matgen.Mesh2DTri(25, 25, 0, 5)
+	k := 8
+	where := Partition(g, k, Options{}, 6)
+	counts := make([]int, k)
+	for _, p := range where {
+		if p < 0 || p >= k {
+			t.Fatalf("part %d out of range", p)
+		}
+		counts[p]++
+	}
+	avg := g.NumVertices() / k
+	for p, c := range counts {
+		if c < avg/2 || c > avg*2 {
+			t.Errorf("part %d count %d, avg %d", p, c, avg)
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := matgen.FE3DTetra(7, 7, 7, 7)
+	a := Partition(g, 4, Options{}, 8)
+	b := Partition(g, 4, Options{}, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Chaco-ML not deterministic")
+		}
+	}
+}
+
+func TestRefineEveryOption(t *testing.T) {
+	// RefineEvery=1 (refine everywhere) must be at least as good as
+	// RefineEvery=4 on the same seed, in aggregate over seeds.
+	g := matgen.FE3DTetra(8, 8, 8, 9)
+	sum1, sum4 := 0, 0
+	for seed := int64(0); seed < 5; seed++ {
+		sum1 += Bisect(g, Options{RefineEvery: 1}, rng(seed)).Cut
+		sum4 += Bisect(g, Options{RefineEvery: 4}, rng(seed)).Cut
+	}
+	if sum1 > sum4 {
+		t.Errorf("refine-every-level total %d worse than every-4th %d", sum1, sum4)
+	}
+}

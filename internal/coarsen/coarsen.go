@@ -1,0 +1,323 @@
+// Package coarsen implements the coarsening phase of the multilevel scheme
+// (§3.1 of the paper): maximal matchings computed by one of four heuristics
+// — random matching (RM), heavy-edge matching (HEM), light-edge matching
+// (LEM) and heavy-clique matching (HCM) — and the contraction that collapses
+// each matched pair into a multinode of the next-coarser graph.
+//
+// Contraction preserves the evaluation invariant the paper relies on: a
+// partition of the coarse graph has exactly the same edge-cut as the
+// corresponding partition of the fine graph, because multinode vertex
+// weights are the sums of their constituents and parallel edges collapse by
+// summing weights. It follows that W(E_{i+1}) = W(E_i) - W(M_i).
+package coarsen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlpart/internal/graph"
+)
+
+// Scheme selects the matching heuristic used at each coarsening level.
+type Scheme int
+
+const (
+	// RM visits vertices in random order and matches each with a random
+	// unmatched neighbor.
+	RM Scheme = iota
+	// HEM matches each vertex with the unmatched neighbor connected by the
+	// heaviest edge, maximizing the matching weight removed from the graph.
+	HEM
+	// LEM matches across the lightest incident edge, minimizing the weight
+	// removed (used by the paper as a control; it raises the coarse graph's
+	// average degree).
+	LEM
+	// HCM matches the pair whose merged multinode has the highest edge
+	// density, approximating coarsening by highly-connected components.
+	HCM
+)
+
+// String returns the scheme's abbreviation as used in the paper.
+func (s Scheme) String() string {
+	switch s {
+	case RM:
+		return "RM"
+	case HEM:
+		return "HEM"
+	case LEM:
+		return "LEM"
+	case HCM:
+		return "HCM"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// ParseScheme converts an abbreviation ("RM", "HEM", "LEM", "HCM",
+// case-sensitive) to a Scheme.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "RM":
+		return RM, nil
+	case "HEM":
+		return HEM, nil
+	case "LEM":
+		return LEM, nil
+	case "HCM":
+		return HCM, nil
+	}
+	return 0, fmt.Errorf("coarsen: unknown matching scheme %q", s)
+}
+
+// Match computes a maximal matching of g in O(|E|) using the given scheme.
+// The result maps each vertex to its partner; unmatched vertices map to
+// themselves. cew is the contracted edge weight of each vertex (the total
+// weight of original edges already inside the multinode); it is only
+// consulted by HCM and may be nil for the others or for level-0 graphs.
+func Match(g *graph.Graph, scheme Scheme, cew []int, rng *rand.Rand) []int {
+	n := g.NumVertices()
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, u := range order {
+		if match[u] >= 0 {
+			continue
+		}
+		adj := g.Neighbors(u)
+		wgt := g.EdgeWeights(u)
+		pick := -1
+		switch scheme {
+		case RM:
+			// First unmatched neighbor scanning from a random offset —
+			// equivalent to the paper's randomly permuted adjacency lists,
+			// and the cheapest scheme (one RNG call per vertex).
+			if len(adj) > 0 {
+				off := rng.Intn(len(adj))
+				for t := 0; t < len(adj); t++ {
+					v := adj[(off+t)%len(adj)]
+					if match[v] < 0 && v != u {
+						pick = v
+						break
+					}
+				}
+			}
+		case HEM:
+			best := -1
+			for i, v := range adj {
+				if match[v] < 0 && wgt[i] > best {
+					best = wgt[i]
+					pick = v
+				}
+			}
+		case LEM:
+			best := int(^uint(0) >> 1)
+			for i, v := range adj {
+				if match[v] < 0 && wgt[i] < best {
+					best = wgt[i]
+					pick = v
+				}
+			}
+		case HCM:
+			best := -1.0
+			for i, v := range adj {
+				if match[v] >= 0 {
+					continue
+				}
+				d := mergedDensity(g, cew, u, v, wgt[i])
+				if d > best {
+					best = d
+					pick = v
+				}
+			}
+		default:
+			panic(fmt.Sprintf("coarsen: invalid scheme %d", scheme))
+		}
+		if pick >= 0 {
+			match[u] = pick
+			match[pick] = u
+		} else {
+			match[u] = u
+		}
+	}
+	return match
+}
+
+// mergedDensity returns the edge density 2|E_U| / (|U|(|U|-1)) of the
+// multinode formed by merging u and v, where |U| is the number of original
+// vertices (the multinode weight) and |E_U| the total weight of original
+// edges inside it.
+func mergedDensity(g *graph.Graph, cew []int, u, v, w int) float64 {
+	size := g.Vwgt[u] + g.Vwgt[v]
+	if size < 2 {
+		size = 2
+	}
+	inner := w
+	if cew != nil {
+		inner += cew[u] + cew[v]
+	}
+	return 2 * float64(inner) / (float64(size) * float64(size-1))
+}
+
+// Contract builds the next-coarser graph induced by a matching. It returns
+// the coarse graph, the vertex map cmap (fine vertex -> coarse vertex), and
+// the coarse contracted-edge-weight array (needed by HCM at deeper levels).
+// cew may be nil, meaning all-zero.
+func Contract(g *graph.Graph, match []int, cew []int) (*graph.Graph, []int, []int) {
+	n := g.NumVertices()
+	cmap := make([]int, n)
+	cn := 0
+	for v := 0; v < n; v++ {
+		if match[v] >= v || match[v] < 0 {
+			// v is the representative of its pair (or unmatched).
+			cmap[v] = cn
+			cn++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if match[v] >= 0 && match[v] < v {
+			cmap[v] = cmap[match[v]]
+		}
+	}
+
+	cxadj := make([]int, cn+1)
+	cvwgt := make([]int, cn)
+	ccew := make([]int, cn)
+	// First pass: upper-bound coarse degrees to size the arrays.
+	for v := 0; v < n; v++ {
+		cxadj[cmap[v]+1] += g.Degree(v)
+	}
+	for i := 0; i < cn; i++ {
+		cxadj[i+1] += cxadj[i]
+	}
+	cadjncy := make([]int, cxadj[cn])
+	cadjwgt := make([]int, cxadj[cn])
+
+	// htable[c] is the position of coarse neighbor c in the current coarse
+	// vertex's adjacency, or -1.
+	htable := make([]int, cn)
+	for i := range htable {
+		htable[i] = -1
+	}
+	pos := 0
+	write := make([]int, cn+1)
+	cv := 0
+	for v := 0; v < n; v++ {
+		if match[v] >= 0 && match[v] < v {
+			continue // handled with its representative
+		}
+		start := pos
+		write[cv] = start
+		if cew != nil {
+			ccew[cv] = cew[v]
+		}
+		cvwgt[cv] = g.Vwgt[v]
+		pair := []int{v}
+		if match[v] != v && match[v] >= 0 {
+			pair = append(pair, match[v])
+			cvwgt[cv] += g.Vwgt[match[v]]
+			if cew != nil {
+				ccew[cv] += cew[match[v]]
+			}
+			ccew[cv] += g.EdgeWeight(v, match[v])
+		}
+		for _, u := range pair {
+			adj := g.Neighbors(u)
+			wgt := g.EdgeWeights(u)
+			for i, w := range adj {
+				c := cmap[w]
+				if c == cv {
+					continue // internal edge of the multinode
+				}
+				if p := htable[c]; p >= 0 {
+					cadjwgt[p] += wgt[i]
+				} else {
+					htable[c] = pos
+					cadjncy[pos] = c
+					cadjwgt[pos] = wgt[i]
+					pos++
+				}
+			}
+		}
+		for p := start; p < pos; p++ {
+			htable[cadjncy[p]] = -1
+		}
+		cv++
+		write[cv] = pos
+	}
+
+	// Compact to the true sizes.
+	cxadj = write[:cn+1]
+	cg := &graph.Graph{
+		Xadj:   cxadj,
+		Adjncy: cadjncy[:pos],
+		Adjwgt: cadjwgt[:pos],
+		Vwgt:   cvwgt,
+	}
+	return cg, cmap, ccew
+}
+
+// Level is one rung of the coarsening hierarchy: the graph at this level
+// and the map from its vertices to the next-coarser level's vertices.
+type Level struct {
+	Graph *graph.Graph
+	// Cmap maps this level's vertices to the next (coarser) level's
+	// vertices; nil on the coarsest level.
+	Cmap []int
+}
+
+// Hierarchy is the sequence of graphs G_0 (finest) .. G_m (coarsest)
+// produced by repeated matching and contraction.
+type Hierarchy struct {
+	Levels []Level
+}
+
+// Coarsest returns the last (smallest) graph of the hierarchy.
+func (h *Hierarchy) Coarsest() *graph.Graph {
+	return h.Levels[len(h.Levels)-1].Graph
+}
+
+// Options configures Coarsen.
+type Options struct {
+	// Scheme is the matching heuristic (default RM for the zero value).
+	Scheme Scheme
+	// CoarsenTo stops coarsening once the graph has at most this many
+	// vertices. The paper coarsens "down to a few hundred vertices";
+	// callers typically pass 100.
+	CoarsenTo int
+	// MaxLevels bounds the number of coarsening levels (safety net for
+	// graphs that barely contract); <=0 means no bound.
+	MaxLevels int
+}
+
+// Coarsen builds the full hierarchy for g. Coarsening stops when the graph
+// has at most opts.CoarsenTo vertices, when a level shrinks the graph by
+// less than 10% (matchings have become ineffective, e.g. star graphs), or
+// when the graph has no edges left.
+func Coarsen(g *graph.Graph, opts Options, rng *rand.Rand) *Hierarchy {
+	if opts.CoarsenTo <= 0 {
+		opts.CoarsenTo = 100
+	}
+	h := &Hierarchy{}
+	cur := g
+	var cew []int // zero at the finest level
+	for {
+		h.Levels = append(h.Levels, Level{Graph: cur})
+		if cur.NumVertices() <= opts.CoarsenTo || cur.NumEdges() == 0 {
+			break
+		}
+		if opts.MaxLevels > 0 && len(h.Levels) > opts.MaxLevels {
+			break
+		}
+		match := Match(cur, opts.Scheme, cew, rng)
+		next, cmap, ccew := Contract(cur, match, cew)
+		if next.NumVertices() > cur.NumVertices()*9/10 {
+			// Matching stalled; further levels would waste time.
+			break
+		}
+		h.Levels[len(h.Levels)-1].Cmap = cmap
+		cur = next
+		cew = ccew
+	}
+	return h
+}

@@ -1,0 +1,111 @@
+package coarsen
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpart/internal/matgen"
+)
+
+func TestParallelMatchValidMatching(t *testing.T) {
+	g := matgen.FE3DTetra(8, 8, 8, 1)
+	for _, s := range allSchemes() {
+		match := ParallelMatch(g, s, nil, rng(2), 4)
+		checkMatching(t, g, match, s)
+	}
+}
+
+func TestParallelMatchIndependentOfWorkers(t *testing.T) {
+	g := matgen.Mesh2DTri(25, 25, 0.02, 3)
+	for _, s := range []Scheme{RM, HEM} {
+		ref := ParallelMatch(g, s, nil, rng(4), 1)
+		for _, workers := range []int{2, 3, 8} {
+			got := ParallelMatch(g, s, nil, rng(4), workers)
+			for v := range ref {
+				if got[v] != ref[v] {
+					t.Fatalf("%v: workers=%d differs from workers=1 at vertex %d", s, workers, v)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelMatchMatchesMostVertices(t *testing.T) {
+	// Handshake matching must be near-maximal: on a mesh, the vast
+	// majority of vertices end up matched.
+	g := matgen.Grid2D(40, 40)
+	match := ParallelMatch(g, HEM, nil, rng(5), 4)
+	unmatched := 0
+	for v, m := range match {
+		if m == v {
+			unmatched++
+		}
+	}
+	if unmatched > g.NumVertices()/5 {
+		t.Fatalf("%d of %d vertices unmatched", unmatched, g.NumVertices())
+	}
+}
+
+func TestParallelCoarsenHierarchy(t *testing.T) {
+	g := matgen.Stiffness3D(9, 9, 9)
+	h := ParallelCoarsen(g, Options{Scheme: HEM, CoarsenTo: 100}, rng(6), 4)
+	if len(h.Levels) < 2 {
+		t.Fatal("no coarsening")
+	}
+	for i, lv := range h.Levels {
+		if err := lv.Graph.Validate(); err != nil {
+			t.Fatalf("level %d: %v", i, err)
+		}
+		if lv.Graph.TotalVertexWeight() != g.TotalVertexWeight() {
+			t.Fatalf("level %d: vertex weight changed", i)
+		}
+	}
+	// Deterministic across worker counts.
+	h2 := ParallelCoarsen(g, Options{Scheme: HEM, CoarsenTo: 100}, rng(6), 1)
+	if len(h2.Levels) != len(h.Levels) {
+		t.Fatal("level counts differ across worker counts")
+	}
+	a, b := h.Coarsest(), h2.Coarsest()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("coarsest graphs differ across worker counts")
+	}
+}
+
+func TestParallelMatchEdgeless(t *testing.T) {
+	g := matgen.Grid2D(1, 1)
+	match := ParallelMatch(g, RM, nil, rand.New(rand.NewSource(1)), 4)
+	if match[0] != 0 {
+		t.Fatal("singleton should self-match")
+	}
+}
+
+func BenchmarkMatchSequential(b *testing.B) {
+	g := matgen.Stiffness3D(20, 20, 20)
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Match(g, HEM, nil, r)
+	}
+}
+
+func BenchmarkMatchParallel(b *testing.B) {
+	g := matgen.Stiffness3D(20, 20, 20)
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "workers=1", 4: "workers=4"}[workers], func(b *testing.B) {
+			r := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ParallelMatch(g, HEM, nil, r, workers)
+			}
+		})
+	}
+}
+
+func BenchmarkContract(b *testing.B) {
+	g := matgen.Stiffness3D(16, 16, 16)
+	match := Match(g, HEM, nil, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Contract(g, match, nil)
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mlpart/internal/coarsen"
+	"mlpart/internal/matgen"
+	"mlpart/internal/multilevel"
+	"mlpart/internal/refine"
+)
+
+// AblationRow is one configuration of an ablation sweep.
+type AblationRow struct {
+	Study  string // which knob is being varied
+	Config string // the knob's value
+	Graph  string
+	EC     int
+	Time   time.Duration
+}
+
+// Ablations sweeps the design choices DESIGN.md calls out, on the given
+// workloads at k parts: matching scheme (HEM vs RM), boundary refinement
+// (KLR vs BKLR), GGGP trial count, coarsest-graph size, the stop window x,
+// direct k-way vs recursive bisection, and k-way post-refinement.
+func Ablations(workloads []matgen.Named, k int, seed int64) []AblationRow {
+	var rows []AblationRow
+	run := func(study, config string, w matgen.Named, f func() int) {
+		t0 := time.Now()
+		ec := f()
+		rows = append(rows, AblationRow{
+			Study: study, Config: config, Graph: w.Name,
+			EC: ec, Time: time.Since(t0),
+		})
+	}
+	for _, w := range workloads {
+		g := w.Graph
+		part := func(o multilevel.Options) int {
+			res, err := multilevel.Partition(g, k, o)
+			if err != nil {
+				panic(err)
+			}
+			return res.EdgeCut
+		}
+		for _, s := range []coarsen.Scheme{coarsen.RM, coarsen.HEM} {
+			s := s
+			run("matching", s.String(), w, func() int {
+				return part(multilevel.Options{Seed: seed}.WithMatching(s))
+			})
+		}
+		for _, p := range []refine.Policy{refine.KLR, refine.BKLR} {
+			p := p
+			run("boundary", p.String(), w, func() int {
+				return part(multilevel.Options{Seed: seed}.WithRefinement(p))
+			})
+		}
+		for _, trials := range []int{1, 5, 10} {
+			trials := trials
+			run("gggp-trials", fmt.Sprintf("%d", trials), w, func() int {
+				return part(multilevel.Options{Seed: seed, InitTrials: trials})
+			})
+		}
+		for _, ct := range []int{50, 100, 200} {
+			ct := ct
+			run("coarsen-to", fmt.Sprintf("%d", ct), w, func() int {
+				return part(multilevel.Options{Seed: seed, CoarsenTo: ct})
+			})
+		}
+		for _, x := range []int{10, 50, 200} {
+			x := x
+			run("stop-window", fmt.Sprintf("%d", x), w, func() int {
+				return part(multilevel.Options{Seed: seed, StopWindow: x})
+			})
+		}
+		run("kway-scheme", "recursive", w, func() int {
+			return part(multilevel.Options{Seed: seed})
+		})
+		run("kway-scheme", "direct", w, func() int {
+			res, err := multilevel.PartitionKWay(g, k, multilevel.Options{Seed: seed})
+			if err != nil {
+				panic(err)
+			}
+			return res.EdgeCut
+		})
+		run("kway-refine", "off", w, func() int {
+			return part(multilevel.Options{Seed: seed})
+		})
+		run("kway-refine", "on", w, func() int {
+			return part(multilevel.Options{Seed: seed, KWayRefine: true})
+		})
+	}
+	return rows
+}
+
+// PrintAblations writes the ablation sweeps grouped by study.
+func PrintAblations(w io.Writer, rows []AblationRow) {
+	var studies []string
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if !seen[r.Study] {
+			seen[r.Study] = true
+			studies = append(studies, r.Study)
+		}
+	}
+	for _, study := range studies {
+		fmt.Fprintf(w, "\n--- ablation: %s ---\n", study)
+		fmt.Fprintf(w, "%-8s %-12s %10s %10s\n", "Graph", "Config", "EC", "Time")
+		for _, r := range rows {
+			if r.Study != study {
+				continue
+			}
+			fmt.Fprintf(w, "%-8s %-12s %10d %10s\n", r.Graph, r.Config, r.EC, secs(r.Time))
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mlpart/internal/coarsen"
+	"mlpart/internal/matgen"
+	"mlpart/internal/refine"
+)
+
+// tinySuite returns a 2-graph workload set small enough for unit tests.
+func tinySuite() []matgen.Named {
+	return matgen.Suite([]string{"4ELT", "BRCK"}, 0.03)
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows := Table2(tinySuite(), 8, 1)
+	if len(rows) != 2*4 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.EC32 <= 0 {
+			t.Errorf("%s/%v: nonpositive cut %d", r.Graph, r.Scheme, r.EC32)
+		}
+		if r.CTime <= 0 {
+			t.Errorf("%s/%v: no coarsening time recorded", r.Graph, r.Scheme)
+		}
+	}
+}
+
+func TestTable3NoRefinementWorseThanTable2(t *testing.T) {
+	ws := tinySuite()
+	refined := Table2(ws, 8, 2)
+	raw := Table3(ws, 8, 2)
+	// Per (graph, scheme), the unrefined cut must be >= the refined cut.
+	key := func(r MatchingRow) string { return r.Graph + "/" + r.Scheme.String() }
+	ref := map[string]int{}
+	for _, r := range refined {
+		ref[key(r)] = r.EC32
+	}
+	for _, r := range raw {
+		if r.EC32 < ref[key(r)] {
+			t.Errorf("%s: unrefined cut %d < refined %d", key(r), r.EC32, ref[key(r)])
+		}
+	}
+}
+
+func TestTable3LEMWorstUnrefined(t *testing.T) {
+	// The paper's Table 3 shows LEM's unrefined cuts far above HEM's.
+	// Check in aggregate over the tiny suite.
+	rows := Table3(tinySuite(), 8, 3)
+	sum := map[coarsen.Scheme]int{}
+	for _, r := range rows {
+		sum[r.Scheme] += r.EC32
+	}
+	if sum[coarsen.LEM] <= sum[coarsen.HEM] {
+		t.Errorf("LEM unrefined total %d not worse than HEM %d", sum[coarsen.LEM], sum[coarsen.HEM])
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	rows := Table4(tinySuite(), 8, 4)
+	if len(rows) != 2*5 {
+		t.Fatalf("got %d rows, want 10", len(rows))
+	}
+	byPolicy := map[refine.Policy][]RefineRow{}
+	for _, r := range rows {
+		if r.EC32 <= 0 {
+			t.Errorf("%s/%v: nonpositive cut", r.Graph, r.Policy)
+		}
+		byPolicy[r.Policy] = append(byPolicy[r.Policy], r)
+	}
+	// Every policy produced a row per graph.
+	for p, rs := range byPolicy {
+		if len(rs) != 2 {
+			t.Errorf("%v: %d rows", p, len(rs))
+		}
+	}
+}
+
+func TestCutRatiosAgainstAllBaselines(t *testing.T) {
+	ws := matgen.Suite([]string{"4ELT"}, 0.03)
+	for _, b := range []Baseline{MSB, MSBKL, ChacoML} {
+		rows := CutRatios(ws, []int{4, 8}, b, 5)
+		if len(rows) != 2 {
+			t.Fatalf("%v: got %d rows", b, len(rows))
+		}
+		for _, r := range rows {
+			if r.Ratio <= 0 || r.OurCut <= 0 || r.BaseCut <= 0 {
+				t.Errorf("%v/%s/k=%d: degenerate row %+v", b, r.Graph, r.K, r)
+			}
+			// The shapes the paper reports: our cuts competitive (allow
+			// generous 1.5x headroom at tiny scale).
+			if r.Ratio > 1.5 {
+				t.Errorf("%v/%s/k=%d: ratio %.2f far above baseline", b, r.Graph, r.K, r.Ratio)
+			}
+		}
+	}
+}
+
+func TestRuntimesRecorded(t *testing.T) {
+	ws := matgen.Suite([]string{"4ELT"}, 0.03)
+	rows := Runtimes(ws, 8, 6)
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r := rows[0]
+	if r.Our <= 0 || r.MSB <= 0 || r.MSBKL <= 0 || r.ChacoML <= 0 {
+		t.Fatalf("missing timings: %+v", r)
+	}
+	if r.RelMSB <= 0 || r.RelMSBKL <= 0 || r.RelChaco <= 0 {
+		t.Fatalf("missing ratios: %+v", r)
+	}
+}
+
+func TestOrderingRows(t *testing.T) {
+	ws := matgen.Suite([]string{"LS34", "BC28"}, 0.03)
+	rows := Ordering(ws, 7)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MLNDFlops <= 0 || r.MMDFlops <= 0 || r.SNDFlops <= 0 {
+			t.Errorf("%s: nonpositive flops %+v", r.Graph, r)
+		}
+		if r.RatioMMD <= 0 || r.RatioSND <= 0 {
+			t.Errorf("%s: missing ratios", r.Graph)
+		}
+	}
+}
+
+func TestSubsetNamesAreGeneratable(t *testing.T) {
+	all := map[string]bool{}
+	for _, n := range matgen.AllNames() {
+		all[n] = true
+	}
+	for _, set := range [][]string{Table2Names(), FigureNames(), OrderingNames()} {
+		for _, n := range set {
+			if !all[n] {
+				t.Errorf("subset name %q not generatable", n)
+			}
+		}
+	}
+}
+
+func TestPrinters(t *testing.T) {
+	ws := tinySuite()
+	var buf bytes.Buffer
+
+	PrintTable1(&buf, ws)
+	if !strings.Contains(buf.String(), "4ELT") {
+		t.Error("Table 1 output missing workload name")
+	}
+
+	buf.Reset()
+	PrintTable2(&buf, Table2(ws, 4, 8))
+	out := buf.String()
+	for _, want := range []string{"HEM", "LEM", "32EC", "CTime", "UTime", "BRCK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 output missing %q", want)
+		}
+	}
+
+	buf.Reset()
+	PrintTable3(&buf, Table3(ws, 4, 8))
+	if !strings.Contains(buf.String(), "HCM") {
+		t.Error("Table 3 output missing scheme header")
+	}
+
+	buf.Reset()
+	PrintTable4(&buf, Table4(ws, 4, 8))
+	for _, want := range []string{"BKLGR", "RTime"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table 4 output missing %q", want)
+		}
+	}
+
+	buf.Reset()
+	PrintCutRatios(&buf, CutRatios(ws[:1], []int{4}, ChacoML, 8))
+	if !strings.Contains(buf.String(), "Chaco-ML") {
+		t.Error("cut-ratio output missing baseline name")
+	}
+
+	buf.Reset()
+	PrintRuntimes(&buf, Runtimes(ws[:1], 4, 8))
+	if !strings.Contains(buf.String(), "MSB-KL") {
+		t.Error("runtime output missing column")
+	}
+
+	buf.Reset()
+	PrintOrdering(&buf, Ordering(ws[:1], 8))
+	if !strings.Contains(buf.String(), "TOTAL") {
+		t.Error("ordering output missing total row")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	ws := matgen.Suite([]string{"4ELT"}, 0.03)
+	rows := Ablations(ws, 8, 1)
+	studies := map[string]int{}
+	for _, r := range rows {
+		if r.EC <= 0 {
+			t.Errorf("%s/%s: nonpositive cut", r.Study, r.Config)
+		}
+		studies[r.Study]++
+	}
+	for _, want := range []string{"matching", "boundary", "gggp-trials", "coarsen-to", "stop-window", "kway-scheme", "kway-refine"} {
+		if studies[want] == 0 {
+			t.Errorf("study %q missing", want)
+		}
+	}
+	var buf bytes.Buffer
+	PrintAblations(&buf, rows)
+	if !strings.Contains(buf.String(), "ablation: matching") {
+		t.Error("ablation print missing header")
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mlpart/internal/coarsen"
+	"mlpart/internal/matgen"
+	"mlpart/internal/refine"
+)
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()) }
+
+// PrintTable1 writes the workload characteristics in the layout of the
+// paper's Table 1 (name, order, nonzeros, description).
+func PrintTable1(w io.Writer, workloads []matgen.Named) {
+	fmt.Fprintf(w, "%-8s %9s %10s  %s\n", "Name", "Order", "Nonzeros", "Description")
+	for _, wk := range workloads {
+		fmt.Fprintf(w, "%-8s %9d %10d  %s\n",
+			wk.Name, wk.Graph.NumVertices(), 2*wk.Graph.NumEdges(), wk.Class)
+	}
+}
+
+// PrintTable2 writes the matching-scheme comparison in the layout of the
+// paper's Table 2: one row per graph, one (32EC, CTime, UTime) column group
+// per scheme.
+func PrintTable2(w io.Writer, rows []MatchingRow) {
+	schemes := []coarsen.Scheme{coarsen.RM, coarsen.HEM, coarsen.LEM, coarsen.HCM}
+	fmt.Fprintf(w, "%-8s", "")
+	for _, s := range schemes {
+		fmt.Fprintf(w, " | %-26s", s)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s", "Graph")
+	for range schemes {
+		fmt.Fprintf(w, " | %8s %8s %8s", "32EC", "CTime", "UTime")
+	}
+	fmt.Fprintln(w)
+	byGraph := groupMatching(rows)
+	for _, g := range orderOf(rows) {
+		fmt.Fprintf(w, "%-8s", g)
+		for _, s := range schemes {
+			r := byGraph[g][s]
+			fmt.Fprintf(w, " | %8d %8s %8s", r.EC32, secs(r.CTime), secs(r.UTime))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintTable3 writes the no-refinement edge-cuts in the layout of the
+// paper's Table 3.
+func PrintTable3(w io.Writer, rows []MatchingRow) {
+	schemes := []coarsen.Scheme{coarsen.RM, coarsen.HEM, coarsen.LEM, coarsen.HCM}
+	fmt.Fprintf(w, "%-8s", "Graph")
+	for _, s := range schemes {
+		fmt.Fprintf(w, " %10s", s)
+	}
+	fmt.Fprintln(w)
+	byGraph := groupMatching(rows)
+	for _, g := range orderOf(rows) {
+		fmt.Fprintf(w, "%-8s", g)
+		for _, s := range schemes {
+			fmt.Fprintf(w, " %10d", byGraph[g][s].EC32)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintTable4 writes the refinement-policy comparison in the layout of the
+// paper's Table 4: one (32EC, RTime) column group per policy.
+func PrintTable4(w io.Writer, rows []RefineRow) {
+	policies := []refine.Policy{refine.GR, refine.KLR, refine.BGR, refine.BKLR, refine.BKLGR}
+	fmt.Fprintf(w, "%-8s", "")
+	for _, p := range policies {
+		fmt.Fprintf(w, " | %-17s", p)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s", "Graph")
+	for range policies {
+		fmt.Fprintf(w, " | %8s %8s", "32EC", "RTime")
+	}
+	fmt.Fprintln(w)
+	byGraph := map[string]map[refine.Policy]RefineRow{}
+	var order []string
+	for _, r := range rows {
+		if byGraph[r.Graph] == nil {
+			byGraph[r.Graph] = map[refine.Policy]RefineRow{}
+			order = append(order, r.Graph)
+		}
+		byGraph[r.Graph][r.Policy] = r
+	}
+	for _, g := range order {
+		fmt.Fprintf(w, "%-8s", g)
+		for _, p := range policies {
+			r := byGraph[g][p]
+			fmt.Fprintf(w, " | %8d %8s", r.EC32, secs(r.RTime))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintCutRatios writes the data series of Figures 1-3: the ratio of our
+// edge-cut to the baseline's, per graph and k (< 1.00 means our multilevel
+// algorithm wins, matching bars under the paper's baseline of 1.0).
+func PrintCutRatios(w io.Writer, rows []CutRatioRow) {
+	if len(rows) == 0 {
+		return
+	}
+	ks := []int{}
+	seen := map[int]bool{}
+	for _, r := range rows {
+		if !seen[r.K] {
+			seen[r.K] = true
+			ks = append(ks, r.K)
+		}
+	}
+	fmt.Fprintf(w, "Ratio of our edge-cut to %s (baseline 1.00; lower is better)\n", rows[0].Baseline)
+	fmt.Fprintf(w, "%-8s", "Graph")
+	for _, k := range ks {
+		fmt.Fprintf(w, " %14s", fmt.Sprintf("%d parts", k))
+	}
+	fmt.Fprintln(w)
+	byGraph := map[string]map[int]CutRatioRow{}
+	var order []string
+	for _, r := range rows {
+		if byGraph[r.Graph] == nil {
+			byGraph[r.Graph] = map[int]CutRatioRow{}
+			order = append(order, r.Graph)
+		}
+		byGraph[r.Graph][r.K] = r
+	}
+	for _, g := range order {
+		fmt.Fprintf(w, "%-8s", g)
+		for _, k := range ks {
+			fmt.Fprintf(w, " %14.2f", byGraph[g][k].Ratio)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintRuntimes writes the data series of Figure 4: baseline run times
+// relative to ours (higher means the baseline is slower).
+func PrintRuntimes(w io.Writer, rows []RuntimeRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Run time relative to our multilevel algorithm, %d-way partition\n", rows[0].K)
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s\n", "Graph", "Ours(s)", "Chaco-ML", "MSB", "MSB-KL")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %10.3f %10.2f %10.2f %10.2f\n",
+			r.Graph, r.Our.Seconds(), r.RelChaco, r.RelMSB, r.RelMSBKL)
+	}
+}
+
+// PrintOrdering writes the data series of Figure 5: MMD and SND operation
+// counts relative to MLND (> 1.00 means MLND produces the better ordering).
+func PrintOrdering(w io.Writer, rows []OrderingRow) {
+	fmt.Fprintf(w, "Operation count relative to MLND (baseline 1.00; higher favors MLND)\n")
+	fmt.Fprintf(w, "%-8s %9s %14s %9s %9s %8s %8s %8s %8s %8s\n",
+		"Graph", "N", "MLND ops", "MMD", "SND", "hML", "hMMD", "tML", "tMMD", "tSND")
+	var totML, totMMD, totSND float64
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %9d %14.4g %9.2f %9.2f %8d %8d %8s %8s %8s\n",
+			r.Graph, r.N, r.MLNDFlops, r.RatioMMD, r.RatioSND, r.MLNDHeight, r.MMDHeight,
+			secs(r.MLNDTime), secs(r.MMDTime), secs(r.SNDTime))
+		totML += r.MLNDFlops
+		totMMD += r.MMDFlops
+		totSND += r.SNDFlops
+	}
+	fmt.Fprintf(w, "%-8s %9s %14.4g %9.2f %9.2f\n",
+		"TOTAL", "", totML, totMMD/totML, totSND/totML)
+}
+
+func groupMatching(rows []MatchingRow) map[string]map[coarsen.Scheme]MatchingRow {
+	byGraph := map[string]map[coarsen.Scheme]MatchingRow{}
+	for _, r := range rows {
+		if byGraph[r.Graph] == nil {
+			byGraph[r.Graph] = map[coarsen.Scheme]MatchingRow{}
+		}
+		byGraph[r.Graph][r.Scheme] = r
+	}
+	return byGraph
+}
+
+func orderOf(rows []MatchingRow) []string {
+	var order []string
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if !seen[r.Graph] {
+			seen[r.Graph] = true
+			order = append(order, r.Graph)
+		}
+	}
+	return order
+}

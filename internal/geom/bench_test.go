@@ -1,0 +1,27 @@
+package geom
+
+import (
+	"testing"
+
+	"mlpart/internal/matgen"
+)
+
+func BenchmarkRCB(b *testing.B) {
+	g, pts := matgen.GeoMesh2D(60, 60, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RCB(g, pts, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInertial(b *testing.B) {
+	g, pts := matgen.GeoMesh2D(60, 60, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Inertial(g, pts, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

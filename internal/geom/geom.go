@@ -1,0 +1,161 @@
+// Package geom implements the coordinate-based partitioning algorithms the
+// paper discusses as the fast-but-lower-quality alternative to spectral
+// methods (§1): recursive coordinate bisection (RCB) and inertial
+// bisection. They only apply when vertex coordinates exist — the paper's
+// point being that linear-programming and circuit graphs have none, which
+// is exactly where the multilevel scheme is needed. Here they serve as
+// baselines on the mesh workloads.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mlpart/internal/graph"
+	"mlpart/internal/matgen"
+)
+
+// RCB partitions g into k parts by recursive coordinate bisection: at each
+// step the current set of vertices is split at the weighted median of its
+// widest coordinate. pts must have one entry per vertex.
+func RCB(g *graph.Graph, pts []matgen.Point, k int) ([]int, error) {
+	return recurseGeo(g, pts, k, splitWidestDim)
+}
+
+// Inertial partitions g into k parts by recursive inertial bisection: each
+// set is split at the weighted median of the projection onto its principal
+// axis (the dominant eigenvector of the coordinate covariance), which
+// adapts to geometries not aligned with the axes.
+func Inertial(g *graph.Graph, pts []matgen.Point, k int) ([]int, error) {
+	return recurseGeo(g, pts, k, splitPrincipalAxis)
+}
+
+// splitter orders the index subset ids so that a prefix forms one side.
+type splitter func(pts []matgen.Point, ids []int)
+
+func recurseGeo(g *graph.Graph, pts []matgen.Point, k int, split splitter) ([]int, error) {
+	n := g.NumVertices()
+	if len(pts) != n {
+		return nil, fmt.Errorf("geom: %d points for %d vertices", len(pts), n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("geom: k = %d", k)
+	}
+	where := make([]int, n)
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	var rec func(ids []int, k, base int)
+	rec = func(ids []int, k, base int) {
+		if k <= 1 || len(ids) == 0 {
+			for _, v := range ids {
+				where[v] = base
+			}
+			return
+		}
+		kl := k / 2
+		split(pts, ids)
+		// Weighted prefix of kl/k of the total goes left.
+		tot := 0
+		for _, v := range ids {
+			tot += g.Vwgt[v]
+		}
+		target := tot * kl / k
+		acc, cut := 0, 0
+		for cut < len(ids) && acc < target {
+			acc += g.Vwgt[ids[cut]]
+			cut++
+		}
+		rec(ids[:cut], kl, base)
+		rec(ids[cut:], k-kl, base+kl)
+	}
+	rec(ids, k, 0)
+	return where, nil
+}
+
+// splitWidestDim sorts ids by the coordinate with the largest extent.
+func splitWidestDim(pts []matgen.Point, ids []int) {
+	min := [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+	max := [3]float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	for _, v := range ids {
+		c := coords(pts[v])
+		for d := 0; d < 3; d++ {
+			if c[d] < min[d] {
+				min[d] = c[d]
+			}
+			if c[d] > max[d] {
+				max[d] = c[d]
+			}
+		}
+	}
+	dim := 0
+	for d := 1; d < 3; d++ {
+		if max[d]-min[d] > max[dim]-min[dim] {
+			dim = d
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := coords(pts[ids[i]]), coords(pts[ids[j]])
+		if a[dim] != b[dim] {
+			return a[dim] < b[dim]
+		}
+		return ids[i] < ids[j]
+	})
+}
+
+// splitPrincipalAxis sorts ids by their projection onto the dominant
+// eigenvector of the coordinate covariance matrix (found by power
+// iteration, which is exact enough for a median split).
+func splitPrincipalAxis(pts []matgen.Point, ids []int) {
+	var mean [3]float64
+	for _, v := range ids {
+		c := coords(pts[v])
+		for d := 0; d < 3; d++ {
+			mean[d] += c[d]
+		}
+	}
+	for d := 0; d < 3; d++ {
+		mean[d] /= float64(len(ids))
+	}
+	var cov [3][3]float64
+	for _, v := range ids {
+		c := coords(pts[v])
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				cov[a][b] += (c[a] - mean[a]) * (c[b] - mean[b])
+			}
+		}
+	}
+	// Power iteration with a deterministic start.
+	dir := [3]float64{1, 0.7, 0.4}
+	for it := 0; it < 30; it++ {
+		var next [3]float64
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				next[a] += cov[a][b] * dir[b]
+			}
+		}
+		nrm := math.Sqrt(next[0]*next[0] + next[1]*next[1] + next[2]*next[2])
+		if nrm < 1e-12 {
+			break // degenerate geometry; keep previous direction
+		}
+		for d := 0; d < 3; d++ {
+			dir[d] = next[d] / nrm
+		}
+	}
+	proj := func(v int) float64 {
+		c := coords(pts[v])
+		return c[0]*dir[0] + c[1]*dir[1] + c[2]*dir[2]
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := proj(ids[i]), proj(ids[j])
+		if a != b {
+			return a < b
+		}
+		return ids[i] < ids[j]
+	})
+}
+
+func coords(p matgen.Point) [3]float64 { return [3]float64{p.X, p.Y, p.Z} }

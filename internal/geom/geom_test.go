@@ -1,0 +1,171 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mlpart/internal/graph"
+	"mlpart/internal/matgen"
+	"mlpart/internal/multilevel"
+	"mlpart/internal/refine"
+)
+
+func checkPartition(t *testing.T, where []int, k, n int) {
+	t.Helper()
+	if len(where) != n {
+		t.Fatalf("len(where) = %d, want %d", len(where), n)
+	}
+	counts := make([]int, k)
+	for _, p := range where {
+		if p < 0 || p >= k {
+			t.Fatalf("part %d out of range", p)
+		}
+		counts[p]++
+	}
+	avg := n / k
+	for p, c := range counts {
+		if c < avg/2 || c > avg*2 {
+			t.Errorf("part %d has %d vertices, avg %d", p, c, avg)
+		}
+	}
+}
+
+func TestRCBOnMesh(t *testing.T) {
+	g, pts := matgen.GeoMesh2D(24, 24, 1)
+	where, err := RCB(g, pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, where, 8, g.NumVertices())
+	// Geometric bisection of a mesh must beat a random partition by far.
+	cut := refine.ComputeCut(g, where)
+	if cut > g.NumEdges()/4 {
+		t.Errorf("RCB cut %d of %d edges", cut, g.NumEdges())
+	}
+}
+
+func TestInertialOnMesh(t *testing.T) {
+	g, pts := matgen.GeoMesh2D(24, 24, 2)
+	where, err := Inertial(g, pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, where, 8, g.NumVertices())
+	cut := refine.ComputeCut(g, where)
+	if cut > g.NumEdges()/4 {
+		t.Errorf("inertial cut %d of %d edges", cut, g.NumEdges())
+	}
+}
+
+func TestGeo3D(t *testing.T) {
+	g, pts := matgen.GeoMesh3D(8, 8, 8, 3)
+	whereRCB, err := RCB(g, pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, whereRCB, 4, g.NumVertices())
+	whereIn, err := Inertial(g, pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, whereIn, 4, g.NumVertices())
+}
+
+func TestMultilevelBeatsGeometric(t *testing.T) {
+	// The paper's §1 claim: geometric partitioners are fast but "often
+	// yield partitions that are worse than those obtained by spectral
+	// methods" — and worse than the multilevel scheme. Check in aggregate.
+	geoTotal, mlTotal := 0, 0
+	for seed := int64(0); seed < 4; seed++ {
+		g, pts := matgen.GeoMesh2D(30, 30, seed)
+		where, err := RCB(g, pts, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		geoTotal += refine.ComputeCut(g, where)
+		res, err := multilevel.Partition(g, 16, multilevel.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mlTotal += res.EdgeCut
+	}
+	if mlTotal >= geoTotal {
+		t.Errorf("multilevel total %d not better than RCB total %d", mlTotal, geoTotal)
+	}
+}
+
+func TestGeomErrors(t *testing.T) {
+	g, pts := matgen.GeoMesh2D(4, 4, 4)
+	if _, err := RCB(g, pts[:3], 2); err == nil {
+		t.Error("point/vertex mismatch accepted")
+	}
+	if _, err := RCB(g, pts, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestRCBDeterministic(t *testing.T) {
+	g, pts := matgen.GeoMesh2D(10, 10, 5)
+	a, _ := RCB(g, pts, 8)
+	b, _ := RCB(g, pts, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RCB not deterministic")
+		}
+	}
+}
+
+// Property: both geometric methods always produce complete partitions with
+// every part nonempty on meshes.
+func TestGeomPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g, pts := matgen.GeoMesh2D(12, 12, seed)
+		for _, k := range []int{2, 3, 5, 8} {
+			for _, fn := range []func(*graph.Graph, []matgen.Point, int) ([]int, error){RCB, Inertial} {
+				where, err := fn(g, pts, k)
+				if err != nil {
+					return false
+				}
+				counts := make([]int, k)
+				for _, p := range where {
+					if p < 0 || p >= k {
+						return false
+					}
+					counts[p]++
+				}
+				for _, c := range counts {
+					if c == 0 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometricOnTrueDelaunayMesh(t *testing.T) {
+	// A true unstructured Delaunay mesh (the paper's 4ELT class): both
+	// geometric methods and the multilevel scheme should find sqrt(n)-like
+	// cuts; multilevel should win or tie.
+	g, pts := matgen.DelaunayMesh(1500, 4)
+	rcb, err := RCB(g, pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := multilevel.Partition(g, 8, multilevel.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcbCut := refine.ComputeCut(g, rcb)
+	if res.EdgeCut > rcbCut {
+		t.Errorf("multilevel cut %d worse than RCB %d on a Delaunay mesh", res.EdgeCut, rcbCut)
+	}
+	// Both should be far below a random partition's ~ (7/8)m expectation.
+	if rcbCut > g.NumEdges()/3 {
+		t.Errorf("RCB cut %d of %d edges", rcbCut, g.NumEdges())
+	}
+}

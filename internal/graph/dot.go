@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT encodes g in Graphviz DOT format for visualization. When
+// `where` is non-nil it must assign a part id to every vertex; vertices
+// are then colored by part (cycling through a small palette) and cut
+// edges drawn dashed. Intended for small graphs and documentation — DOT
+// rendering does not scale to the workloads the partitioner targets.
+func WriteDOT(w io.Writer, g *Graph, where []int) error {
+	if where != nil && len(where) != g.NumVertices() {
+		return fmt.Errorf("graph: len(where) = %d, want %d", len(where), g.NumVertices())
+	}
+	palette := []string{
+		"lightblue", "lightcoral", "palegreen", "khaki",
+		"plum", "lightsalmon", "paleturquoise", "lightpink",
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph G {")
+	fmt.Fprintln(bw, "  node [shape=circle, style=filled];")
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		if where != nil {
+			fmt.Fprintf(bw, "  %d [fillcolor=%q];\n", v, palette[where[v]%len(palette)])
+		} else {
+			fmt.Fprintf(bw, "  %d;\n", v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		adj := g.Neighbors(v)
+		wgt := g.EdgeWeights(v)
+		for i, u := range adj {
+			if u < v {
+				continue // each undirected edge once
+			}
+			attrs := ""
+			if wgt[i] != 1 {
+				attrs = fmt.Sprintf(" [label=%d]", wgt[i])
+			}
+			if where != nil && where[u] != where[v] {
+				if attrs == "" {
+					attrs = " [style=dashed]"
+				} else {
+					attrs = fmt.Sprintf(" [label=%d, style=dashed]", wgt[i])
+				}
+			}
+			fmt.Fprintf(bw, "  %d -- %d%s;\n", v, u, attrs)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that the METIS-format reader never panics and that any
+// graph it accepts passes validation and round-trips through Write.
+func FuzzRead(f *testing.F) {
+	f.Add("3 2\n2\n1 3\n2\n")
+	f.Add("2 1 001\n2 5\n1 5\n")
+	f.Add("3 2 010\n4 2\n1 1 3\n9 2\n")
+	f.Add("% comment\n1 0\n\n")
+	f.Add("0 0\n")
+	f.Add("2 1\n2\n1\nextra\n")
+	f.Add("-1 -1\n")
+	f.Add("2 1 11\n2 3\n1 3\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := Read(strings.NewReader(in))
+		if err != nil {
+			return // rejecting is always fine
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted invalid graph: %v\ninput: %q", verr, in)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("write failed: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip read failed: %v\noutput: %q", err, buf.String())
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed size: %v vs %v", g, g2)
+		}
+	})
+}
+
+// FuzzReadMatrixMarket checks the MatrixMarket reader never panics and any
+// accepted graph validates.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 -3.5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n2 3\n")
+	f.Add("%%MatrixMarket matrix coordinate integer symmetric\n1 1 1\n1 1 4\n")
+	f.Add("garbage")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 2 9\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadMatrixMarket(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted invalid graph: %v\ninput: %q", verr, in)
+		}
+	})
+}

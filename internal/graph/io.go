@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The METIS graph file format, as read and written here:
+//
+//	% comment lines start with '%'
+//	<n> <m> [fmt [ncon]]
+//	<line for vertex 1>
+//	...
+//
+// fmt is a 3-digit flag string: the hundreds digit enables vertex sizes
+// (unsupported, rejected), the tens digit enables vertex weights, the ones
+// digit enables edge weights. Vertices are 1-indexed in the file and
+// 0-indexed in the Graph.
+
+// Write encodes g in METIS graph format. Vertex weights are emitted only
+// when some weight differs from 1; likewise for edge weights.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	n := g.NumVertices()
+	hasVwgt := false
+	for _, vw := range g.Vwgt {
+		if vw != 1 {
+			hasVwgt = true
+			break
+		}
+	}
+	hasEwgt := false
+	for _, ew := range g.Adjwgt {
+		if ew != 1 {
+			hasEwgt = true
+			break
+		}
+	}
+	format := ""
+	switch {
+	case hasVwgt && hasEwgt:
+		format = " 011"
+	case hasVwgt:
+		format = " 010"
+	case hasEwgt:
+		format = " 001"
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d%s\n", n, g.NumEdges(), format); err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		first := true
+		if hasVwgt {
+			fmt.Fprintf(bw, "%d", g.Vwgt[v])
+			first = false
+		}
+		adj := g.Neighbors(v)
+		wgt := g.EdgeWeights(v)
+		for i, u := range adj {
+			if !first {
+				bw.WriteByte(' ')
+			}
+			first = false
+			fmt.Fprintf(bw, "%d", u+1)
+			if hasEwgt {
+				fmt.Fprintf(bw, " %d", wgt[i])
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a graph in METIS graph format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line, err := nextDataLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graph: missing header: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields) > 4 {
+		return nil, fmt.Errorf("graph: bad header %q", line)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("graph: bad vertex count %q", fields[0])
+	}
+	m, err := strconv.Atoi(fields[1])
+	if err != nil || m < 0 {
+		return nil, fmt.Errorf("graph: bad edge count %q", fields[1])
+	}
+	hasVwgt, hasEwgt := false, false
+	if len(fields) >= 3 {
+		f := fields[2]
+		if len(f) > 3 {
+			return nil, fmt.Errorf("graph: bad format field %q", f)
+		}
+		for len(f) < 3 {
+			f = "0" + f
+		}
+		if f[0] != '0' {
+			return nil, fmt.Errorf("graph: vertex sizes (fmt %q) not supported", fields[2])
+		}
+		hasVwgt = f[1] == '1'
+		hasEwgt = f[2] == '1'
+	}
+	if len(fields) == 4 && fields[3] != "1" {
+		return nil, fmt.Errorf("graph: ncon=%s not supported", fields[3])
+	}
+
+	xadj := make([]int, 1, n+1)
+	adjncy := make([]int, 0, 2*m)
+	adjwgt := make([]int, 0, 2*m)
+	vwgt := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		line, err := nextVertexLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("graph: missing line for vertex %d: %w", v+1, err)
+		}
+		toks := strings.Fields(line)
+		i := 0
+		if hasVwgt {
+			if len(toks) == 0 {
+				return nil, fmt.Errorf("graph: vertex %d: missing weight", v+1)
+			}
+			w, err := strconv.Atoi(toks[0])
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("graph: vertex %d: bad weight %q", v+1, toks[0])
+			}
+			vwgt = append(vwgt, w)
+			i = 1
+		} else {
+			vwgt = append(vwgt, 1)
+		}
+		for i < len(toks) {
+			u, err := strconv.Atoi(toks[i])
+			if err != nil || u < 1 || u > n {
+				return nil, fmt.Errorf("graph: vertex %d: bad neighbor %q", v+1, toks[i])
+			}
+			i++
+			w := 1
+			if hasEwgt {
+				if i >= len(toks) {
+					return nil, fmt.Errorf("graph: vertex %d: missing edge weight", v+1)
+				}
+				w, err = strconv.Atoi(toks[i])
+				if err != nil || w <= 0 {
+					return nil, fmt.Errorf("graph: vertex %d: bad edge weight %q", v+1, toks[i])
+				}
+				i++
+			}
+			adjncy = append(adjncy, u-1)
+			adjwgt = append(adjwgt, w)
+		}
+		xadj = append(xadj, len(adjncy))
+	}
+	g := &Graph{Xadj: xadj, Adjncy: adjncy, Adjwgt: adjwgt, Vwgt: vwgt}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("graph: header declares %d edges, found %d", m, g.NumEdges())
+	}
+	return g, nil
+}
+
+// nextDataLine returns the next non-blank, non-comment line; used for the
+// header, where blank lines carry no meaning.
+func nextDataLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+// nextVertexLine returns the next non-comment line, preserving blank lines,
+// which denote vertices with no neighbors.
+func nextVertexLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ReadMatrixMarket decodes the adjacency structure of a sparse matrix in
+// Matrix Market coordinate format ("%%MatrixMarket matrix coordinate ...").
+// The matrix must be square; the graph has an edge (i, j) for every
+// off-diagonal structural nonzero. Diagonal entries are ignored, explicit
+// duplicate entries merge, and for "general" symmetry entries (i, j) and
+// (j, i) are folded together (the pattern is symmetrized, as partitioners
+// require). Numeric values, when present, are rounded to positive integer
+// edge weights (|v| rounded up, minimum 1); pattern files get unit weights.
+func ReadMatrixMarket(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("graph: not a MatrixMarket matrix header: %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("graph: only coordinate format supported, got %q", header[2])
+	}
+	field := header[3]
+	switch field {
+	case "real", "integer", "pattern":
+	case "complex":
+		return nil, fmt.Errorf("graph: complex matrices not supported")
+	default:
+		return nil, fmt.Errorf("graph: unknown field %q", field)
+	}
+	symmetry := "general"
+	if len(header) >= 5 {
+		symmetry = header[4]
+	}
+	switch symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	case "hermitian":
+		return nil, fmt.Errorf("graph: hermitian matrices not supported")
+	default:
+		return nil, fmt.Errorf("graph: unknown symmetry %q", symmetry)
+	}
+
+	line, err := nextDataLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graph: missing size line: %w", err)
+	}
+	dims := strings.Fields(line)
+	if len(dims) != 3 {
+		return nil, fmt.Errorf("graph: bad size line %q", line)
+	}
+	rows, err1 := strconv.Atoi(dims[0])
+	cols, err2 := strconv.Atoi(dims[1])
+	nnz, err3 := strconv.Atoi(dims[2])
+	if err1 != nil || err2 != nil || err3 != nil || rows < 0 || nnz < 0 {
+		return nil, fmt.Errorf("graph: bad size line %q", line)
+	}
+	if rows != cols {
+		return nil, fmt.Errorf("graph: matrix is %dx%d, want square", rows, cols)
+	}
+
+	b := NewBuilder(rows)
+	for e := 0; e < nnz; e++ {
+		line, err := nextDataLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("graph: missing entry %d of %d: %w", e+1, nnz, err)
+		}
+		toks := strings.Fields(line)
+		if len(toks) < 2 {
+			return nil, fmt.Errorf("graph: bad entry %q", line)
+		}
+		i, err1 := strconv.Atoi(toks[0])
+		j, err2 := strconv.Atoi(toks[1])
+		if err1 != nil || err2 != nil || i < 1 || i > rows || j < 1 || j > rows {
+			return nil, fmt.Errorf("graph: bad entry %q", line)
+		}
+		if i == j {
+			continue // diagonal carries no adjacency
+		}
+		w := 1
+		if field != "pattern" && len(toks) >= 3 {
+			v, err := strconv.ParseFloat(toks[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad value in entry %q", line)
+			}
+			w = int(math.Ceil(math.Abs(v)))
+			if w < 1 {
+				w = 1
+			}
+		}
+		b.AddWeightedEdge(i-1, j-1, w)
+	}
+	// Note: a "general" file storing both triangles folds (i,j) and (j,i)
+	// together, which doubles those edge weights; callers wanting exact
+	// weights should store one triangle. The structure is correct either way.
+	return b.Build()
+}
+
+// WriteMatrixMarket encodes g as a symmetric integer MatrixMarket
+// coordinate file with unit diagonal entries omitted; only the lower
+// triangle is stored, as the symmetric qualifier requires.
+func WriteMatrixMarket(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	n := g.NumVertices()
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate integer symmetric\n"); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "%d %d %d\n", n, n, g.NumEdges())
+	for v := 0; v < n; v++ {
+		adj := g.Neighbors(v)
+		wgt := g.EdgeWeights(v)
+		for i, u := range adj {
+			if u < v { // lower triangle: row index > column index
+				fmt.Fprintf(bw, "%d %d %d\n", v+1, u+1, wgt[i])
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% a 3x3 tridiagonal matrix
+3 3 5
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 2 -1.0
+3 3 2.0
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d, want 3, 2", g.NumVertices(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || g.HasEdge(0, 2) {
+		t.Fatal("wrong adjacency")
+	}
+	if g.EdgeWeight(0, 1) != 1 {
+		t.Fatalf("weight %d, want 1 (|-1| rounded)", g.EdgeWeight(0, 1))
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern symmetric\n4 4 3\n2 1\n3 1\n4 3\n"
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("m = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestReadMatrixMarketGeneralFoldsSymmetric(t *testing.T) {
+	// General matrix storing both triangles: structure symmetrized.
+	in := "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n"
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 || !g.HasEdge(0, 1) {
+		t.Fatalf("fold failed: m=%d", g.NumEdges())
+	}
+}
+
+func TestReadMatrixMarketRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n", // array format
+		"%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 3 0\n",          // non-square
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n9 1 1\n",   // out of range
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1.0\n", // missing entry
+		"not a header\n",
+	}
+	for i, s := range bad {
+		if _, err := ReadMatrixMarket(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(1, 2, 3)
+	b.AddWeightedEdge(3, 4, 1)
+	b.AddWeightedEdge(0, 4, 7)
+	g := b.MustBuild()
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 5 || g2.NumEdges() != 4 {
+		t.Fatalf("round trip: n=%d m=%d", g2.NumVertices(), g2.NumEdges())
+	}
+	for v := 0; v < 5; v++ {
+		adj := g.Neighbors(v)
+		wgt := g.EdgeWeights(v)
+		for i, u := range adj {
+			if g2.EdgeWeight(v, u) != wgt[i] {
+				t.Fatalf("weight of (%d,%d) changed", v, u)
+			}
+		}
+	}
+}
+
+func TestReadMatrixMarketIgnoresDiagonal(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 2\n1 1\n2 1\n"
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("m = %d, want 1 (diagonal ignored)", g.NumEdges())
+	}
+}

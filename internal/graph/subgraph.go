@@ -1,0 +1,58 @@
+package graph
+
+// Subgraph extracts the induced subgraph over the vertices v with
+// keep[v] == true. It returns the subgraph and the mapping local2global,
+// where local2global[i] is the original id of subgraph vertex i. Edges
+// with exactly one endpoint inside are dropped (they are the cut edges).
+func (g *Graph) Subgraph(keep []bool) (*Graph, []int) {
+	n := g.NumVertices()
+	local2global := make([]int, 0)
+	global2local := make([]int, n)
+	for v := 0; v < n; v++ {
+		if keep[v] {
+			global2local[v] = len(local2global)
+			local2global = append(local2global, v)
+		} else {
+			global2local[v] = -1
+		}
+	}
+	sn := len(local2global)
+	xadj := make([]int, sn+1)
+	for i, v := range local2global {
+		d := 0
+		for _, u := range g.Neighbors(v) {
+			if keep[u] {
+				d++
+			}
+		}
+		xadj[i+1] = xadj[i] + d
+	}
+	adjncy := make([]int, xadj[sn])
+	adjwgt := make([]int, xadj[sn])
+	vwgt := make([]int, sn)
+	for i, v := range local2global {
+		vwgt[i] = g.Vwgt[v]
+		p := xadj[i]
+		adj := g.Neighbors(v)
+		wgt := g.EdgeWeights(v)
+		for j, u := range adj {
+			if keep[u] {
+				adjncy[p] = global2local[u]
+				adjwgt[p] = wgt[j]
+				p++
+			}
+		}
+	}
+	return &Graph{Xadj: xadj, Adjncy: adjncy, Adjwgt: adjwgt, Vwgt: vwgt}, local2global
+}
+
+// PartSubgraph extracts the induced subgraph over vertices with
+// where[v] == part. See Subgraph for the return values.
+func (g *Graph) PartSubgraph(where []int, part int) (*Graph, []int) {
+	n := g.NumVertices()
+	keep := make([]bool, n)
+	for v := 0; v < n; v++ {
+		keep[v] = where[v] == part
+	}
+	return g.Subgraph(keep)
+}

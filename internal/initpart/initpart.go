@@ -1,0 +1,236 @@
+// Package initpart implements the partitioning phase of the multilevel
+// scheme (§3.2 of the paper): computing a bisection of the small coarsest
+// graph. Three algorithms are provided — spectral bisection (SBP), graph
+// growing (GGP) and greedy graph growing (GGGP) — plus a random split used
+// as a control. GGP and GGGP are randomized and run multiple trials,
+// keeping the best; the paper uses 10 trials for GGP and 5 for GGGP.
+package initpart
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlpart/internal/graph"
+	"mlpart/internal/refine"
+	"mlpart/internal/spectral"
+)
+
+// Method selects the coarse-graph bisection algorithm.
+type Method int
+
+const (
+	// GGGP grows a region from a random vertex, always absorbing the
+	// boundary vertex that least increases the edge-cut. The paper finds
+	// it consistently best and selects it for all experiments.
+	GGGP Method = iota
+	// GGP grows a region breadth-first from a random vertex until half the
+	// vertex weight is absorbed.
+	GGP
+	// SBP computes the Fiedler vector of the coarse graph by Lanczos and
+	// splits at the weighted median.
+	SBP
+	// RandomPart assigns vertices randomly subject to the weight target
+	// (control only).
+	RandomPart
+)
+
+// String returns the method's abbreviation as used in the paper.
+func (m Method) String() string {
+	switch m {
+	case GGGP:
+		return "GGGP"
+	case GGP:
+		return "GGP"
+	case SBP:
+		return "SBP"
+	case RandomPart:
+		return "RAND"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// ParseMethod converts an abbreviation to a Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "GGGP":
+		return GGGP, nil
+	case "GGP":
+		return GGP, nil
+	case "SBP":
+		return SBP, nil
+	case "RAND":
+		return RandomPart, nil
+	}
+	return 0, fmt.Errorf("initpart: unknown method %q", s)
+}
+
+// Options configures the initial partitioning.
+type Options struct {
+	Method Method
+	// Trials is the number of random starts for GGP/GGGP; 0 means the
+	// paper's defaults (10 for GGP, 5 for GGGP, 1 otherwise).
+	Trials int
+	// TargetPwgt0 is the desired weight of part 0; 0 means half the total.
+	TargetPwgt0 int
+}
+
+func (o Options) withDefaults(g *graph.Graph) Options {
+	if o.Trials <= 0 {
+		switch o.Method {
+		case GGP:
+			o.Trials = 10
+		case GGGP:
+			o.Trials = 5
+		default:
+			o.Trials = 1
+		}
+	}
+	if o.TargetPwgt0 <= 0 {
+		o.TargetPwgt0 = g.TotalVertexWeight() / 2
+	}
+	return o
+}
+
+// Partition bisects g, returning refinement-ready state. Multiple trials
+// are run per Options and the smallest cut wins (ties broken by balance).
+func Partition(g *graph.Graph, opts Options, rng *rand.Rand) *refine.Bisection {
+	opts = opts.withDefaults(g)
+	n := g.NumVertices()
+	if n == 0 {
+		return refine.NewBisection(g, nil)
+	}
+	var best *refine.Bisection
+	for trial := 0; trial < opts.Trials; trial++ {
+		var b *refine.Bisection
+		switch opts.Method {
+		case GGP:
+			b = growBFS(g, opts.TargetPwgt0, rng)
+		case GGGP:
+			b = growGreedy(g, opts.TargetPwgt0, rng)
+		case SBP:
+			vec := spectral.Fiedler(g, n-1, nil, rng)
+			b = refine.NewBisection(g, spectral.SplitAtMedian(g, vec, opts.TargetPwgt0))
+		case RandomPart:
+			b = randomSplit(g, opts.TargetPwgt0, rng)
+		default:
+			panic(fmt.Sprintf("initpart: invalid method %d", opts.Method))
+		}
+		if best == nil || b.Cut < best.Cut ||
+			(b.Cut == best.Cut && absInt(b.Pwgt[0]-opts.TargetPwgt0) < absInt(best.Pwgt[0]-opts.TargetPwgt0)) {
+			best = b
+		}
+	}
+	return best
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// growBFS is GGP: breadth-first region growing from a random seed until
+// part 0 reaches the target weight. Disconnected remainders are handled by
+// reseeding from an unvisited vertex.
+func growBFS(g *graph.Graph, target0 int, rng *rand.Rand) *refine.Bisection {
+	n := g.NumVertices()
+	where := make([]int, n)
+	for i := range where {
+		where[i] = 1
+	}
+	visited := make([]bool, n)
+	queue := make([]int, 0, n)
+	acc := 0
+	seed := rng.Intn(n)
+	visited[seed] = true
+	queue = append(queue, seed)
+	nextProbe := 0
+	for acc < target0 {
+		if len(queue) == 0 {
+			// Component exhausted; reseed deterministically.
+			for nextProbe < n && visited[nextProbe] {
+				nextProbe++
+			}
+			if nextProbe >= n {
+				break
+			}
+			visited[nextProbe] = true
+			queue = append(queue, nextProbe)
+		}
+		v := queue[0]
+		queue = queue[1:]
+		where[v] = 0
+		acc += g.Vwgt[v]
+		for _, u := range g.Neighbors(v) {
+			if !visited[u] {
+				visited[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return refine.NewBisection(g, where)
+}
+
+// growGreedy is GGGP: region growing where the next vertex absorbed is the
+// frontier vertex whose move into the region least increases the cut
+// (equivalently, has maximum gain). Implemented directly on the refinement
+// state: all vertices start in part 1, and the frontier is the set of
+// part-1 vertices adjacent to part 0.
+func growGreedy(g *graph.Graph, target0 int, rng *rand.Rand) *refine.Bisection {
+	n := g.NumVertices()
+	where := make([]int, n)
+	for i := range where {
+		where[i] = 1
+	}
+	b := refine.NewBisection(g, where)
+	bk := refine.NewGainBuckets(n, g.MaxWeightedDegree())
+	onGainChange := func(u int) {
+		if b.Where[u] != 1 {
+			return
+		}
+		if bk.Contains(u) {
+			bk.Update(u, b.Gain(u))
+		} else if b.IsBoundary(u) {
+			bk.Insert(u, b.Gain(u))
+		}
+	}
+	seed := rng.Intn(n)
+	nextProbe := 0
+	b.Move(seed, onGainChange)
+	for b.Pwgt[0] < target0 {
+		v, ok := bk.PopMax()
+		if !ok {
+			// Frontier exhausted (disconnected graph); reseed.
+			for nextProbe < n && b.Where[nextProbe] != 1 {
+				nextProbe++
+			}
+			if nextProbe >= n {
+				break
+			}
+			b.Move(nextProbe, onGainChange)
+			continue
+		}
+		b.Move(v, onGainChange)
+	}
+	return b
+}
+
+// randomSplit assigns random vertices to part 0 until the target is met.
+func randomSplit(g *graph.Graph, target0 int, rng *rand.Rand) *refine.Bisection {
+	n := g.NumVertices()
+	where := make([]int, n)
+	for i := range where {
+		where[i] = 1
+	}
+	perm := rng.Perm(n)
+	acc := 0
+	for _, v := range perm {
+		if acc >= target0 {
+			break
+		}
+		where[v] = 0
+		acc += g.Vwgt[v]
+	}
+	return refine.NewBisection(g, where)
+}

@@ -1,0 +1,159 @@
+package initpart
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlpart/internal/graph"
+	"mlpart/internal/matgen"
+	"mlpart/internal/refine"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func allMethods() []Method { return []Method{GGGP, GGP, SBP, RandomPart} }
+
+func TestPartitionBalance(t *testing.T) {
+	g := matgen.Mesh2DTri(15, 15, 0, 1)
+	tot := g.TotalVertexWeight()
+	for _, m := range allMethods() {
+		b := Partition(g, Options{Method: m}, rng(2))
+		if err := b.Verify(); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		// Balance within one max vertex weight of half.
+		if b.Pwgt[0] < tot/2-2 || b.Pwgt[0] > tot/2+2 {
+			t.Errorf("%v: pwgt0 = %d, want ~%d", m, b.Pwgt[0], tot/2)
+		}
+	}
+}
+
+func TestGrowingBeatsRandomOnMesh(t *testing.T) {
+	g := matgen.Grid2D(20, 20)
+	rcut := Partition(g, Options{Method: RandomPart}, rng(3)).Cut
+	for _, m := range []Method{GGGP, GGP, SBP} {
+		cut := Partition(g, Options{Method: m}, rng(3)).Cut
+		if cut >= rcut {
+			t.Errorf("%v cut %d not better than random %d", m, cut, rcut)
+		}
+	}
+}
+
+func TestGGGPBeatsGGPOnAverage(t *testing.T) {
+	// The paper reports GGGP consistently better; test in aggregate with
+	// equal trial counts to compare the heuristics themselves.
+	g := matgen.FE3DTetra(8, 8, 8, 4)
+	sumGGP, sumGGGP := 0, 0
+	for seed := int64(0); seed < 8; seed++ {
+		sumGGP += Partition(g, Options{Method: GGP, Trials: 5}, rng(seed)).Cut
+		sumGGGP += Partition(g, Options{Method: GGGP, Trials: 5}, rng(seed)).Cut
+	}
+	if sumGGGP > sumGGP {
+		t.Errorf("GGGP total %d worse than GGP total %d", sumGGGP, sumGGP)
+	}
+}
+
+func TestPartitionTargetWeights(t *testing.T) {
+	g := matgen.Grid2D(16, 16)
+	tot := g.TotalVertexWeight()
+	target := tot / 4
+	for _, m := range allMethods() {
+		b := Partition(g, Options{Method: m, TargetPwgt0: target}, rng(5))
+		if b.Pwgt[0] < target-2 || b.Pwgt[0] > target+2 {
+			t.Errorf("%v: pwgt0 = %d, want ~%d", m, b.Pwgt[0], target)
+		}
+	}
+}
+
+func TestPartitionDisconnectedGraph(t *testing.T) {
+	// Two separate 4x4 grids: growing must reseed across components.
+	b := graph.NewBuilder(32)
+	id := func(block, r, c int) int { return block*16 + r*4 + c }
+	for blk := 0; blk < 2; blk++ {
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				if c+1 < 4 {
+					b.AddEdge(id(blk, r, c), id(blk, r, c+1))
+				}
+				if r+1 < 4 {
+					b.AddEdge(id(blk, r, c), id(blk, r+1, c))
+				}
+			}
+		}
+	}
+	g := b.MustBuild()
+	for _, m := range []Method{GGP, GGGP} {
+		bis := Partition(g, Options{Method: m}, rng(6))
+		if bis.Pwgt[0] < 14 || bis.Pwgt[0] > 18 {
+			t.Errorf("%v: pwgt0 = %d on disconnected graph", m, bis.Pwgt[0])
+		}
+	}
+}
+
+func TestPartitionWeightedVertices(t *testing.T) {
+	// A star with a heavy center: target weight respected by weight, not count.
+	b := graph.NewBuilder(9)
+	for i := 1; i < 9; i++ {
+		b.AddEdge(0, i)
+	}
+	b.SetVertexWeight(0, 8)
+	g := b.MustBuild() // total weight 16
+	for _, m := range allMethods() {
+		bis := Partition(g, Options{Method: m}, rng(7))
+		if bis.Pwgt[0]+bis.Pwgt[1] != 16 {
+			t.Fatalf("%v: weights lost", m)
+		}
+		if bis.Pwgt[0] == 0 || bis.Pwgt[1] == 0 {
+			t.Errorf("%v: empty part", m)
+		}
+	}
+}
+
+func TestMoreTrialsNeverWorse(t *testing.T) {
+	// With nested seeds the trial sets differ, so compare statistically:
+	// over several graphs, 10-trial GGGP should on aggregate match or beat
+	// 1-trial GGGP.
+	sum1, sum10 := 0, 0
+	for seed := int64(0); seed < 6; seed++ {
+		g := matgen.Mesh2DTri(12, 12, 0.02, seed)
+		sum1 += Partition(g, Options{Method: GGGP, Trials: 1}, rng(seed)).Cut
+		sum10 += Partition(g, Options{Method: GGGP, Trials: 10}, rng(seed)).Cut
+	}
+	if sum10 > sum1 {
+		t.Errorf("10 trials (%d) worse than 1 trial (%d) in aggregate", sum10, sum1)
+	}
+}
+
+func TestMethodStringRoundTrip(t *testing.T) {
+	for _, m := range allMethods() {
+		got, err := ParseMethod(m.String())
+		if err != nil || got != m {
+			t.Fatalf("round trip failed for %v", m)
+		}
+	}
+	if _, err := ParseMethod("nope"); err == nil {
+		t.Fatal("ParseMethod accepted bogus input")
+	}
+}
+
+// Property: every method yields a verified bisection whose cut matches a
+// from-scratch recomputation, on random graphs.
+func TestPartitionPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := matgen.FE3DTetra(4, 4, 4, seed)
+		for _, m := range allMethods() {
+			b := Partition(g, Options{Method: m}, rng(seed+1))
+			if b.Verify() != nil {
+				return false
+			}
+			if refine.ComputeCut(g, b.Where) != b.Cut {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,23 @@
+package matgen
+
+import "testing"
+
+func BenchmarkDelaunay(b *testing.B) {
+	xs, ys := randomPoints(5000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Delaunay(xs, ys)
+	}
+}
+
+func BenchmarkStiffness3D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Stiffness3D(20, 20, 20)
+	}
+}
+
+func BenchmarkCircuitPowerLaw(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CircuitPowerLaw(20000, 3, 1)
+	}
+}

@@ -1,0 +1,68 @@
+package matgen
+
+import (
+	"math/rand"
+
+	"mlpart/internal/graph"
+)
+
+// Point is a vertex coordinate for the geometric partitioners; Z is zero
+// for 2D workloads.
+type Point struct {
+	X, Y, Z float64
+}
+
+// GeoMesh2D generates an irregular triangulated 2D mesh together with the
+// vertex coordinates, for comparing coordinate-based partitioners against
+// the (coordinate-free) multilevel scheme. Coordinates are the grid
+// positions with a small deterministic jitter.
+func GeoMesh2D(rows, cols int, seed int64) (*graph.Graph, []Point) {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(rows * cols)
+	pts := make([]Point, rows*cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pts[id(r, c)] = Point{
+				X: float64(c) + 0.3*(rng.Float64()-0.5),
+				Y: float64(r) + 0.3*(rng.Float64()-0.5),
+			}
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+			if r+1 < rows && c+1 < cols {
+				if rng.Intn(2) == 0 {
+					b.AddEdge(id(r, c), id(r+1, c+1))
+				} else {
+					b.AddEdge(id(r, c+1), id(r+1, c))
+				}
+			}
+		}
+	}
+	return b.MustBuild(), pts
+}
+
+// GeoMesh3D generates a 3D finite-element mesh with coordinates, the 3D
+// analog of GeoMesh2D.
+func GeoMesh3D(nx, ny, nz int, seed int64) (*graph.Graph, []Point) {
+	g := FE3DTetra(nx, ny, nz, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	pts := make([]Point, nx*ny*nz)
+	i := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				pts[i] = Point{
+					X: float64(x) + 0.2*(rng.Float64()-0.5),
+					Y: float64(y) + 0.2*(rng.Float64()-0.5),
+					Z: float64(z) + 0.2*(rng.Float64()-0.5),
+				}
+				i++
+			}
+		}
+	}
+	return g, pts
+}

@@ -1,0 +1,27 @@
+package matgen
+
+import "testing"
+
+func TestDelaunayDegenerateGridNoPanic(t *testing.T) {
+	// Exact grid points are maximally degenerate (collinear rows and
+	// co-circular quads). The triangulation is only best-effort there, but
+	// it must not panic or hang, and triangles must reference valid points.
+	var xs, ys []float64
+	for r := 0; r < 12; r++ {
+		for c := 0; c < 12; c++ {
+			xs = append(xs, float64(c))
+			ys = append(ys, float64(r))
+		}
+	}
+	tris := Delaunay(xs, ys)
+	for _, tr := range tris {
+		for _, v := range tr {
+			if v < 0 || v >= len(xs) {
+				t.Fatalf("triangle references point %d", v)
+			}
+		}
+	}
+	if len(tris) < 100 {
+		t.Logf("degenerate grid produced only %d triangles (best effort)", len(tris))
+	}
+}

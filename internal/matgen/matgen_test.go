@@ -1,0 +1,208 @@
+package matgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mlpart/internal/graph"
+)
+
+func checkGraph(t *testing.T, g *graph.Graph, name string) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !g.IsConnected() {
+		t.Errorf("%s: not connected", name)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(4, 5)
+	checkGraph(t, g, "grid2d")
+	if g.NumVertices() != 20 {
+		t.Fatalf("n = %d, want 20", g.NumVertices())
+	}
+	// Edges: 4*4 horizontal + 3*5 vertical = 31.
+	if g.NumEdges() != 31 {
+		t.Fatalf("m = %d, want 31", g.NumEdges())
+	}
+}
+
+func TestCFD2DDegrees(t *testing.T) {
+	g := CFD2D(10, 10)
+	checkGraph(t, g, "cfd2d")
+	// Interior vertices of a 9-point stencil have degree 8.
+	maxd := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd != 8 {
+		t.Fatalf("max degree = %d, want 8", maxd)
+	}
+}
+
+func TestGrid3DSize(t *testing.T) {
+	g := Grid3D(3, 4, 5)
+	checkGraph(t, g, "grid3d")
+	if g.NumVertices() != 60 {
+		t.Fatalf("n = %d, want 60", g.NumVertices())
+	}
+	// Edges: 2*4*5 + 3*3*5 + 3*4*4 = 40+45+48 = 133.
+	if g.NumEdges() != 133 {
+		t.Fatalf("m = %d, want 133", g.NumEdges())
+	}
+}
+
+func TestStiffness3DDegree(t *testing.T) {
+	g := Stiffness3D(5, 5, 5)
+	checkGraph(t, g, "stiffness3d")
+	// Fully interior vertex has 26 neighbors.
+	maxd := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd != 26 {
+		t.Fatalf("max degree = %d, want 26", maxd)
+	}
+}
+
+func TestMesh2DTriConnectedWithHoles(t *testing.T) {
+	g := Mesh2DTri(40, 40, 0.05, 7)
+	checkGraph(t, g, "mesh2dtri")
+	if g.NumVertices() < 1000 {
+		t.Fatalf("n = %d, too small", g.NumVertices())
+	}
+	avg := g.AverageDegree()
+	if avg < 3 || avg > 8 {
+		t.Fatalf("avg degree = %v, want FE-like (3..8)", avg)
+	}
+}
+
+func TestLShapeQuadrantRemoved(t *testing.T) {
+	g := LShape(8)
+	checkGraph(t, g, "lshape")
+	want := 3 * 8 * 8 // three quadrants of a 16x16 grid
+	if g.NumVertices() != want {
+		t.Fatalf("n = %d, want %d", g.NumVertices(), want)
+	}
+}
+
+func TestPowerNetworkSparse(t *testing.T) {
+	g := PowerNetwork(2000, 1)
+	checkGraph(t, g, "power")
+	if avg := g.AverageDegree(); avg > 4 {
+		t.Fatalf("avg degree = %v, want sparse (<4)", avg)
+	}
+}
+
+func TestFinanceLPBlockStructure(t *testing.T) {
+	g := FinanceLP(16, 24, 2)
+	checkGraph(t, g, "finance")
+	if g.NumVertices() != 16*24+16 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+}
+
+func TestRoadNetworkDegree(t *testing.T) {
+	g := RoadNetwork(3000, 3)
+	checkGraph(t, g, "road")
+	if g.NumVertices() < 2500 {
+		t.Fatalf("lost too many vertices to disconnection: n = %d", g.NumVertices())
+	}
+	if avg := g.AverageDegree(); avg < 2.5 || avg > 8 {
+		t.Fatalf("avg degree = %v, want road-like", avg)
+	}
+}
+
+func TestCircuitPowerLawSkew(t *testing.T) {
+	g := CircuitPowerLaw(5000, 3, 4)
+	checkGraph(t, g, "circuit")
+	h := g.DegreeHistogram()
+	maxd := len(h) - 1
+	// Preferential attachment must produce hubs far above the average.
+	if float64(maxd) < 4*g.AverageDegree() {
+		t.Fatalf("max degree %d not skewed vs avg %v", maxd, g.AverageDegree())
+	}
+}
+
+func TestChemicalBanded(t *testing.T) {
+	g := Chemical(3000, 5)
+	checkGraph(t, g, "chemical")
+	if avg := g.AverageDegree(); avg < 6 || avg > 20 {
+		t.Fatalf("avg degree = %v, want banded (~6-20)", avg)
+	}
+}
+
+func TestGenerateAllNames(t *testing.T) {
+	for _, name := range AllNames() {
+		w, err := Generate(name, 0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w.Name != name {
+			t.Fatalf("name mismatch: %q vs %q", w.Name, name)
+		}
+		checkGraph(t, w.Graph, name)
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("NOPE", 1); err == nil {
+		t.Fatal("Generate accepted unknown name")
+	}
+	if _, err := Generate("BC28", 0); err == nil {
+		t.Fatal("Generate accepted zero scale")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate("BRCK", 0.05)
+	b, _ := Generate("BRCK", 0.05)
+	if a.Graph.NumVertices() != b.Graph.NumVertices() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("Generate is not deterministic")
+	}
+	for v := 0; v < a.Graph.NumVertices(); v++ {
+		av, bv := a.Graph.Neighbors(v), b.Graph.Neighbors(v)
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("adjacency differs at vertex %d", v)
+			}
+		}
+	}
+}
+
+func TestSuite(t *testing.T) {
+	ws := Suite([]string{"4ELT", "BSP10"}, 0.05)
+	if len(ws) != 2 || ws[0].Name != "4ELT" || ws[1].Name != "BSP10" {
+		t.Fatalf("Suite returned %v", ws)
+	}
+}
+
+// Property: every generator yields a valid connected graph across seeds.
+func TestGeneratorsPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		gs := []*graph.Graph{
+			Mesh2DTri(15, 15, 0.05, seed),
+			FE3DTetra(6, 6, 6, seed),
+			PowerNetwork(300, seed),
+			FinanceLP(5, 12, seed),
+			CircuitPowerLaw(300, 3, seed),
+			Chemical(400, seed),
+			RoadNetwork(400, seed),
+		}
+		for _, g := range gs {
+			if g.Validate() != nil || !g.IsConnected() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

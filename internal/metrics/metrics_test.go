@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mlpart/internal/graph"
+	"mlpart/internal/matgen"
+	"mlpart/internal/multilevel"
+	"mlpart/internal/refine"
+)
+
+func TestEvaluateKnownSmallCase(t *testing.T) {
+	// Path 0-1-2-3, split {0,1} | {2,3}: cut 1, one boundary vertex per
+	// side, comm volume 2, both parts connected.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	r, err := Evaluate(g, []int{0, 0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EdgeCut != 1 {
+		t.Errorf("EdgeCut = %d, want 1", r.EdgeCut)
+	}
+	if r.CommVolume != 2 || r.MaxPartVolume != 1 {
+		t.Errorf("CommVolume = %d/%d, want 2/1", r.CommVolume, r.MaxPartVolume)
+	}
+	if r.BoundaryVertices != 2 {
+		t.Errorf("BoundaryVertices = %d, want 2", r.BoundaryVertices)
+	}
+	if r.Balance != 1 {
+		t.Errorf("Balance = %v, want 1", r.Balance)
+	}
+	if r.MaxPartDegree != 1 {
+		t.Errorf("MaxPartDegree = %d, want 1", r.MaxPartDegree)
+	}
+	if r.DisconnectedParts != 0 || r.EmptyParts != 0 {
+		t.Errorf("connectivity wrong: %+v", r)
+	}
+}
+
+func TestEvaluateDisconnectedPart(t *testing.T) {
+	// Path 0-1-2-3-4 with part 0 = {0, 4} (two islands).
+	b := graph.NewBuilder(5)
+	for i := 0; i+1 < 5; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.MustBuild()
+	r, err := Evaluate(g, []int{0, 1, 1, 1, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DisconnectedParts != 1 {
+		t.Errorf("DisconnectedParts = %d, want 1", r.DisconnectedParts)
+	}
+}
+
+func TestEvaluateEmptyPart(t *testing.T) {
+	g := graph.NewBuilder(2).MustBuild()
+	r, err := Evaluate(g, []int{0, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EmptyParts != 2 {
+		t.Errorf("EmptyParts = %d, want 2", r.EmptyParts)
+	}
+}
+
+func TestEvaluateMatchesComputeCut(t *testing.T) {
+	g := matgen.Mesh2DTri(15, 15, 0.02, 1)
+	res, err := multilevel.Partition(g, 8, multilevel.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Evaluate(g, res.Where, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EdgeCut != res.EdgeCut {
+		t.Fatalf("metrics cut %d, partition cut %d", r.EdgeCut, res.EdgeCut)
+	}
+	if r.EdgeCut != refine.ComputeCut(g, res.Where) {
+		t.Fatal("metrics cut disagrees with ComputeCut")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	g := matgen.Grid2D(3, 3)
+	if _, err := Evaluate(g, make([]int, 4), 2); err == nil {
+		t.Error("short where accepted")
+	}
+	if _, err := Evaluate(g, make([]int, 9), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	bad := make([]int, 9)
+	bad[0] = 5
+	if _, err := Evaluate(g, bad, 2); err == nil {
+		t.Error("out-of-range part accepted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	g := matgen.Grid2D(4, 4)
+	where := make([]int, 16)
+	for i := 8; i < 16; i++ {
+		where[i] = 1
+	}
+	r, _ := Evaluate(g, where, 2)
+	s := r.String()
+	for _, want := range []string{"edge-cut", "comm-volume", "balance"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+// Property: comm volume is at least the boundary count and at most the cut
+// counted by endpoints; weights always sum to the total.
+func TestEvaluatePropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := matgen.FE3DTetra(5, 5, 4, seed)
+		k := 2 + int(uint64(seed)%6)
+		res, err := multilevel.Partition(g, k, multilevel.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		r, err := Evaluate(g, res.Where, k)
+		if err != nil {
+			return false
+		}
+		if r.CommVolume < r.BoundaryVertices {
+			return false
+		}
+		tot := 0
+		for _, w := range r.PartWeights {
+			tot += w
+		}
+		return tot == g.TotalVertexWeight() && r.Balance >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,18 @@
+package mmd
+
+import (
+	"testing"
+
+	"mlpart/internal/matgen"
+)
+
+func BenchmarkOrder(b *testing.B) {
+	for _, size := range []int{8, 12, 16} {
+		g := matgen.FE3DTetra(size, size, size, 1)
+		b.Run(g.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Order(g)
+			}
+		})
+	}
+}

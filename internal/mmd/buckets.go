@@ -1,0 +1,111 @@
+package mmd
+
+// minBuckets is a degree-indexed bucket structure with O(1) insert, remove
+// and update, and amortized O(1) minimum retrieval, used to drive minimum
+// degree elimination. Within a bucket, vertices come out in ascending index
+// order when extracted with takeDegree, making runs deterministic.
+type minBuckets struct {
+	heads  []int
+	next   []int
+	prev   []int
+	deg    []int
+	in     []bool
+	minPtr int
+	n      int
+}
+
+func newMinBuckets(nvtxs, maxDeg int) *minBuckets {
+	b := &minBuckets{
+		heads: make([]int, maxDeg+1),
+		next:  make([]int, nvtxs),
+		prev:  make([]int, nvtxs),
+		deg:   make([]int, nvtxs),
+		in:    make([]bool, nvtxs),
+	}
+	for i := range b.heads {
+		b.heads[i] = -1
+	}
+	return b
+}
+
+func (b *minBuckets) insert(v, d int) {
+	if d >= len(b.heads) {
+		d = len(b.heads) - 1
+	}
+	if d < 0 {
+		d = 0
+	}
+	b.deg[v] = d
+	b.prev[v] = -1
+	b.next[v] = b.heads[d]
+	if b.heads[d] >= 0 {
+		b.prev[b.heads[d]] = v
+	}
+	b.heads[d] = v
+	b.in[v] = true
+	if d < b.minPtr {
+		b.minPtr = d
+	}
+	b.n++
+}
+
+func (b *minBuckets) remove(v int) {
+	if !b.in[v] {
+		return
+	}
+	d := b.deg[v]
+	if b.prev[v] >= 0 {
+		b.next[b.prev[v]] = b.next[v]
+	} else {
+		b.heads[d] = b.next[v]
+	}
+	if b.next[v] >= 0 {
+		b.prev[b.next[v]] = b.prev[v]
+	}
+	b.in[v] = false
+	b.n--
+}
+
+func (b *minBuckets) update(v, d int) {
+	b.remove(v)
+	b.insert(v, d)
+}
+
+// minDegree returns the smallest degree with a live vertex.
+func (b *minBuckets) minDegree() (int, bool) {
+	if b.n == 0 {
+		return 0, false
+	}
+	for b.minPtr < len(b.heads) && b.heads[b.minPtr] < 0 {
+		b.minPtr++
+	}
+	if b.minPtr >= len(b.heads) {
+		// Cannot happen while n > 0 unless minPtr overshot after removals;
+		// rescan defensively.
+		for i := range b.heads {
+			if b.heads[i] >= 0 {
+				b.minPtr = i
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	return b.minPtr, true
+}
+
+// takeDegree removes and returns all vertices currently at degree d, in
+// ascending vertex order.
+func (b *minBuckets) takeDegree(d int) []int {
+	var out []int
+	for v := b.heads[d]; v >= 0; v = b.heads[d] {
+		b.remove(v)
+		out = append(out, v)
+	}
+	// Bucket lists are LIFO; sort ascending for deterministic tie-breaks.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+// Package mmd implements the multiple minimum degree ordering algorithm of
+// Liu — the fill-reducing ordering the paper's Figure 5 uses as the main
+// baseline for the multilevel nested dissection ordering. The
+// implementation uses the standard quotient-graph (generalized element)
+// model with exact external degrees, element absorption, supernode merging
+// of indistinguishable variables (mass elimination), and multiple
+// elimination of an independent set of minimum-degree variables per stage
+// with delayed degree update.
+package mmd
+
+import (
+	"mlpart/internal/graph"
+)
+
+const (
+	stLive byte = iota // live variable
+	stElem             // eliminated: now an element (or absorbed element)
+	stMerged
+)
+
+type state struct {
+	n       int
+	adjN    [][]int // variable -> adjacent variables (may contain stale entries)
+	adjE    [][]int // variable -> adjacent elements (may contain absorbed ids)
+	elemB   [][]int // element -> boundary variables (may contain stale entries)
+	st      []byte
+	elemTo  []int // absorbed element -> absorbing element (union-find style)
+	supSize []int
+	snHead  []int // first member of v's supernode chain (v itself)
+	snTail  []int
+	snNext  []int // next member, -1 at end
+	degree  []int
+	stamp   []int
+	stampV  int
+	buckets *minBuckets
+	order   []int
+}
+
+// Order computes the multiple-minimum-degree elimination order of g. The
+// result perm satisfies: perm[i] is the vertex eliminated i-th. The run is
+// deterministic: ties are broken by vertex index via the bucket structure.
+func Order(g *graph.Graph) []int {
+	n := g.NumVertices()
+	s := &state{
+		n:       n,
+		adjN:    make([][]int, n),
+		adjE:    make([][]int, n),
+		elemB:   make([][]int, n),
+		st:      make([]byte, n),
+		elemTo:  make([]int, n),
+		supSize: make([]int, n),
+		snHead:  make([]int, n),
+		snTail:  make([]int, n),
+		snNext:  make([]int, n),
+		degree:  make([]int, n),
+		stamp:   make([]int, n),
+		buckets: newMinBuckets(n, g.TotalVertexWeight()),
+		order:   make([]int, 0, n),
+	}
+	for v := 0; v < n; v++ {
+		s.adjN[v] = append([]int(nil), g.Neighbors(v)...)
+		s.elemTo[v] = -1
+		// Vertex weights act as initial supernode sizes, so graphs
+		// compressed by indistinguishable-vertex merging (see
+		// internal/ordering.Compress) get weight-aware external degrees.
+		s.supSize[v] = g.Vwgt[v]
+		s.snHead[v] = v
+		s.snTail[v] = v
+		s.snNext[v] = -1
+		d := 0
+		for _, u := range g.Neighbors(v) {
+			d += g.Vwgt[u]
+		}
+		s.degree[v] = d
+	}
+	for v := 0; v < n; v++ {
+		s.buckets.insert(v, s.degree[v])
+	}
+
+	touched := make([]int, 0, 64)
+	touchStamp := make([]int, n)
+	round := 0
+	for len(s.order) < n {
+		round++
+		mind, ok := s.buckets.minDegree()
+		if !ok {
+			break
+		}
+		// Multiple elimination: pull every variable currently at the
+		// minimum degree, skipping those touched by an elimination earlier
+		// in this round (they may no longer be independent or min-degree).
+		cands := s.buckets.takeDegree(mind)
+		touched = touched[:0]
+		for _, v := range cands {
+			if s.st[v] != stLive {
+				continue
+			}
+			if touchStamp[v] == round {
+				// Re-insert for the next round with its (stale) degree;
+				// the update pass below recomputes it.
+				s.buckets.insert(v, s.degree[v])
+				continue
+			}
+			bnd := s.eliminate(v)
+			for _, u := range bnd {
+				if touchStamp[u] != round {
+					touchStamp[u] = round
+					touched = append(touched, u)
+				}
+			}
+		}
+		// Delayed degree update for all variables touched this round.
+		for _, u := range touched {
+			if s.st[u] != stLive {
+				continue
+			}
+			s.updateDegree(u)
+		}
+	}
+	return s.order
+}
+
+// findElem resolves element absorption chains with path compression.
+func (s *state) findElem(e int) int {
+	root := e
+	for s.elemTo[root] >= 0 {
+		root = s.elemTo[root]
+	}
+	for s.elemTo[e] >= 0 {
+		next := s.elemTo[e]
+		s.elemTo[e] = root
+		e = next
+	}
+	return root
+}
+
+// eliminate turns live variable v into an element, numbers its supernode,
+// absorbs its adjacent elements, updates the quotient-graph adjacency of
+// its boundary, and merges newly indistinguishable boundary variables.
+// It returns the boundary variables (whose degrees are now stale).
+func (s *state) eliminate(v int) []int {
+	// Gather the element boundary: live neighbors of v plus live boundary
+	// variables of every adjacent element.
+	s.stampV++
+	stamp := s.stampV
+	s.stamp[v] = stamp
+	var bnd []int
+	for _, u := range s.adjN[v] {
+		if s.st[u] == stLive && s.stamp[u] != stamp {
+			s.stamp[u] = stamp
+			bnd = append(bnd, u)
+		}
+	}
+	for _, e0 := range s.adjE[v] {
+		e := s.findElem(e0)
+		for _, u := range s.elemB[e] {
+			if s.st[u] == stLive && s.stamp[u] != stamp {
+				s.stamp[u] = stamp
+				bnd = append(bnd, u)
+			}
+		}
+		// Absorb e into the new element v.
+		if e != v {
+			s.elemTo[e] = v
+			s.elemB[e] = nil // free the memory of absorbed boundaries
+		}
+	}
+
+	// Number the supernode members consecutively.
+	for m := s.snHead[v]; m != -1; m = s.snNext[m] {
+		s.order = append(s.order, m)
+	}
+	s.st[v] = stElem
+	s.elemB[v] = bnd
+	s.adjN[v] = nil
+	s.adjE[v] = nil
+
+	// Fix the boundary variables' adjacency: drop v and pruned entries,
+	// collapse element lists onto the new element.
+	for _, u := range bnd {
+		// adjE[u]: resolve, dedupe, all elements absorbed into v collapse.
+		s.stampV++
+		es := s.adjE[u][:0]
+		seenV := false
+		for _, e0 := range s.adjE[u] {
+			e := s.findElem(e0)
+			if e == v {
+				if !seenV {
+					seenV = true
+					es = append(es, v)
+				}
+				continue
+			}
+			if s.stamp[e] != s.stampV {
+				s.stamp[e] = s.stampV
+				es = append(es, e)
+			}
+		}
+		if !seenV {
+			es = append(es, v)
+		}
+		s.adjE[u] = es
+		// adjN[u]: drop dead, merged and covered-by-element entries. All
+		// members of bnd are covered by element v, so variable-variable
+		// edges inside the boundary are redundant.
+		ns := s.adjN[u][:0]
+		for _, w := range s.adjN[u] {
+			if w == v || s.st[w] != stLive {
+				continue
+			}
+			if s.stamp[w] == stamp { // stamped: w is in bnd, covered by v
+				continue
+			}
+			ns = append(ns, w)
+		}
+		s.adjN[u] = ns
+	}
+
+	// Mass elimination / indistinguishability: boundary variables whose
+	// entire adjacency is the new element are mutually indistinguishable;
+	// merge them into one supernode so they are eliminated together.
+	rep := -1
+	for _, u := range bnd {
+		if len(s.adjN[u]) != 0 || len(s.adjE[u]) != 1 {
+			continue
+		}
+		if rep < 0 {
+			rep = u
+			continue
+		}
+		s.mergeInto(rep, u)
+	}
+	if rep >= 0 {
+		// Compact the merged members out of the element boundary.
+		nb := s.elemB[v][:0]
+		for _, u := range s.elemB[v] {
+			if s.st[u] == stLive {
+				nb = append(nb, u)
+			}
+		}
+		s.elemB[v] = nb
+	}
+	return s.elemB[v]
+}
+
+// mergeInto merges variable u into representative rep.
+func (s *state) mergeInto(rep, u int) {
+	s.st[u] = stMerged
+	s.buckets.remove(u)
+	s.supSize[rep] += s.supSize[u]
+	s.snNext[s.snTail[rep]] = s.snHead[u]
+	s.snTail[rep] = s.snTail[u]
+	s.adjN[u] = nil
+	s.adjE[u] = nil
+}
+
+// updateDegree recomputes the exact external degree of live variable u
+// (the number of original vertices it would connect to if eliminated now,
+// counted by supernode size) and repositions it in the degree buckets.
+func (s *state) updateDegree(u int) {
+	s.stampV++
+	stamp := s.stampV
+	s.stamp[u] = stamp
+	d := 0
+	ns := s.adjN[u][:0]
+	for _, w := range s.adjN[u] {
+		if s.st[w] != stLive {
+			continue
+		}
+		ns = append(ns, w)
+		if s.stamp[w] != stamp {
+			s.stamp[w] = stamp
+			d += s.supSize[w]
+		}
+	}
+	s.adjN[u] = ns
+	es := s.adjE[u][:0]
+	s.stampV++
+	estamp := s.stampV
+	for _, e0 := range s.adjE[u] {
+		e := s.findElem(e0)
+		if s.stamp[e] == estamp {
+			continue
+		}
+		s.stamp[e] = estamp
+		es = append(es, e)
+		for _, w := range s.elemB[e] {
+			if s.st[w] != stLive || w == u {
+				continue
+			}
+			if s.stamp[w] != stamp {
+				s.stamp[w] = stamp
+				d += s.supSize[w]
+			}
+		}
+	}
+	s.adjE[u] = es
+	s.degree[u] = d
+	s.buckets.update(u, d)
+}

@@ -1,0 +1,220 @@
+package mmd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlpart/internal/graph"
+	"mlpart/internal/matgen"
+	"mlpart/internal/sparse"
+)
+
+func checkPerm(t *testing.T, perm []int, n int) {
+	t.Helper()
+	if len(perm) != n {
+		t.Fatalf("perm length %d, want %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range perm {
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("perm is not a permutation: %v", perm)
+		}
+		seen[v] = true
+	}
+}
+
+func TestOrderPathNoFill(t *testing.T) {
+	// Minimum degree on a path always eliminates endpoints (degree 1), so
+	// the factorization has zero fill.
+	b := graph.NewBuilder(20)
+	for i := 0; i+1 < 20; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.MustBuild()
+	perm := Order(g)
+	checkPerm(t, perm, 20)
+	a, err := sparse.Analyze(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NnzL != int64(2*20-1) {
+		t.Fatalf("path fill: NnzL = %d, want %d", a.NnzL, 2*20-1)
+	}
+}
+
+func TestOrderTreeNoFill(t *testing.T) {
+	// Any tree admits a no-fill elimination (leaves first); minimum degree
+	// finds it.
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, rng.Intn(v))
+	}
+	g := b.MustBuild()
+	perm := Order(g)
+	checkPerm(t, perm, n)
+	a, err := sparse.Analyze(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NnzL != int64(2*n-1) {
+		t.Fatalf("tree fill: NnzL = %d, want %d", a.NnzL, 2*n-1)
+	}
+}
+
+func TestOrderStar(t *testing.T) {
+	// Star: all leaves are degree 1 and mutually indistinguishable after
+	// the first elimination; the center must be last.
+	k := 12
+	b := graph.NewBuilder(k + 1)
+	for i := 1; i <= k; i++ {
+		b.AddEdge(0, i)
+	}
+	g := b.MustBuild()
+	perm := Order(g)
+	checkPerm(t, perm, k+1)
+	if perm[k] != 0 {
+		t.Fatalf("center ordered at %d, want last", sparse.InversePerm(perm)[0])
+	}
+}
+
+func TestOrderCompleteGraph(t *testing.T) {
+	// K_n: every order is equivalent; just verify a valid permutation and
+	// full fill.
+	n := 8
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	g := b.MustBuild()
+	perm := Order(g)
+	checkPerm(t, perm, n)
+	a, _ := sparse.Analyze(g, perm)
+	if a.NnzL != int64(n*(n+1)/2) {
+		t.Fatalf("K%d NnzL = %d, want %d", n, a.NnzL, n*(n+1)/2)
+	}
+}
+
+func TestOrderGridBeatsNaturalAndRandom(t *testing.T) {
+	g := matgen.Grid2D(20, 20)
+	n := g.NumVertices()
+	perm := Order(g)
+	checkPerm(t, perm, n)
+	m, err := sparse.Analyze(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, _ := sparse.Analyze(g, sparse.IdentityPerm(n))
+	rnd, _ := sparse.Analyze(g, rand.New(rand.NewSource(2)).Perm(n))
+	if m.Flops >= nat.Flops {
+		t.Errorf("MMD flops %.0f not better than natural %.0f", m.Flops, nat.Flops)
+	}
+	if m.Flops >= rnd.Flops {
+		t.Errorf("MMD flops %.0f not better than random %.0f", m.Flops, rnd.Flops)
+	}
+}
+
+func TestOrderDisconnected(t *testing.T) {
+	b := graph.NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	// vertices 5, 6 isolated
+	g := b.MustBuild()
+	perm := Order(g)
+	checkPerm(t, perm, 7)
+}
+
+func TestOrderSingleVertexAndEmpty(t *testing.T) {
+	g1 := graph.NewBuilder(1).MustBuild()
+	checkPerm(t, Order(g1), 1)
+	g0 := graph.NewBuilder(0).MustBuild()
+	if len(Order(g0)) != 0 {
+		t.Fatal("empty graph gave nonempty order")
+	}
+}
+
+func TestOrderDeterministic(t *testing.T) {
+	g := matgen.Mesh2DTri(15, 15, 0.02, 3)
+	a := Order(g)
+	b := Order(g)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("MMD not deterministic")
+		}
+	}
+}
+
+func TestOrderQualityOn3DMesh(t *testing.T) {
+	// Sanity on a 3D problem: MMD should cut the random-order opcount by
+	// a large factor.
+	g := matgen.FE3DTetra(8, 8, 8, 4)
+	n := g.NumVertices()
+	m, err := sparse.Analyze(g, Order(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, _ := sparse.Analyze(g, rand.New(rand.NewSource(5)).Perm(n))
+	if m.Flops*2 >= rnd.Flops {
+		t.Errorf("MMD flops %.3g vs random %.3g: expected >= 2x improvement", m.Flops, rnd.Flops)
+	}
+}
+
+// Property: MMD always emits a permutation, and its fill never exceeds the
+// worst of a few random orders on small random graphs.
+func TestOrderPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := matgen.FE3DTetra(4, 4, 3, seed)
+		n := g.NumVertices()
+		perm := Order(g)
+		seen := make([]bool, n)
+		for _, v := range perm {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		m, err := sparse.Analyze(g, perm)
+		if err != nil {
+			return false
+		}
+		worst := 0.0
+		rng := rand.New(rand.NewSource(seed))
+		for t := 0; t < 3; t++ {
+			r, _ := sparse.Analyze(g, rng.Perm(n))
+			if r.Flops > worst {
+				worst = r.Flops
+			}
+		}
+		return m.Flops <= worst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinBuckets(t *testing.T) {
+	b := newMinBuckets(10, 20)
+	b.insert(3, 5)
+	b.insert(1, 2)
+	b.insert(7, 2)
+	if d, ok := b.minDegree(); !ok || d != 2 {
+		t.Fatalf("minDegree = %d, want 2", d)
+	}
+	got := b.takeDegree(2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 7 {
+		t.Fatalf("takeDegree = %v, want [1 7]", got)
+	}
+	b.update(3, 1)
+	if d, _ := b.minDegree(); d != 1 {
+		t.Fatalf("minDegree after update = %d, want 1", d)
+	}
+	b.remove(3)
+	if _, ok := b.minDegree(); ok {
+		t.Fatal("minDegree on empty structure succeeded")
+	}
+}

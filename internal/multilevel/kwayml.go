@@ -1,0 +1,101 @@
+package multilevel
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mlpart/internal/coarsen"
+	"mlpart/internal/graph"
+	"mlpart/internal/kway"
+	"mlpart/internal/refine"
+)
+
+// PartitionKWay computes a k-way partition with the *direct multilevel
+// k-way* scheme: the graph is coarsened once, the coarsest graph is split
+// into k parts by recursive bisection, and the k-way partition is then
+// projected and refined (greedy k-way refinement) at every uncoarsening
+// level. Compared with plain recursive bisection — which rebuilds a
+// hierarchy for each of the k-1 bisections — this coarsens once, so it is
+// substantially faster for large k at comparable quality. This is the
+// follow-up direction the paper's authors took after ICPP'95 (k-way
+// METIS); it is provided as an extension.
+func PartitionKWay(g *graph.Graph, k int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if k < 1 {
+		return nil, fmt.Errorf("multilevel: k = %d, want >= 1", k)
+	}
+	if k > g.NumVertices() && g.NumVertices() > 0 {
+		return nil, fmt.Errorf("multilevel: k = %d exceeds vertex count %d", k, g.NumVertices())
+	}
+	res := &Result{
+		Where:       make([]int, g.NumVertices()),
+		PartWeights: make([]int, k),
+	}
+	if k == 1 || g.NumVertices() == 0 {
+		res.EdgeCut = 0
+		for v, p := range res.Where {
+			res.PartWeights[p] += g.Vwgt[v]
+			_ = v
+		}
+		res.PartWeights[0] = g.TotalVertexWeight()
+		return res, nil
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	// Coarsen once, but keep enough coarse vertices to host k parts.
+	coarsenTo := opts.CoarsenTo
+	if min := 15 * k; coarsenTo < min {
+		coarsenTo = min
+	}
+	t0 := time.Now()
+	h := coarsen.Coarsen(g, coarsen.Options{Scheme: opts.Matching, CoarsenTo: coarsenTo}, rng)
+	res.Stats.CoarsenTime = time.Since(t0)
+	res.Stats.Levels = len(h.Levels)
+	res.Stats.CoarsestN = h.Coarsest().NumVertices()
+
+	// Initial k-way partition of the coarsest graph by recursive bisection
+	// (cheap: the coarsest graph is tiny).
+	t0 = time.Now()
+	initOpts := opts
+	initOpts.Parallel = false
+	initOpts.KWayRefine = false
+	coarse := h.Coarsest()
+	cres, err := Partition(coarse, k, initOpts)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.InitTime = time.Since(t0)
+	res.Stats.InitialCut = cres.EdgeCut
+	res.Stats.Bisections = k - 1
+
+	// Uncoarsen: project the k-way partition and refine at every level.
+	where := cres.Where
+	kopts := kway.Options{Ubfactor: opts.Ubfactor, Seed: opts.Seed}
+	t0 = time.Now()
+	p := kway.NewPartition(coarse, k, where)
+	kway.Refine(p, kopts)
+	res.Stats.RefineTime += time.Since(t0)
+	for li := len(h.Levels) - 2; li >= 0; li-- {
+		fine := h.Levels[li].Graph
+		cmap := h.Levels[li].Cmap
+		t0 = time.Now()
+		fineWhere := make([]int, fine.NumVertices())
+		for v := range fineWhere {
+			fineWhere[v] = where[cmap[v]]
+		}
+		where = fineWhere
+		res.Stats.ProjectTime += time.Since(t0)
+		t0 = time.Now()
+		p = kway.NewPartition(fine, k, where)
+		kway.Refine(p, kopts)
+		res.Stats.RefineTime += time.Since(t0)
+	}
+
+	res.Where = where
+	for v, part := range where {
+		res.PartWeights[part] += g.Vwgt[v]
+	}
+	res.EdgeCut = refine.ComputeCut(g, where)
+	return res, nil
+}

@@ -1,0 +1,321 @@
+// Package multilevel assembles the three phases of the paper's algorithm —
+// coarsening (internal/coarsen), initial partitioning (internal/initpart)
+// and refinement during uncoarsening (internal/refine) — into the complete
+// multilevel bisection of §3, and builds k-way partitions by recursive
+// bisection as described in §2.
+package multilevel
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mlpart/internal/coarsen"
+	"mlpart/internal/graph"
+	"mlpart/internal/initpart"
+	"mlpart/internal/kway"
+	"mlpart/internal/refine"
+)
+
+// Options selects the algorithm for each phase plus the shared knobs. The
+// zero value is the paper's recommended configuration: HEM coarsening to
+// 100 vertices, GGGP initial partitioning, BKLGR refinement.
+type Options struct {
+	// Matching is the coarsening scheme; the zero value selects HEM (the
+	// paper's choice), not coarsen.RM.
+	Matching coarsen.Scheme
+	// matchingSet distinguishes an explicit RM from the zero value.
+	// Use WithMatching to set RM explicitly.
+	matchingSet bool
+	// InitMethod is the coarsest-graph partitioner (zero value: GGGP).
+	InitMethod initpart.Method
+	// Refinement is the uncoarsening policy; the zero value selects BKLGR
+	// (the paper's choice), not refine.NoRefine. Use WithRefinement to
+	// disable refinement explicitly.
+	Refinement refine.Policy
+	// refinementSet distinguishes an explicit NoRefine from the zero value.
+	refinementSet bool
+
+	// CoarsenTo is the coarsest-graph size (0 means 100).
+	CoarsenTo int
+	// InitTrials overrides the number of initial-partitioning trials
+	// (0 means the paper's defaults: 10 for GGP, 5 for GGGP).
+	InitTrials int
+	// StopWindow is the refinement stop parameter x (0 means 50).
+	StopWindow int
+	// Ubfactor is the allowed part imbalance (0 means 1.05).
+	Ubfactor float64
+	// Seed makes every run deterministic; the same seed gives the same
+	// partition, as the paper's "fixed seed" experiments require.
+	Seed int64
+	// Parallel partitions independent subgraphs of the recursive k-way
+	// decomposition on separate goroutines. Results are identical to the
+	// sequential run because every subproblem derives its own seed.
+	Parallel bool
+	// KWayRefine runs a direct k-way greedy refinement pass over the
+	// assembled partition after recursive bisection, the natural extension
+	// of the paper's scheme (it never worsens the cut).
+	KWayRefine bool
+	// NCuts runs each full multilevel bisection this many times with
+	// independent seeds and keeps the smallest cut (quality for time, the
+	// same trade the paper's GGP/GGGP trial counts make); <=1 means once.
+	NCuts int
+	// CoarsenWorkers > 1 computes each level's matching with the parallel
+	// handshake algorithm on that many workers. The matching differs from
+	// the sequential one but is deterministic for a fixed seed regardless
+	// of the worker count. The paper observes that coarsening is the easy
+	// phase to parallelize; this is that observation for shared memory.
+	CoarsenWorkers int
+}
+
+// WithMatching returns o with the matching scheme set explicitly, allowing
+// coarsen.RM (whose value is 0) to be distinguished from "use the default".
+func (o Options) WithMatching(s coarsen.Scheme) Options {
+	o.Matching = s
+	o.matchingSet = true
+	return o
+}
+
+// WithRefinement returns o with the refinement policy set explicitly,
+// allowing refine.NoRefine (whose value is 0) to be distinguished from
+// "use the default".
+func (o Options) WithRefinement(p refine.Policy) Options {
+	o.Refinement = p
+	o.refinementSet = true
+	return o
+}
+
+func (o Options) withDefaults() Options {
+	if !o.matchingSet && o.Matching == coarsen.Scheme(0) {
+		o.Matching = coarsen.HEM
+	}
+	if !o.refinementSet && o.Refinement == refine.Policy(0) {
+		o.Refinement = refine.BKLGR
+	}
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 100
+	}
+	if o.Ubfactor <= 1 {
+		o.Ubfactor = 1.05
+	}
+	return o
+}
+
+// Stats reports where the time went, matching the columns of the paper's
+// Table 2: CoarsenTime is CTime; the sum of InitTime, RefineTime and
+// ProjectTime is UTime.
+type Stats struct {
+	CoarsenTime time.Duration // CTime: building the hierarchy
+	InitTime    time.Duration // ITime: partitioning the coarsest graph
+	RefineTime  time.Duration // RTime: refinement at every level
+	ProjectTime time.Duration // PTime: projecting partitions between levels
+	Levels      int           // number of hierarchy levels
+	CoarsestN   int           // vertices in the coarsest graph
+	InitialCut  int           // cut of the coarsest-graph partition
+	Bisections  int           // bisections performed (k-1 for k-way)
+}
+
+// UncoarsenTime is the paper's UTime: ITime + RTime + PTime.
+func (s *Stats) UncoarsenTime() time.Duration {
+	return s.InitTime + s.RefineTime + s.ProjectTime
+}
+
+func (s *Stats) add(o *Stats) {
+	s.CoarsenTime += o.CoarsenTime
+	s.InitTime += o.InitTime
+	s.RefineTime += o.RefineTime
+	s.ProjectTime += o.ProjectTime
+	s.Levels += o.Levels
+	s.InitialCut += o.InitialCut
+	s.Bisections += o.Bisections
+	if o.CoarsestN > s.CoarsestN {
+		s.CoarsestN = o.CoarsestN
+	}
+}
+
+// Bisect runs the full multilevel bisection of g. target0 is the desired
+// weight of part 0 (0 means half the total). When opts.NCuts > 1, the
+// whole bisection is repeated with independent seeds and the smallest cut
+// wins. It returns the refined bisection of g and per-phase timing
+// statistics (summed over the NCuts runs).
+func Bisect(g *graph.Graph, target0 int, opts Options, rng *rand.Rand) (*refine.Bisection, *Stats) {
+	if opts.NCuts > 1 {
+		n := opts.NCuts
+		opts.NCuts = 1
+		var best *refine.Bisection
+		total := &Stats{}
+		for i := 0; i < n; i++ {
+			b, s := Bisect(g, target0, opts, rng)
+			total.add(s)
+			if best == nil || b.Cut < best.Cut {
+				best = b
+			}
+		}
+		total.Bisections = 1
+		return best, total
+	}
+	opts = opts.withDefaults()
+	if target0 <= 0 {
+		target0 = g.TotalVertexWeight() / 2
+	}
+	stats := &Stats{Bisections: 1}
+	ropts := refine.Options{
+		StopWindow: opts.StopWindow,
+		Ubfactor:   opts.Ubfactor,
+		TargetPwgt: [2]int{target0, g.TotalVertexWeight() - target0},
+		OrigNvtxs:  g.NumVertices(),
+	}
+
+	t0 := time.Now()
+	copts := coarsen.Options{Scheme: opts.Matching, CoarsenTo: opts.CoarsenTo}
+	var h *coarsen.Hierarchy
+	if opts.CoarsenWorkers > 1 {
+		h = coarsen.ParallelCoarsen(g, copts, rng, opts.CoarsenWorkers)
+	} else {
+		h = coarsen.Coarsen(g, copts, rng)
+	}
+	stats.CoarsenTime = time.Since(t0)
+	stats.Levels = len(h.Levels)
+	stats.CoarsestN = h.Coarsest().NumVertices()
+
+	t0 = time.Now()
+	b := initpart.Partition(h.Coarsest(), initpart.Options{
+		Method:      opts.InitMethod,
+		Trials:      opts.InitTrials,
+		TargetPwgt0: target0,
+	}, rng)
+	stats.InitTime = time.Since(t0)
+	stats.InitialCut = b.Cut
+
+	// Refine the coarsest partition, then project and refine level by level.
+	t0 = time.Now()
+	refine.ForceBalance(b, ropts)
+	refine.Refine(b, opts.Refinement, ropts)
+	stats.RefineTime += time.Since(t0)
+	for li := len(h.Levels) - 2; li >= 0; li-- {
+		t0 = time.Now()
+		b = refine.Project(h.Levels[li].Graph, h.Levels[li].Cmap, b)
+		stats.ProjectTime += time.Since(t0)
+		t0 = time.Now()
+		refine.Refine(b, opts.Refinement, ropts)
+		stats.RefineTime += time.Since(t0)
+	}
+	return b, stats
+}
+
+// Result is the outcome of a k-way partition.
+type Result struct {
+	// Where[v] is the part (0..k-1) of vertex v.
+	Where []int
+	// EdgeCut is the total weight of edges crossing parts.
+	EdgeCut int
+	// PartWeights[p] is the vertex weight of part p.
+	PartWeights []int
+	// Stats aggregates timings over all bisections.
+	Stats Stats
+}
+
+// Balance returns k * max(PartWeights) / total: 1.0 is perfect.
+func (r *Result) Balance() float64 {
+	tot, maxw := 0, 0
+	for _, w := range r.PartWeights {
+		tot += w
+		if w > maxw {
+			maxw = w
+		}
+	}
+	if tot == 0 {
+		return 1
+	}
+	return float64(len(r.PartWeights)) * float64(maxw) / float64(tot)
+}
+
+// Partition divides g into k parts by recursive multilevel bisection
+// (log k levels of bisection, with target weights proportional to the
+// number of leaf parts on each side, so any k >= 1 is supported).
+func Partition(g *graph.Graph, k int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if k < 1 {
+		return nil, fmt.Errorf("multilevel: k = %d, want >= 1", k)
+	}
+	if k > g.NumVertices() && g.NumVertices() > 0 {
+		return nil, fmt.Errorf("multilevel: k = %d exceeds vertex count %d", k, g.NumVertices())
+	}
+	res := &Result{
+		Where:       make([]int, g.NumVertices()),
+		PartWeights: make([]int, k),
+	}
+	ids := make([]int, g.NumVertices())
+	for i := range ids {
+		ids[i] = i
+	}
+	var mu sync.Mutex
+	recurse(g, ids, k, 0, opts, opts.Seed, res, &mu, 0)
+	if opts.KWayRefine && k >= 2 {
+		p := kway.NewPartition(g, k, res.Where)
+		kway.Refine(p, kway.Options{Ubfactor: opts.Ubfactor, Seed: opts.Seed})
+	}
+	for v, p := range res.Where {
+		res.PartWeights[p] += g.Vwgt[v]
+	}
+	res.EdgeCut = refine.ComputeCut(g, res.Where)
+	return res, nil
+}
+
+// deriveSeed produces a child RNG seed from the parent seed and the branch
+// path, keeping parallel and sequential runs identical.
+func deriveSeed(seed int64, branch int64) int64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(branch)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}
+
+// recurse bisects g into kl+kr leaf parts. ids maps local vertices to
+// original ids; depth tracks the recursion level for parallel fan-out.
+func recurse(g *graph.Graph, ids []int, k, base int, opts Options, seed int64, res *Result, mu *sync.Mutex, depth int) {
+	if k <= 1 || g.NumVertices() == 0 {
+		mu.Lock()
+		for _, id := range ids {
+			res.Where[id] = base
+		}
+		mu.Unlock()
+		return
+	}
+	kl := k / 2
+	kr := k - kl
+	target0 := g.TotalVertexWeight() * kl / k
+	rng := rand.New(rand.NewSource(seed))
+	b, stats := Bisect(g, target0, opts, rng)
+	mu.Lock()
+	res.Stats.add(stats)
+	mu.Unlock()
+
+	left, l2gL := g.PartSubgraph(b.Where, 0)
+	right, l2gR := g.PartSubgraph(b.Where, 1)
+	idsL := make([]int, left.NumVertices())
+	for i, lv := range l2gL {
+		idsL[i] = ids[lv]
+	}
+	idsR := make([]int, right.NumVertices())
+	for i, rv := range l2gR {
+		idsR[i] = ids[rv]
+	}
+	seedL := deriveSeed(seed, 2)
+	seedR := deriveSeed(seed, 3)
+	// Fan out the top few levels of the recursion tree; deeper subproblems
+	// are small enough that goroutine overhead dominates.
+	if opts.Parallel && depth < 4 && g.NumVertices() > 2000 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			recurse(left, idsL, kl, base, opts, seedL, res, mu, depth+1)
+		}()
+		recurse(right, idsR, kr, base+kl, opts, seedR, res, mu, depth+1)
+		wg.Wait()
+	} else {
+		recurse(left, idsL, kl, base, opts, seedL, res, mu, depth+1)
+		recurse(right, idsR, kr, base+kl, opts, seedR, res, mu, depth+1)
+	}
+}

@@ -1,0 +1,91 @@
+package ordering
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpart/internal/graph"
+	"mlpart/internal/matgen"
+)
+
+func TestRCMIsPermutation(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		matgen.Grid2D(10, 10),
+		matgen.Mesh2DTri(12, 12, 0.05, 1),
+		matgen.PowerNetwork(300, 2),
+	} {
+		perm := RCM(g)
+		checkPerm(t, perm, g.NumVertices())
+	}
+}
+
+func TestRCMPathOptimal(t *testing.T) {
+	// On a path, RCM orders the vertices along the path: bandwidth 1.
+	b := graph.NewBuilder(15)
+	for i := 0; i+1 < 15; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.MustBuild()
+	perm := RCM(g)
+	if bw := Bandwidth(g, perm); bw != 1 {
+		t.Fatalf("path bandwidth %d, want 1", bw)
+	}
+}
+
+func TestRCMGridBandwidth(t *testing.T) {
+	// A rows x cols grid ordered well has bandwidth ~min(rows, cols).
+	g := matgen.Grid2D(8, 30)
+	perm := RCM(g)
+	if bw := Bandwidth(g, perm); bw > 2*8 {
+		t.Fatalf("8x30 grid RCM bandwidth %d, want <= 16", bw)
+	}
+}
+
+func TestRCMBeatsRandomProfile(t *testing.T) {
+	g := matgen.Mesh2DTri(20, 20, 0.02, 3)
+	n := g.NumVertices()
+	rcm := Profile(g, RCM(g))
+	rnd := Profile(g, rand.New(rand.NewSource(4)).Perm(n))
+	if rcm*2 >= rnd {
+		t.Fatalf("RCM profile %d vs random %d: want >= 2x better", rcm, rnd)
+	}
+}
+
+func TestRCMDisconnected(t *testing.T) {
+	b := graph.NewBuilder(10)
+	b.AddEdge(0, 1)
+	b.AddEdge(5, 6)
+	b.AddEdge(6, 7)
+	g := b.MustBuild()
+	perm := RCM(g)
+	checkPerm(t, perm, 10)
+}
+
+func TestRCMDeterministic(t *testing.T) {
+	g := matgen.Mesh2DTri(10, 10, 0, 5)
+	a, b := RCM(g), RCM(g)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RCM not deterministic")
+		}
+	}
+}
+
+func TestBandwidthProfileIdentity(t *testing.T) {
+	// Tridiagonal structure in natural order: bandwidth 1, profile n-1.
+	b := graph.NewBuilder(10)
+	for i := 0; i+1 < 10; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.MustBuild()
+	id := make([]int, 10)
+	for i := range id {
+		id[i] = i
+	}
+	if bw := Bandwidth(g, id); bw != 1 {
+		t.Fatalf("bandwidth %d, want 1", bw)
+	}
+	if p := Profile(g, id); p != 9 {
+		t.Fatalf("profile %d, want 9", p)
+	}
+}

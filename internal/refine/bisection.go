@@ -1,0 +1,207 @@
+// Package refine implements the uncoarsening/refinement phase of the
+// multilevel scheme (§3.3 of the paper): a two-way partition state with
+// incremental gain bookkeeping, the Kernighan-Lin/Fiduccia-Mattheyses pass
+// engine, and the five refinement policies the paper evaluates — GR, KLR,
+// BGR, BKLR and the hybrid BKLGR.
+package refine
+
+import (
+	"fmt"
+
+	"mlpart/internal/graph"
+)
+
+// Bisection is a 2-way partition of a graph together with the incremental
+// state refinement needs: per-part weights, per-vertex internal and
+// external degrees, the current edge-cut, and the boundary vertex set.
+//
+// For a vertex v in part p, ID[v] is the total weight of edges to vertices
+// in p and ED[v] the total weight of edges to the other part. The gain of
+// moving v is ED[v] - ID[v], and v is a boundary vertex iff ED[v] > 0.
+type Bisection struct {
+	G *graph.Graph
+	// Where[v] is 0 or 1.
+	Where []int
+	// Pwgt[p] is the total vertex weight of part p.
+	Pwgt [2]int
+	// ID and ED are the weighted internal and external degrees.
+	ID, ED []int
+	// Cut is the current edge-cut (sum of weights of crossing edges).
+	Cut int
+
+	// Boundary set with O(1) insert/remove/membership.
+	bndList  []int
+	bndIndex []int // position of v in bndList, or -1
+}
+
+// NewBisection builds the full refinement state for the partition `where`
+// of g. where is retained, not copied.
+func NewBisection(g *graph.Graph, where []int) *Bisection {
+	n := g.NumVertices()
+	b := &Bisection{
+		G:        g,
+		Where:    where,
+		ID:       make([]int, n),
+		ED:       make([]int, n),
+		bndIndex: make([]int, n),
+	}
+	for i := range b.bndIndex {
+		b.bndIndex[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		b.Pwgt[where[v]] += g.Vwgt[v]
+		adj := g.Neighbors(v)
+		wgt := g.EdgeWeights(v)
+		for i, u := range adj {
+			if where[u] == where[v] {
+				b.ID[v] += wgt[i]
+			} else {
+				b.ED[v] += wgt[i]
+			}
+		}
+		b.Cut += b.ED[v]
+		if b.ED[v] > 0 {
+			b.bndInsert(v)
+		}
+	}
+	b.Cut /= 2
+	return b
+}
+
+// Gain returns the decrease in edge-cut if v moved to the other part.
+func (b *Bisection) Gain(v int) int { return b.ED[v] - b.ID[v] }
+
+// IsBoundary reports whether v has at least one edge crossing the cut.
+func (b *Bisection) IsBoundary(v int) bool { return b.bndIndex[v] >= 0 }
+
+// Boundary returns the current boundary vertices as a shared slice; callers
+// must not modify it and must not hold it across moves.
+func (b *Bisection) Boundary() []int { return b.bndList }
+
+func (b *Bisection) bndInsert(v int) {
+	if b.bndIndex[v] >= 0 {
+		return
+	}
+	b.bndIndex[v] = len(b.bndList)
+	b.bndList = append(b.bndList, v)
+}
+
+func (b *Bisection) bndRemove(v int) {
+	i := b.bndIndex[v]
+	if i < 0 {
+		return
+	}
+	last := len(b.bndList) - 1
+	b.bndList[i] = b.bndList[last]
+	b.bndIndex[b.bndList[i]] = i
+	b.bndList = b.bndList[:last]
+	b.bndIndex[v] = -1
+}
+
+// Move transfers v to the other part, updating part weights, the cut, its
+// own and its neighbors' degrees, and the boundary set. It returns the new
+// cut. onGainChange, when non-nil, is invoked for every neighbor whose gain
+// changed (after the update), letting refinement keep its priority
+// structure in sync.
+func (b *Bisection) Move(v int, onGainChange func(u int)) int {
+	from := b.Where[v]
+	to := 1 - from
+	b.Where[v] = to
+	b.Pwgt[from] -= b.G.Vwgt[v]
+	b.Pwgt[to] += b.G.Vwgt[v]
+	b.Cut -= b.Gain(v)
+	// v's internal and external degrees swap.
+	b.ID[v], b.ED[v] = b.ED[v], b.ID[v]
+	if b.ED[v] > 0 {
+		b.bndInsert(v)
+	} else {
+		b.bndRemove(v)
+	}
+	adj := b.G.Neighbors(v)
+	wgt := b.G.EdgeWeights(v)
+	for i, u := range adj {
+		w := wgt[i]
+		if b.Where[u] == to {
+			// u gained an internal neighbor.
+			b.ID[u] += w
+			b.ED[u] -= w
+		} else {
+			b.ID[u] -= w
+			b.ED[u] += w
+		}
+		if b.ED[u] > 0 {
+			b.bndInsert(u)
+		} else {
+			b.bndRemove(u)
+		}
+		if onGainChange != nil {
+			onGainChange(u)
+		}
+	}
+	return b.Cut
+}
+
+// Balance returns max(Pwgt) / (total/2): 1.0 is perfect, larger is worse.
+func (b *Bisection) Balance() float64 {
+	tot := b.Pwgt[0] + b.Pwgt[1]
+	if tot == 0 {
+		return 1
+	}
+	maxw := b.Pwgt[0]
+	if b.Pwgt[1] > maxw {
+		maxw = b.Pwgt[1]
+	}
+	return 2 * float64(maxw) / float64(tot)
+}
+
+// Verify recomputes all incremental state from scratch and returns an error
+// if any field is inconsistent. For tests.
+func (b *Bisection) Verify() error {
+	fresh := NewBisection(b.G, append([]int(nil), b.Where...))
+	if fresh.Cut != b.Cut {
+		return fmt.Errorf("refine: cut %d, recomputed %d", b.Cut, fresh.Cut)
+	}
+	if fresh.Pwgt != b.Pwgt {
+		return fmt.Errorf("refine: pwgt %v, recomputed %v", b.Pwgt, fresh.Pwgt)
+	}
+	for v := range b.Where {
+		if fresh.ID[v] != b.ID[v] || fresh.ED[v] != b.ED[v] {
+			return fmt.Errorf("refine: degrees of %d: id/ed %d/%d, recomputed %d/%d",
+				v, b.ID[v], b.ED[v], fresh.ID[v], fresh.ED[v])
+		}
+		if fresh.IsBoundary(v) != b.IsBoundary(v) {
+			return fmt.Errorf("refine: boundary flag of %d inconsistent", v)
+		}
+	}
+	return nil
+}
+
+// Project carries a coarse bisection up to the fine graph it was contracted
+// from: fine vertex v inherits the part of its multinode cmap[v]. The
+// projected partition has the same cut and part weights by construction
+// (the contraction invariant); the returned state is rebuilt on the fine
+// graph so refinement can proceed.
+func Project(fine *graph.Graph, cmap []int, coarse *Bisection) *Bisection {
+	n := fine.NumVertices()
+	where := make([]int, n)
+	for v := 0; v < n; v++ {
+		where[v] = coarse.Where[cmap[v]]
+	}
+	return NewBisection(fine, where)
+}
+
+// ComputeCut returns the edge-cut of an arbitrary k-way partition vector
+// without building refinement state.
+func ComputeCut(g *graph.Graph, where []int) int {
+	cut := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		adj := g.Neighbors(v)
+		wgt := g.EdgeWeights(v)
+		for i, u := range adj {
+			if where[u] != where[v] {
+				cut += wgt[i]
+			}
+		}
+	}
+	return cut / 2
+}

@@ -1,0 +1,130 @@
+package refine
+
+// GainBuckets is the bucket priority structure of Fiduccia-Mattheyses:
+// an array of doubly-linked vertex lists indexed by gain, supporting O(1)
+// insert, remove and update, and amortized O(1) extract-max. The paper's
+// implementation uses a hash table with the same operations; buckets are
+// the standard choice when gains are small integers bounded by the maximum
+// weighted degree.
+type GainBuckets struct {
+	offset int   // gains live in [-offset, +offset]
+	heads  []int // heads[g+offset] = first vertex with gain g, or -1
+	next   []int // next[v] = following vertex in v's bucket, or -1
+	prev   []int // prev[v] = preceding vertex, or -1 (head)
+	gain   []int // current gain of each inserted vertex
+	in     []bool
+	maxPtr int // index into heads at or above the maximum nonempty bucket
+	n      int // number of inserted vertices
+}
+
+// NewGainBuckets sizes the structure for nvtxs vertices whose gains are
+// bounded by maxGain in absolute value.
+func NewGainBuckets(nvtxs, maxGain int) *GainBuckets {
+	if maxGain < 1 {
+		maxGain = 1
+	}
+	b := &GainBuckets{
+		offset: maxGain,
+		heads:  make([]int, 2*maxGain+1),
+		next:   make([]int, nvtxs),
+		prev:   make([]int, nvtxs),
+		gain:   make([]int, nvtxs),
+		in:     make([]bool, nvtxs),
+	}
+	for i := range b.heads {
+		b.heads[i] = -1
+	}
+	return b
+}
+
+// reset empties the structure in O(inserted) by walking nothing — callers
+// track their own inserted sets; this clears everything in O(buckets+n).
+func (b *GainBuckets) Reset() {
+	for i := range b.heads {
+		b.heads[i] = -1
+	}
+	for i := range b.in {
+		b.in[i] = false
+	}
+	b.maxPtr = 0
+	b.n = 0
+}
+
+func (b *GainBuckets) clamp(g int) int {
+	if g > b.offset {
+		g = b.offset
+	}
+	if g < -b.offset {
+		g = -b.offset
+	}
+	return g
+}
+
+// insert adds v with the given gain. v must not already be inserted.
+func (b *GainBuckets) Insert(v, gain int) {
+	idx := b.clamp(gain) + b.offset
+	b.gain[v] = gain
+	b.prev[v] = -1
+	b.next[v] = b.heads[idx]
+	if b.heads[idx] >= 0 {
+		b.prev[b.heads[idx]] = v
+	}
+	b.heads[idx] = v
+	b.in[v] = true
+	if idx > b.maxPtr {
+		b.maxPtr = idx
+	}
+	b.n++
+}
+
+// remove deletes v if present; it is a no-op otherwise.
+func (b *GainBuckets) Remove(v int) {
+	if !b.in[v] {
+		return
+	}
+	idx := b.clamp(b.gain[v]) + b.offset
+	if b.prev[v] >= 0 {
+		b.next[b.prev[v]] = b.next[v]
+	} else {
+		b.heads[idx] = b.next[v]
+	}
+	if b.next[v] >= 0 {
+		b.prev[b.next[v]] = b.prev[v]
+	}
+	b.in[v] = false
+	b.n--
+}
+
+// update changes v's gain, repositioning it; v must be inserted.
+func (b *GainBuckets) Update(v, gain int) {
+	b.Remove(v)
+	b.Insert(v, gain)
+}
+
+// contains reports whether v is currently inserted.
+func (b *GainBuckets) Contains(v int) bool { return b.in[v] }
+
+// empty reports whether no vertices are inserted.
+func (b *GainBuckets) Empty() bool { return b.n == 0 }
+
+// popMax removes and returns a vertex of maximum gain. ok is false when the
+// structure is empty.
+func (b *GainBuckets) PopMax() (v int, ok bool) {
+	if b.n == 0 {
+		return -1, false
+	}
+	for b.maxPtr > 0 && b.heads[b.maxPtr] < 0 {
+		b.maxPtr--
+	}
+	// maxPtr can undershoot after removals followed by inserts into lower
+	// buckets only; scan down defensively.
+	for i := b.maxPtr; i >= 0; i-- {
+		if b.heads[i] >= 0 {
+			b.maxPtr = i
+			v = b.heads[i]
+			b.Remove(v)
+			return v, true
+		}
+	}
+	return -1, false
+}

@@ -1,0 +1,333 @@
+package refine
+
+import (
+	"fmt"
+)
+
+// Policy selects the refinement algorithm run after each projection step
+// of the uncoarsening phase.
+type Policy int
+
+const (
+	// NoRefine disables refinement (used by the paper's Table 3, where the
+	// initial partition is projected unchanged).
+	NoRefine Policy = iota
+	// GR — greedy refinement — is a single Kernighan-Lin pass.
+	GR
+	// KLR — Kernighan-Lin refinement — iterates passes until no
+	// improvement is found.
+	KLR
+	// BGR — boundary greedy refinement — is a single pass whose priority
+	// structure holds only boundary vertices.
+	BGR
+	// BKLR — boundary Kernighan-Lin refinement — iterates boundary passes
+	// until convergence.
+	BKLR
+	// BKLGR combines BKLR and BGR: BKLR while the boundary of the current
+	// graph is small (< 2% of the original vertex count), BGR afterwards.
+	BKLGR
+)
+
+// String returns the policy's abbreviation as used in the paper.
+func (p Policy) String() string {
+	switch p {
+	case NoRefine:
+		return "NONE"
+	case GR:
+		return "GR"
+	case KLR:
+		return "KLR"
+	case BGR:
+		return "BGR"
+	case BKLR:
+		return "BKLR"
+	case BKLGR:
+		return "BKLGR"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy converts an abbreviation to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "NONE":
+		return NoRefine, nil
+	case "GR":
+		return GR, nil
+	case "KLR":
+		return KLR, nil
+	case "BGR":
+		return BGR, nil
+	case "BKLR":
+		return BKLR, nil
+	case "BKLGR":
+		return BKLGR, nil
+	}
+	return 0, fmt.Errorf("refine: unknown refinement policy %q", s)
+}
+
+// Options configures refinement.
+type Options struct {
+	// StopWindow is the paper's x: a pass ends after this many consecutive
+	// moves that fail to improve the edge-cut, and those moves are undone.
+	// The paper reports x = 50 works well; 0 means 50.
+	StopWindow int
+	// MaxPasses bounds the iterated policies (KLR, BKLR); 0 means 8.
+	MaxPasses int
+	// Ubfactor is the allowed imbalance: each part may weigh up to
+	// Ubfactor times its target. 0 means 1.05.
+	Ubfactor float64
+	// TargetPwgt gives the desired weight of each part. Zero means an
+	// even split of the total.
+	TargetPwgt [2]int
+	// OrigNvtxs is the vertex count of the original (finest) graph, used
+	// by BKLGR's 2% switch rule. 0 means "use the current graph's size".
+	OrigNvtxs int
+}
+
+func (o Options) withDefaults(b *Bisection) Options {
+	if o.StopWindow <= 0 {
+		o.StopWindow = 50
+	}
+	if o.MaxPasses <= 0 {
+		o.MaxPasses = 8
+	}
+	if o.Ubfactor <= 1 {
+		o.Ubfactor = 1.05
+	}
+	if o.TargetPwgt[0] == 0 && o.TargetPwgt[1] == 0 {
+		tot := b.Pwgt[0] + b.Pwgt[1]
+		o.TargetPwgt[0] = tot / 2
+		o.TargetPwgt[1] = tot - tot/2
+	}
+	if o.OrigNvtxs <= 0 {
+		o.OrigNvtxs = b.G.NumVertices()
+	}
+	return o
+}
+
+// maxAllowed returns the heaviest each part may become: the imbalance
+// tolerance, slackened by the largest vertex weight so that coarse graphs
+// (whose multinodes are heavy) are never deadlocked.
+func maxAllowed(b *Bisection, o Options) [2]int {
+	maxVwgt := 0
+	for _, w := range b.G.Vwgt {
+		if w > maxVwgt {
+			maxVwgt = w
+		}
+	}
+	var lim [2]int
+	for p := 0; p < 2; p++ {
+		byFactor := int(o.Ubfactor * float64(o.TargetPwgt[p]))
+		bySlack := o.TargetPwgt[p] + maxVwgt
+		if byFactor > bySlack {
+			lim[p] = byFactor
+		} else {
+			lim[p] = bySlack
+		}
+	}
+	return lim
+}
+
+// Refine runs the given policy on b in place and returns the final cut.
+func Refine(b *Bisection, policy Policy, opts Options) int {
+	opts = opts.withDefaults(b)
+	switch policy {
+	case NoRefine:
+	case GR:
+		fmPass(b, opts, false)
+	case KLR:
+		iterate(b, opts, false)
+	case BGR:
+		fmPass(b, opts, true)
+	case BKLR:
+		iterate(b, opts, true)
+	case BKLGR:
+		// The hybrid rule from §3.3: precise multi-pass boundary refinement
+		// while the boundary is small relative to the original graph,
+		// single-pass boundary refinement once it is large.
+		if len(b.Boundary())*50 < opts.OrigNvtxs { // boundary < 2% of original n
+			iterate(b, opts, true)
+		} else {
+			fmPass(b, opts, true)
+		}
+	default:
+		panic(fmt.Sprintf("refine: invalid policy %d", policy))
+	}
+	return b.Cut
+}
+
+// iterate runs passes until one fails to improve the cut, or MaxPasses.
+func iterate(b *Bisection, opts Options, boundaryOnly bool) {
+	for pass := 0; pass < opts.MaxPasses; pass++ {
+		if !fmPass(b, opts, boundaryOnly) {
+			break
+		}
+	}
+}
+
+// fmPass runs one Kernighan-Lin / Fiduccia-Mattheyses pass: vertices are
+// moved one at a time by maximum gain from the side farther above its
+// target weight, the best prefix of the move sequence is kept, and the
+// pass ends after StopWindow consecutive non-improving moves (which are
+// undone). Reports whether the cut improved.
+func fmPass(b *Bisection, opts Options, boundaryOnly bool) bool {
+	n := b.G.NumVertices()
+	maxGain := b.G.MaxWeightedDegree()
+	buckets := [2]*GainBuckets{
+		NewGainBuckets(n, maxGain),
+		NewGainBuckets(n, maxGain),
+	}
+	locked := make([]bool, n)
+	limit := maxAllowed(b, opts)
+
+	if boundaryOnly {
+		for _, v := range b.Boundary() {
+			buckets[b.Where[v]].Insert(v, b.Gain(v))
+		}
+	} else {
+		for v := 0; v < n; v++ {
+			buckets[b.Where[v]].Insert(v, b.Gain(v))
+		}
+	}
+
+	startCut := b.Cut
+	bestCut := b.Cut
+	bestDiff := balanceDiff(b, opts)
+	bestIdx := 0
+	var moved []int
+	badMoves := 0
+
+	onGainChange := func(u int) {
+		if locked[u] {
+			return
+		}
+		side := b.Where[u]
+		inB := buckets[side].Contains(u)
+		if boundaryOnly {
+			switch {
+			case inB && !b.IsBoundary(u):
+				// Left the boundary; no longer a candidate.
+				buckets[side].Remove(u)
+			case inB:
+				buckets[side].Update(u, b.Gain(u))
+			case b.IsBoundary(u) && b.Gain(u) > 0:
+				// Became a boundary vertex with positive gain (§3.3).
+				buckets[side].Insert(u, b.Gain(u))
+			}
+		} else if inB {
+			buckets[side].Update(u, b.Gain(u))
+		}
+	}
+
+	for {
+		// Move from the side farther above its target; fall back to the
+		// other side when that bucket is exhausted.
+		from := 0
+		if b.Pwgt[1]-opts.TargetPwgt[1] > b.Pwgt[0]-opts.TargetPwgt[0] {
+			from = 1
+		}
+		if buckets[from].Empty() {
+			from = 1 - from
+		}
+		v, ok := buckets[from].PopMax()
+		if !ok {
+			break
+		}
+		to := 1 - from
+		if b.Pwgt[to]+b.G.Vwgt[v] > limit[to] {
+			// Too heavy to move; lock it out of this pass.
+			locked[v] = true
+			continue
+		}
+		locked[v] = true
+		b.Move(v, onGainChange)
+		moved = append(moved, v)
+
+		diff := balanceDiff(b, opts)
+		if b.Cut < bestCut || (b.Cut == bestCut && diff < bestDiff) {
+			bestCut = b.Cut
+			bestDiff = diff
+			bestIdx = len(moved)
+			badMoves = 0
+		} else {
+			badMoves++
+			if badMoves >= opts.StopWindow {
+				break
+			}
+		}
+	}
+
+	// Undo the moves past the best prefix.
+	for i := len(moved) - 1; i >= bestIdx; i-- {
+		b.Move(moved[i], nil)
+	}
+	return bestCut < startCut
+}
+
+// balanceDiff measures deviation from the target weights.
+func balanceDiff(b *Bisection, opts Options) int {
+	d := b.Pwgt[0] - opts.TargetPwgt[0]
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// ForceBalance moves boundary vertices (best gain first) from the heavy
+// side until both parts are within the allowed maximum, ignoring cut
+// degradation. It is the safety valve for initial partitions that violate
+// the tolerance; refinement proper never unbalances a balanced partition.
+func ForceBalance(b *Bisection, opts Options) {
+	opts = opts.withDefaults(b)
+	limit := maxAllowed(b, opts)
+	if b.Pwgt[0] <= limit[0] && b.Pwgt[1] <= limit[1] {
+		return
+	}
+	from := 0
+	if b.Pwgt[1] > limit[1] {
+		from = 1
+	}
+	n := b.G.NumVertices()
+	bk := NewGainBuckets(n, b.G.MaxWeightedDegree())
+	for _, v := range b.Boundary() {
+		if b.Where[v] == from {
+			bk.Insert(v, b.Gain(v))
+		}
+	}
+	onGainChange := func(u int) {
+		if b.Where[u] != from {
+			if bk.Contains(u) {
+				bk.Remove(u)
+			}
+			return
+		}
+		if bk.Contains(u) {
+			if b.IsBoundary(u) {
+				bk.Update(u, b.Gain(u))
+			} else {
+				bk.Remove(u)
+			}
+		} else if b.IsBoundary(u) {
+			bk.Insert(u, b.Gain(u))
+		}
+	}
+	for b.Pwgt[from] > limit[from] {
+		v, ok := bk.PopMax()
+		if !ok {
+			// No boundary vertex left on the heavy side (e.g. one part is
+			// empty of boundary); move any heavy-side vertex.
+			v = -1
+			for u := 0; u < n; u++ {
+				if b.Where[u] == from {
+					v = u
+					break
+				}
+			}
+			if v < 0 {
+				return
+			}
+		}
+		b.Move(v, onGainChange)
+	}
+}

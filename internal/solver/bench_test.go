@@ -1,0 +1,50 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpart/internal/matgen"
+	"mlpart/internal/multilevel"
+	"mlpart/internal/sparse"
+)
+
+func benchSystem(b *testing.B) (*sparse.Matrix, []float64) {
+	b.Helper()
+	g := matgen.Mesh2DTri(60, 60, 0, 1)
+	m := sparse.NewLaplacian(g, 1)
+	rhs := make([]float64, g.NumVertices())
+	rng := rand.New(rand.NewSource(2))
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	return m, rhs
+}
+
+func BenchmarkCG(b *testing.B) {
+	m, rhs := benchSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CG(m, rhs, Options{Jacobi: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCGPartitionedSpMV(b *testing.B) {
+	m, rhs := benchSystem(b)
+	res, err := multilevel.Partition(m.G, 4, multilevel.Options{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout, err := NewLayout(res.Where, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CG(m, rhs, Options{Jacobi: true, Layout: layout}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

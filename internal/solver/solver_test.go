@@ -1,0 +1,187 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlpart/internal/matgen"
+	"mlpart/internal/multilevel"
+	"mlpart/internal/sparse"
+)
+
+func spdSystem(t *testing.T, seed int64) (*sparse.Matrix, []float64, []float64) {
+	t.Helper()
+	g := matgen.Mesh2DTri(12, 12, 0, seed)
+	m := sparse.NewLaplacian(g, 1)
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(seed))
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	m.MulVec(xTrue, b)
+	return m, b, xTrue
+}
+
+func TestCGSolves(t *testing.T) {
+	m, b, xTrue := spdSystem(t, 1)
+	res, err := CG(m, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("no convergence after %d iterations", res.Iterations)
+	}
+	for i := range res.X {
+		if math.Abs(res.X[i]-xTrue[i]) > 1e-5 {
+			t.Fatalf("x[%d] error %g", i, math.Abs(res.X[i]-xTrue[i]))
+		}
+	}
+	if res.Residual > 1e-7 {
+		t.Fatalf("residual %g", res.Residual)
+	}
+}
+
+func TestCGJacobiFewerIterations(t *testing.T) {
+	m, b, _ := spdSystem(t, 2)
+	plain, err := CG(m, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, err := CG(m, b, Options{Jacobi: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prec.Converged {
+		t.Fatal("preconditioned CG did not converge")
+	}
+	// Jacobi never catastrophically hurts on these diagonally dominant
+	// systems; allow parity.
+	if prec.Iterations > plain.Iterations*3/2 {
+		t.Errorf("Jacobi took %d iterations vs %d plain", prec.Iterations, plain.Iterations)
+	}
+}
+
+func TestCGParallelLayoutIdentical(t *testing.T) {
+	m, b, _ := spdSystem(t, 3)
+	g := m.G
+	res, err := multilevel.Partition(g, 4, multilevel.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := NewLayout(res.Where, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := CG(m, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CG(m, b, Options{Layout: layout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Iterations != par.Iterations {
+		t.Fatalf("iteration counts differ: %d vs %d", serial.Iterations, par.Iterations)
+	}
+	for i := range serial.X {
+		if serial.X[i] != par.X[i] {
+			t.Fatal("parallel layout changed the numeric result")
+		}
+	}
+}
+
+func TestLayoutMulVecMatchesSerial(t *testing.T) {
+	m, _, _ := spdSystem(t, 5)
+	n := m.G.NumVertices()
+	res, _ := multilevel.Partition(m.G, 8, multilevel.Options{Seed: 6})
+	layout, err := NewLayout(res.Where, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.Workers() != 8 {
+		t.Fatalf("workers = %d", layout.Workers())
+	}
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	y1 := make([]float64, n)
+	y2 := make([]float64, n)
+	m.MulVec(x, y1)
+	layout.MulVec(m, x, y2)
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("row %d: %g vs %g", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestCGErrors(t *testing.T) {
+	m, b, _ := spdSystem(t, 8)
+	if _, err := CG(m, b[:3], Options{}); err == nil {
+		t.Error("short b accepted")
+	}
+	if _, err := NewLayout([]int{0, 5}, 2); err == nil {
+		t.Error("out-of-range part accepted")
+	}
+	// Indefinite matrix detected.
+	bad := sparse.NewLaplacian(m.G, 1)
+	for i := range bad.Diag {
+		bad.Diag[i] = -10
+	}
+	if _, err := CG(bad, b, Options{}); err == nil {
+		t.Error("indefinite matrix not detected")
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	m, _, _ := spdSystem(t, 9)
+	b := make([]float64, m.G.NumVertices())
+	res, err := CG(m, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 0 {
+		t.Fatalf("zero RHS: %+v", res)
+	}
+	for _, v := range res.X {
+		if v != 0 {
+			t.Fatal("nonzero solution for zero RHS")
+		}
+	}
+}
+
+func TestCGMaxIterStops(t *testing.T) {
+	m, b, _ := spdSystem(t, 10)
+	res, err := CG(m, b, Options{MaxIter: 2, Tol: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Iterations != 2 {
+		t.Fatalf("MaxIter not honored: %+v", res)
+	}
+}
+
+func TestCGAgreesWithDirect(t *testing.T) {
+	// CG and the sparse Cholesky of internal/sparse must agree.
+	m, b, _ := spdSystem(t, 11)
+	n := m.G.NumVertices()
+	cg, err := CG(m, b, Options{Jacobi: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := sparse.Factorize(m, sparse.IdentityPerm(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xd := f.Solve(b)
+	for i := 0; i < n; i++ {
+		if math.Abs(cg.X[i]-xd[i]) > 1e-5 {
+			t.Fatalf("CG and direct disagree at %d: %g vs %g", i, cg.X[i], xd[i])
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpart/internal/matgen"
+)
+
+func BenchmarkAnalyze(b *testing.B) {
+	g := matgen.FE3DTetra(14, 14, 14, 1)
+	perm := rand.New(rand.NewSource(2)).Perm(g.NumVertices())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(g, perm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFactorize(b *testing.B) {
+	g := matgen.Mesh2DTri(40, 40, 0, 3)
+	m := NewLaplacian(g, 1)
+	perm := IdentityPerm(g.NumVertices())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Factorize(m, perm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolve(b *testing.B) {
+	g := matgen.Mesh2DTri(40, 40, 0, 4)
+	m := NewLaplacian(g, 1)
+	f, err := Factorize(m, IdentityPerm(g.NumVertices()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, g.NumVertices())
+	for i := range rhs {
+		rhs[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Solve(rhs)
+	}
+}

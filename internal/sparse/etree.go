@@ -1,0 +1,90 @@
+package sparse
+
+// Postorder returns a postordering of the elimination forest: children
+// before parents, each subtree contiguous. Orderings equivalent up to
+// etree postorder produce identical fill, so solvers re-label columns this
+// way to make supernodes contiguous and subtree parallelism explicit.
+// parent[j] is the etree parent (parents always have larger indices), or
+// -1 for roots. The result maps new position -> old column.
+func Postorder(parent []int) []int {
+	n := len(parent)
+	// Build child lists; iterate children in ascending order for
+	// determinism.
+	head := make([]int, n)
+	next := make([]int, n)
+	for i := range head {
+		head[i] = -1
+	}
+	var roots []int
+	for j := n - 1; j >= 0; j-- { // reversed so lists come out ascending
+		p := parent[j]
+		if p < 0 {
+			roots = append(roots, j)
+		} else {
+			next[j] = head[p]
+			head[p] = j
+		}
+	}
+	// roots collected descending; reverse for ascending traversal.
+	for i, k := 0, len(roots)-1; i < k; i, k = i+1, k-1 {
+		roots[i], roots[k] = roots[k], roots[i]
+	}
+
+	post := make([]int, 0, n)
+	// Iterative DFS emitting children before parents.
+	type frame struct {
+		node  int
+		child int // next child to visit (linked-list cursor)
+	}
+	var stack []frame
+	for _, r := range roots {
+		stack = append(stack[:0], frame{r, head[r]})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.child >= 0 {
+				c := f.child
+				f.child = next[c]
+				stack = append(stack, frame{c, head[c]})
+				continue
+			}
+			post = append(post, f.node)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return post
+}
+
+// Supernode groups the columns of the factor into fundamental supernodes:
+// maximal runs j, j+1, ..., j+s of columns where each column's parent is
+// the next column and the column counts shrink by exactly one — meaning
+// the columns share one dense trapezoidal structure. Real solvers factor
+// supernodes with dense kernels; the count and size distribution measure
+// how "supernodal" an ordering is. It returns, for the given analysis,
+// the supervnode id of each column and the number of supernodes.
+func Supernodes(a *Analysis) (sn []int, count int) {
+	n := len(a.Parent)
+	sn = make([]int, n)
+	if n == 0 {
+		return sn, 0
+	}
+	// Number of etree children per column: a fundamental supernode can
+	// only continue into a column with exactly one child.
+	nchild := make([]int, n)
+	for j := 0; j < n; j++ {
+		if p := a.Parent[j]; p >= 0 {
+			nchild[p]++
+		}
+	}
+	count = 0
+	sn[0] = 0
+	for j := 1; j < n; j++ {
+		continues := a.Parent[j-1] == j &&
+			a.ColCount[j-1] == a.ColCount[j]+1 &&
+			nchild[j] == 1
+		if !continues {
+			count++
+		}
+		sn[j] = count
+	}
+	return sn, count + 1
+}

@@ -1,0 +1,121 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpart/internal/graph"
+	"mlpart/internal/matgen"
+)
+
+func TestPostorderProperties(t *testing.T) {
+	g := matgen.Mesh2DTri(8, 8, 0, 1)
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		perm := rng.Perm(n)
+		a, err := Analyze(g, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		post := Postorder(a.Parent)
+		// Permutation check.
+		seen := make([]bool, n)
+		pos := make([]int, n)
+		for i, j := range post {
+			if j < 0 || j >= n || seen[j] {
+				t.Fatal("postorder not a permutation")
+			}
+			seen[j] = true
+			pos[j] = i
+		}
+		// Children precede parents.
+		for j := 0; j < n; j++ {
+			if p := a.Parent[j]; p >= 0 && pos[j] >= pos[p] {
+				t.Fatalf("child %d after parent %d", j, p)
+			}
+		}
+	}
+}
+
+func TestPostorderChain(t *testing.T) {
+	// Chain etree 0 -> 1 -> 2 -> 3: already postordered.
+	post := Postorder([]int{1, 2, 3, -1})
+	for i, j := range post {
+		if i != j {
+			t.Fatalf("chain postorder = %v", post)
+		}
+	}
+}
+
+func TestPostorderForest(t *testing.T) {
+	// Two roots: {0->2, 1->2, 2 root}, {3 root}.
+	post := Postorder([]int{2, 2, -1, -1})
+	if len(post) != 4 {
+		t.Fatal("wrong length")
+	}
+	pos := make([]int, 4)
+	for i, j := range post {
+		pos[j] = i
+	}
+	if pos[0] > pos[2] || pos[1] > pos[2] {
+		t.Fatalf("children after parent: %v", post)
+	}
+}
+
+func TestSupernodesDense(t *testing.T) {
+	// K_n factors into a single supernode: parent chain with counts n-j.
+	n := 6
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	a, err := Analyze(b.MustBuild(), IdentityPerm(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, count := Supernodes(a)
+	if count != 1 {
+		t.Fatalf("K%d has %d supernodes, want 1 (%v)", n, count, sn)
+	}
+}
+
+func TestSupernodesDiagonal(t *testing.T) {
+	// An edgeless graph: every column is its own supernode.
+	g := graph.NewBuilder(5).MustBuild()
+	a, err := Analyze(g, IdentityPerm(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, count := Supernodes(a)
+	if count != 5 {
+		t.Fatalf("%d supernodes, want 5", count)
+	}
+}
+
+func TestSupernodesCoverColumns(t *testing.T) {
+	g := matgen.FE3DTetra(6, 6, 6, 3)
+	a, err := Analyze(g, IdentityPerm(g.NumVertices()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, count := Supernodes(a)
+	if count < 1 || count > g.NumVertices() {
+		t.Fatalf("count = %d", count)
+	}
+	// Ids are nondecreasing and contiguous 0..count-1.
+	for j := 1; j < len(sn); j++ {
+		if sn[j] != sn[j-1] && sn[j] != sn[j-1]+1 {
+			t.Fatal("supernode ids not contiguous")
+		}
+	}
+	if sn[len(sn)-1] != count-1 {
+		t.Fatalf("last id %d, count %d", sn[len(sn)-1], count)
+	}
+	// A good mesh ordering yields far fewer supernodes than columns.
+	if count == g.NumVertices() {
+		t.Log("no supernodes found (all singletons) — legal but unusual for meshes")
+	}
+}

@@ -1,0 +1,192 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CholFactor is the sparse Cholesky factor P A Pᵀ = L Lᵀ of a symmetric
+// positive definite Matrix under a fill-reducing permutation, stored in
+// compressed-column form over the permuted indices.
+type CholFactor struct {
+	n     int
+	perm  []int // perm[i] = original index eliminated i-th
+	iperm []int
+	// Column j holds rows rowind[colptr[j]:colptr[j+1]] (strictly below the
+	// diagonal, ascending) with values lvals; diag[j] is L[j][j].
+	colptr []int
+	rowind []int
+	lvals  []float64
+	diag   []float64
+}
+
+// NnzL returns the number of stored nonzeros of L, diagonal included.
+func (f *CholFactor) NnzL() int64 { return int64(len(f.rowind) + f.n) }
+
+// Factorize computes the simplicial sparse Cholesky factorization of m
+// under the elimination order perm (a left-looking column algorithm guided
+// by the elimination tree). It fails if m is not positive definite in
+// exact terms of the computed pivots.
+func Factorize(m *Matrix, perm []int) (*CholFactor, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	g := m.G
+	n := g.NumVertices()
+	sym, err := Analyze(g, perm)
+	if err != nil {
+		return nil, err
+	}
+	iperm := InversePerm(perm)
+	f := &CholFactor{
+		n:     n,
+		perm:  append([]int(nil), perm...),
+		iperm: iperm,
+		diag:  make([]float64, n),
+	}
+
+	// Symbolic column patterns: pattern(j) = rows of A column j below the
+	// diagonal, merged with pattern(child)\{child} for every etree child.
+	colnz := make([]int, n)
+	for j := 0; j < n; j++ {
+		colnz[j] = sym.ColCount[j] - 1 // strictly below diagonal
+	}
+	f.colptr = make([]int, n+1)
+	for j := 0; j < n; j++ {
+		f.colptr[j+1] = f.colptr[j] + colnz[j]
+	}
+	f.rowind = make([]int, f.colptr[n])
+	f.lvals = make([]float64, f.colptr[n])
+
+	children := make([][]int, n)
+	for j := 0; j < n; j++ {
+		if p := sym.Parent[j]; p >= 0 {
+			children[p] = append(children[p], j)
+		}
+	}
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	fill := make([]int, n) // next write slot per column
+	copy(fill, f.colptr[:n])
+	for j := 0; j < n; j++ {
+		mark[j] = j
+		v := perm[j]
+		for _, u := range g.Neighbors(v) {
+			if i := iperm[u]; i > j && mark[i] != j {
+				mark[i] = j
+				f.rowind[fill[j]] = i
+				fill[j]++
+			}
+		}
+		for _, c := range children[j] {
+			for p := f.colptr[c]; p < f.colptr[c+1]; p++ {
+				if i := f.rowind[p]; i > j && mark[i] != j {
+					mark[i] = j
+					f.rowind[fill[j]] = i
+					fill[j]++
+				}
+			}
+		}
+		if fill[j] != f.colptr[j+1] {
+			return nil, fmt.Errorf("sparse: symbolic pattern mismatch at column %d", j)
+		}
+		sort.Ints(f.rowind[f.colptr[j]:f.colptr[j+1]])
+	}
+
+	// Numeric left-looking factorization with a dense work column.
+	work := make([]float64, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for j := 0; j < n; j++ {
+		// Scatter A(:, j) for rows >= j (permuted).
+		v := perm[j]
+		work[j] = m.Diag[v]
+		adj := g.Neighbors(v)
+		base := g.Xadj[v]
+		for t, u := range adj {
+			if i := iperm[u]; i > j {
+				work[i] = m.Offdiag[base+t]
+			}
+		}
+
+		// Contributing columns k < j are the nonzeros of row j of L:
+		// the etree row subtree rooted at the below-diagonal A-neighbors.
+		for _, u := range adj {
+			k := iperm[u]
+			for k < j && mark[k] != j {
+				mark[k] = j
+				applyUpdate(f, k, j, work)
+				k = sym.Parent[k]
+				if k < 0 {
+					break
+				}
+			}
+		}
+
+		// Pivot.
+		d := work[j]
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("sparse: non-positive pivot %g at column %d (matrix not SPD?)", d, j)
+		}
+		f.diag[j] = math.Sqrt(d)
+		inv := 1 / f.diag[j]
+		for p := f.colptr[j]; p < f.colptr[j+1]; p++ {
+			i := f.rowind[p]
+			f.lvals[p] = work[i] * inv
+			work[i] = 0
+		}
+		work[j] = 0
+	}
+	return f, nil
+}
+
+// applyUpdate performs the left-looking update of column j by column k:
+// work[i] -= L[i][k] * L[j][k] for all stored rows i >= j of column k.
+func applyUpdate(f *CholFactor, k, j int, work []float64) {
+	lo, hi := f.colptr[k], f.colptr[k+1]
+	// Locate row j in column k (present by definition of row structure).
+	p := lo + sort.SearchInts(f.rowind[lo:hi], j)
+	if p >= hi || f.rowind[p] != j {
+		return // row j not in column k (can happen for numerically exact zeros)
+	}
+	ljk := f.lvals[p]
+	work[j] -= ljk * ljk
+	for q := p + 1; q < hi; q++ {
+		work[f.rowind[q]] -= f.lvals[q] * ljk
+	}
+}
+
+// Solve solves A x = b using the factorization (forward substitution,
+// then the transpose backward pass), returning x in original indexing.
+func (f *CholFactor) Solve(b []float64) []float64 {
+	n := f.n
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = b[f.perm[i]]
+	}
+	// L y' = y (column-oriented forward substitution).
+	for j := 0; j < n; j++ {
+		y[j] /= f.diag[j]
+		yj := y[j]
+		for p := f.colptr[j]; p < f.colptr[j+1]; p++ {
+			y[f.rowind[p]] -= f.lvals[p] * yj
+		}
+	}
+	// Lᵀ x' = y'.
+	for j := n - 1; j >= 0; j-- {
+		s := y[j]
+		for p := f.colptr[j]; p < f.colptr[j+1]; p++ {
+			s -= f.lvals[p] * y[f.rowind[p]]
+		}
+		y[j] = s / f.diag[j]
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[f.perm[i]] = y[i]
+	}
+	return x
+}

@@ -1,0 +1,231 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlpart/internal/graph"
+	"mlpart/internal/matgen"
+)
+
+// denseOf expands m to a dense matrix for cross-checking.
+func denseOf(m *Matrix) [][]float64 {
+	n := m.G.NumVertices()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		d[i][i] = m.Diag[i]
+	}
+	for v := 0; v < n; v++ {
+		adj := m.G.Neighbors(v)
+		base := m.G.Xadj[v]
+		for t, u := range adj {
+			d[v][u] = m.Offdiag[base+t]
+		}
+	}
+	return d
+}
+
+// denseCholesky factors a dense SPD matrix in place, returning lower L.
+func denseCholesky(a [][]float64) ([][]float64, bool) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		s := a[j][j]
+		for k := 0; k < j; k++ {
+			s -= l[j][k] * l[j][k]
+		}
+		if s <= 0 {
+			return nil, false
+		}
+		l[j][j] = math.Sqrt(s)
+		for i := j + 1; i < n; i++ {
+			t := a[i][j]
+			for k := 0; k < j; k++ {
+				t -= l[i][k] * l[j][k]
+			}
+			l[i][j] = t / l[j][j]
+		}
+	}
+	return l, true
+}
+
+func TestNewLaplacianSPD(t *testing.T) {
+	g := matgen.Grid2D(4, 4)
+	m := NewLaplacian(g, 1)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Row sums of L are zero, so with shift 1 each row sums to 1.
+	n := g.NumVertices()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, n)
+	m.MulVec(x, y)
+	for i, v := range y {
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("row %d sums to %g, want 1", i, v)
+		}
+	}
+}
+
+func TestFactorizeMatchesDense(t *testing.T) {
+	g := matgen.Mesh2DTri(5, 5, 0, 1)
+	m := NewLaplacian(g, 2)
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 3; trial++ {
+		perm := rng.Perm(n)
+		f, err := Factorize(m, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Dense reference on the permuted matrix.
+		dm := denseOf(m)
+		pd := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			pd[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				pd[i][j] = dm[perm[i]][perm[j]]
+			}
+		}
+		ref, ok := denseCholesky(pd)
+		if !ok {
+			t.Fatal("dense reference failed")
+		}
+		for j := 0; j < n; j++ {
+			if math.Abs(f.diag[j]-ref[j][j]) > 1e-9 {
+				t.Fatalf("trial %d: diag[%d] = %g, dense %g", trial, j, f.diag[j], ref[j][j])
+			}
+			for p := f.colptr[j]; p < f.colptr[j+1]; p++ {
+				i := f.rowind[p]
+				if math.Abs(f.lvals[p]-ref[i][j]) > 1e-9 {
+					t.Fatalf("trial %d: L[%d][%d] = %g, dense %g", trial, i, j, f.lvals[p], ref[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestFactorizeSolve(t *testing.T) {
+	g := matgen.FE3DTetra(5, 5, 5, 3)
+	m := NewLaplacian(g, 1)
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(4))
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	m.MulVec(xTrue, b)
+
+	for _, perm := range [][]int{IdentityPerm(n), rng.Perm(n)} {
+		f, err := Factorize(m, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := f.Solve(b)
+		maxErr := 0.0
+		for i := range x {
+			if e := math.Abs(x[i] - xTrue[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr > 1e-8 {
+			t.Fatalf("solve error %g", maxErr)
+		}
+		if r := m.Residual(x, b); r > 1e-8 {
+			t.Fatalf("residual %g", r)
+		}
+	}
+}
+
+func TestFactorizeNnzMatchesSymbolic(t *testing.T) {
+	g := matgen.Grid2D(8, 8)
+	m := NewLaplacian(g, 1)
+	perm := rand.New(rand.NewSource(5)).Perm(g.NumVertices())
+	f, err := Factorize(m, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Analyze(g, perm)
+	if f.NnzL() != a.NnzL {
+		t.Fatalf("numeric NnzL %d, symbolic %d", f.NnzL(), a.NnzL)
+	}
+}
+
+func TestFactorizeRejectsIndefinite(t *testing.T) {
+	// Pure Laplacian (shift 0) is singular: last pivot hits zero.
+	g := matgen.Grid2D(3, 3)
+	m := NewLaplacian(g, 0)
+	if _, err := Factorize(m, IdentityPerm(9)); err == nil {
+		t.Fatal("singular matrix factorized without error")
+	}
+	// Negative-definite diagonal.
+	m2 := NewLaplacian(g, 1)
+	for i := range m2.Diag {
+		m2.Diag[i] = -1
+	}
+	if _, err := Factorize(m2, IdentityPerm(9)); err == nil {
+		t.Fatal("indefinite matrix factorized without error")
+	}
+}
+
+func TestFactorizeRejectsAsymmetricValues(t *testing.T) {
+	g := matgen.Grid2D(2, 2)
+	m := NewLaplacian(g, 1)
+	m.Offdiag[0] = 99 // break symmetry
+	if _, err := Factorize(m, IdentityPerm(4)); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+}
+
+func TestMatrixResidualZeroForExactSolution(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	m := NewLaplacian(g, 1) // [[2,-1],[-1,2]]
+	x := []float64{1, 1}
+	bb := []float64{1, 1}
+	if r := m.Residual(x, bb); math.Abs(r) > 1e-12 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+// Property: Solve returns machine-precision solutions for random SPD
+// systems under random fill-reducing orderings.
+func TestFactorizeSolvePropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := matgen.Mesh2DTri(6, 6, 0.05, seed)
+		n := g.NumVertices()
+		m := NewLaplacian(g, 1+float64(uint64(seed)%5))
+		rng := rand.New(rand.NewSource(seed))
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.Float64()*2 - 1
+		}
+		b := make([]float64, n)
+		m.MulVec(xTrue, b)
+		fac, err := Factorize(m, rng.Perm(n))
+		if err != nil {
+			return false
+		}
+		x := fac.Solve(b)
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"mlpart/internal/graph"
+)
+
+// Matrix is a symmetric sparse matrix whose off-diagonal pattern is a
+// graph: entry (u, v) holds Offdiag[e] for the adjacency slot e of edge
+// (u, v), and entry (v, v) holds Diag[v]. It is the numeric companion of
+// the symbolic machinery in this package and the input to Factorize.
+type Matrix struct {
+	G *graph.Graph
+	// Diag[v] is the diagonal entry of row v.
+	Diag []float64
+	// Offdiag is parallel to G.Adjncy; symmetry requires the two slots of
+	// each undirected edge to hold the same value (NewLaplacian guarantees
+	// it; Validate checks it).
+	Offdiag []float64
+}
+
+// NewLaplacian builds the graph Laplacian L = D - W of g shifted by
+// +shift on the diagonal. For shift > 0 the result is symmetric positive
+// definite — the standard model problem for sparse Cholesky.
+func NewLaplacian(g *graph.Graph, shift float64) *Matrix {
+	n := g.NumVertices()
+	m := &Matrix{
+		G:       g,
+		Diag:    make([]float64, n),
+		Offdiag: make([]float64, len(g.Adjncy)),
+	}
+	for v := 0; v < n; v++ {
+		m.Diag[v] = float64(g.WeightedDegree(v)) + shift
+		wgt := g.EdgeWeights(v)
+		base := g.Xadj[v]
+		for i := range wgt {
+			m.Offdiag[base+i] = -float64(wgt[i])
+		}
+	}
+	return m
+}
+
+// Validate checks structural symmetry of the off-diagonal values.
+func (m *Matrix) Validate() error {
+	g := m.G
+	n := g.NumVertices()
+	if len(m.Diag) != n || len(m.Offdiag) != len(g.Adjncy) {
+		return fmt.Errorf("sparse: matrix arrays sized wrong")
+	}
+	for v := 0; v < n; v++ {
+		adj := g.Neighbors(v)
+		for i, u := range adj {
+			back := m.at(u, v)
+			if m.Offdiag[g.Xadj[v]+i] != back {
+				return fmt.Errorf("sparse: asymmetric value at (%d,%d)", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// at returns the off-diagonal entry (u, v), 0 if absent. O(Degree(u)).
+func (m *Matrix) at(u, v int) float64 {
+	adj := m.G.Neighbors(u)
+	for i, w := range adj {
+		if w == v {
+			return m.Offdiag[m.G.Xadj[u]+i]
+		}
+	}
+	return 0
+}
+
+// MulVec computes y = A x.
+func (m *Matrix) MulVec(x, y []float64) {
+	g := m.G
+	for v := range y {
+		s := m.Diag[v] * x[v]
+		adj := g.Neighbors(v)
+		base := g.Xadj[v]
+		for i, u := range adj {
+			s += m.Offdiag[base+i] * x[u]
+		}
+		y[v] = s
+	}
+}
+
+// Residual returns ||A x - b||_2.
+func (m *Matrix) Residual(x, b []float64) float64 {
+	y := make([]float64, len(b))
+	m.MulVec(x, y)
+	s := 0.0
+	for i := range y {
+		d := y[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,226 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlpart/internal/graph"
+	"mlpart/internal/matgen"
+)
+
+// completeGraph returns K_n.
+func completeGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.MustBuild()
+}
+
+// pathGraph returns the path 0-1-...-n-1.
+func pathGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.MustBuild()
+}
+
+func TestAnalyzeDenseMatrix(t *testing.T) {
+	// K_n factors with a completely full L: ColCount[j] = n - j.
+	n := 6
+	a, err := Analyze(completeGraph(n), IdentityPerm(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		if a.ColCount[j] != n-j {
+			t.Fatalf("ColCount[%d] = %d, want %d", j, a.ColCount[j], n-j)
+		}
+		if j < n-1 && a.Parent[j] != j+1 {
+			t.Fatalf("Parent[%d] = %d, want %d", j, a.Parent[j], j+1)
+		}
+	}
+	if a.NnzL != int64(n*(n+1)/2) {
+		t.Fatalf("NnzL = %d, want %d", a.NnzL, n*(n+1)/2)
+	}
+	if a.Height != n-1 {
+		t.Fatalf("Height = %d, want %d", a.Height, n-1)
+	}
+}
+
+func TestAnalyzeTridiagonalNoFill(t *testing.T) {
+	// A path in natural order is tridiagonal: no fill at all.
+	n := 10
+	a, err := Analyze(pathGraph(n), IdentityPerm(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n-1; j++ {
+		if a.ColCount[j] != 2 {
+			t.Fatalf("ColCount[%d] = %d, want 2", j, a.ColCount[j])
+		}
+	}
+	if a.ColCount[n-1] != 1 {
+		t.Fatalf("last column count = %d, want 1", a.ColCount[n-1])
+	}
+	if a.NnzL != int64(2*n-1) {
+		t.Fatalf("NnzL = %d, want %d", a.NnzL, 2*n-1)
+	}
+}
+
+func TestAnalyzePathBadOrderFills(t *testing.T) {
+	// Eliminating the middle of a path first creates fill; the natural
+	// order creates none, so it must have strictly smaller flops.
+	n := 11
+	g := pathGraph(n)
+	natural, _ := Analyze(g, IdentityPerm(n))
+	// Worst-ish order: middle outward.
+	perm := []int{5, 4, 6, 3, 7, 2, 8, 1, 9, 0, 10}
+	bad, err := Analyze(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.NnzL < natural.NnzL {
+		t.Fatalf("bad order has less fill (%d) than natural (%d)", bad.NnzL, natural.NnzL)
+	}
+}
+
+func TestAnalyzeStarCenterLast(t *testing.T) {
+	// Star with center eliminated last: leaves are independent, no fill.
+	k := 8
+	b := graph.NewBuilder(k + 1)
+	for i := 1; i <= k; i++ {
+		b.AddEdge(0, i)
+	}
+	g := b.MustBuild()
+	perm := make([]int, k+1)
+	for i := 0; i < k; i++ {
+		perm[i] = i + 1 // leaves first
+	}
+	perm[k] = 0 // center last
+	a, err := Analyze(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NnzL != int64(2*k+1) {
+		t.Fatalf("NnzL = %d, want %d (no fill)", a.NnzL, 2*k+1)
+	}
+	if a.Height != 1 {
+		t.Fatalf("Height = %d, want 1 (perfectly parallel)", a.Height)
+	}
+	// Center first: complete fill among leaves.
+	perm2 := append([]int{0}, perm[:k]...)
+	a2, _ := Analyze(g, perm2)
+	if a2.NnzL <= a.NnzL {
+		t.Fatalf("center-first fill %d not worse than center-last %d", a2.NnzL, a.NnzL)
+	}
+}
+
+func TestAnalyzeRejectsBadPerm(t *testing.T) {
+	g := pathGraph(4)
+	if _, err := Analyze(g, []int{0, 1, 2}); err == nil {
+		t.Error("short perm accepted")
+	}
+	if _, err := Analyze(g, []int{0, 1, 2, 2}); err == nil {
+		t.Error("duplicate perm accepted")
+	}
+	if _, err := Analyze(g, []int{0, 1, 2, 9}); err == nil {
+		t.Error("out-of-range perm accepted")
+	}
+}
+
+func TestInversePerm(t *testing.T) {
+	perm := []int{2, 0, 3, 1}
+	ip := InversePerm(perm)
+	for i, v := range perm {
+		if ip[v] != i {
+			t.Fatalf("InversePerm wrong at %d", i)
+		}
+	}
+}
+
+// naiveFactorCounts computes column counts by explicit symbolic elimination
+// (quadratic, for cross-checking).
+func naiveFactorCounts(g *graph.Graph, perm []int) []int {
+	n := g.NumVertices()
+	iperm := InversePerm(perm)
+	// rows[j] = set of ordered indices i > j with L[i][j] != 0.
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = map[int]bool{}
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			adj[iperm[v]][iperm[u]] = true
+		}
+	}
+	counts := make([]int, n)
+	for j := 0; j < n; j++ {
+		var lower []int
+		for i := range adj[j] {
+			if i > j {
+				lower = append(lower, i)
+			}
+		}
+		counts[j] = len(lower) + 1
+		// Eliminating j connects all its higher neighbors pairwise.
+		for a := 0; a < len(lower); a++ {
+			for b := a + 1; b < len(lower); b++ {
+				adj[lower[a]][lower[b]] = true
+				adj[lower[b]][lower[a]] = true
+			}
+		}
+	}
+	return counts
+}
+
+func TestAnalyzeMatchesNaiveElimination(t *testing.T) {
+	g := matgen.Mesh2DTri(6, 6, 0, 1)
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		perm := rng.Perm(n)
+		a, err := Analyze(g, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveFactorCounts(g, perm)
+		for j := 0; j < n; j++ {
+			if a.ColCount[j] != want[j] {
+				t.Fatalf("trial %d: ColCount[%d] = %d, want %d", trial, j, a.ColCount[j], want[j])
+			}
+		}
+	}
+}
+
+// Property: fill is invariant in total under relabeling the same structure,
+// and NnzL >= nnz(A)/2 + n always (the factor contains the lower triangle).
+func TestAnalyzePropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := matgen.FE3DTetra(4, 4, 3, seed)
+		n := g.NumVertices()
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(n)
+		a, err := Analyze(g, perm)
+		if err != nil {
+			return false
+		}
+		if a.NnzL < int64(g.NumEdges()+n) {
+			return false
+		}
+		// Parent indices always exceed child indices.
+		for j, p := range a.Parent {
+			if p != -1 && p <= j {
+				return false
+			}
+		}
+		return a.Flops >= float64(a.NnzL)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+package spectral
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpart/internal/matgen"
+)
+
+func BenchmarkFiedlerCoarse(b *testing.B) {
+	// The per-bisection cost of the spectral initial partitioner: an exact
+	// Lanczos solve on a ~100-vertex coarse graph.
+	g := matgen.Mesh2DTri(10, 10, 0, 1)
+	r := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fiedler(g, g.NumVertices()-1, nil, r)
+	}
+}
+
+func BenchmarkMSBisect(b *testing.B) {
+	g := matgen.FE3DTetra(12, 12, 12, 3)
+	r := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MSBisect(g, MSBOptions{}, r)
+	}
+}

@@ -1,0 +1,190 @@
+// Package spectral implements the eigenvector machinery the paper's
+// baselines rely on: Lanczos iteration with full reorthogonalization for
+// the Fiedler vector of a weighted graph Laplacian, and the multilevel
+// spectral bisection (MSB) algorithm of Barnard & Simon used as the main
+// comparison partitioner (Figures 1, 2 and 4 of the paper).
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"mlpart/internal/graph"
+)
+
+// Fiedler approximates the eigenvector of the second-smallest eigenvalue
+// of the weighted Laplacian L = D - W of g. seed, when non-nil, is the
+// starting vector (the multilevel interpolation trick: a seed close to the
+// answer converges in a handful of iterations); otherwise a random start
+// from rng is used. maxIter bounds the Lanczos steps; min(maxIter, n-1)
+// steps are run with full reorthogonalization, which is robust for the
+// coarse graphs (hundreds of vertices) and short polish runs this package
+// performs. For n < 2 a zero vector is returned.
+func Fiedler(g *graph.Graph, maxIter int, seed []float64, rng *rand.Rand) []float64 {
+	n := g.NumVertices()
+	out := make([]float64, n)
+	if n < 2 {
+		return out
+	}
+	if maxIter > n-1 {
+		maxIter = n - 1
+	}
+	if maxIter < 1 {
+		maxIter = 1
+	}
+
+	wdeg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		wdeg[v] = float64(g.WeightedDegree(v))
+	}
+
+	q := make([]float64, n)
+	if seed != nil {
+		copy(q, seed)
+	} else {
+		for i := range q {
+			q[i] = rng.Float64() - 0.5
+		}
+	}
+	deflateConstant(q)
+	if nrm := norm(q); nrm < 1e-12 {
+		// Degenerate seed; fall back to a deterministic ramp.
+		for i := range q {
+			q[i] = float64(i) - float64(n-1)/2
+		}
+		deflateConstant(q)
+	}
+	scale(q, 1/norm(q))
+
+	var basis [][]float64
+	var alpha, beta []float64
+	z := make([]float64, n)
+	var prev []float64
+	for j := 0; j < maxIter; j++ {
+		basis = append(basis, append([]float64(nil), q...))
+		applyLaplacian(g, wdeg, q, z)
+		a := dot(z, q)
+		alpha = append(alpha, a)
+		for i := range z {
+			z[i] -= a * q[i]
+		}
+		if prev != nil {
+			b := beta[len(beta)-1]
+			for i := range z {
+				z[i] -= b * prev[i]
+			}
+		}
+		// Full reorthogonalization keeps the basis numerically orthogonal
+		// and deflates the constant null vector.
+		deflateConstant(z)
+		for _, qi := range basis {
+			d := dot(z, qi)
+			for i := range z {
+				z[i] -= d * qi[i]
+			}
+		}
+		b := norm(z)
+		if b < 1e-10 {
+			break
+		}
+		beta = append(beta, b)
+		prev = q
+		q = append(q[:0], z...)
+		scale(q, 1/b)
+	}
+
+	m := len(alpha)
+	if m == 0 {
+		return out
+	}
+	evals, evecs := tql2(alpha, beta[:m-1])
+	// Smallest Ritz value of the deflated operator is the Fiedler value.
+	best := 0
+	for i := 1; i < m; i++ {
+		if evals[i] < evals[best] {
+			best = i
+		}
+	}
+	for i := 0; i < m; i++ {
+		c := evecs[i][best]
+		for v := 0; v < n; v++ {
+			out[v] += c * basis[i][v]
+		}
+	}
+	return out
+}
+
+// applyLaplacian computes y = (D - W) x.
+func applyLaplacian(g *graph.Graph, wdeg, x, y []float64) {
+	for v := range y {
+		s := wdeg[v] * x[v]
+		adj := g.Neighbors(v)
+		wgt := g.EdgeWeights(v)
+		for i, u := range adj {
+			s -= float64(wgt[i]) * x[u]
+		}
+		y[v] = s
+	}
+}
+
+// deflateConstant removes the component along the all-ones vector.
+func deflateConstant(x []float64) {
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	for i := range x {
+		x[i] -= mean
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+func scale(a []float64, c float64) {
+	for i := range a {
+		a[i] *= c
+	}
+}
+
+// SplitAtMedian converts an embedding vector into a bisection by splitting
+// at the weighted median: vertices are sorted by vec value and assigned to
+// part 0 until its weight reaches target0, the rest to part 1. This is the
+// standard spectral-bisection rounding and guarantees balance up to one
+// vertex weight.
+func SplitAtMedian(g *graph.Graph, vec []float64, target0 int) []int {
+	n := g.NumVertices()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if vec[a] != vec[b] {
+			return vec[a] < vec[b]
+		}
+		return a < b
+	})
+	where := make([]int, n)
+	for i := range where {
+		where[i] = 1
+	}
+	acc := 0
+	for _, v := range order {
+		if acc >= target0 {
+			break
+		}
+		where[v] = 0
+		acc += g.Vwgt[v]
+	}
+	return where
+}

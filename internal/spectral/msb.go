@@ -1,0 +1,131 @@
+package spectral
+
+import (
+	"math/rand"
+
+	"mlpart/internal/coarsen"
+	"mlpart/internal/graph"
+	"mlpart/internal/refine"
+)
+
+// MSBOptions configures multilevel spectral bisection.
+type MSBOptions struct {
+	// CoarsenTo is the coarsest-graph size at which the Fiedler vector is
+	// computed exactly; 0 means 100 (as in Barnard & Simon).
+	CoarsenTo int
+	// PolishIter bounds the seeded Lanczos steps run at each finer level
+	// to refine the interpolated Fiedler vector (the stand-in for the
+	// SYMMLQ polish of the original algorithm). 0 selects the default
+	// max(30, 2*sqrt(n)) for a level with n vertices — iterative
+	// eigensolvers need more iterations as the spectral gap shrinks with
+	// problem size, which is what makes MSB increasingly expensive on
+	// large graphs (the effect Figure 4 of the paper measures).
+	PolishIter int
+	// KL, when true, runs Kernighan-Lin refinement on the final bisection
+	// (the MSB-KL variant of Figure 2).
+	KL bool
+	// TargetPwgt0 is the desired weight of part 0; 0 means half the total.
+	TargetPwgt0 int
+}
+
+func (o MSBOptions) withDefaults(g *graph.Graph) MSBOptions {
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 100
+	}
+
+	if o.TargetPwgt0 <= 0 {
+		o.TargetPwgt0 = g.TotalVertexWeight() / 2
+	}
+	return o
+}
+
+// defaultPolishIter models the convergence cost of the iterative Fiedler
+// polish: the spectral gap of mesh-like graphs shrinks with n, so the
+// iteration count grows like sqrt(n), bounded below by a useful minimum.
+func defaultPolishIter(n int) int {
+	it := 30
+	for s := 30; s*s < 4*n; s++ { // it = max(30, 2*sqrt(n))
+		it = s + 1
+	}
+	return it
+}
+
+// MSBisect bisects g with multilevel spectral bisection (Barnard & Simon):
+// the graph is coarsened with random matching, the Fiedler vector of the
+// coarsest graph is computed exactly, and during uncoarsening the vector is
+// interpolated to each finer graph and polished with a short seeded Lanczos
+// run. The final vector is rounded at the weighted median. It returns the
+// partition vector.
+func MSBisect(g *graph.Graph, opts MSBOptions, rng *rand.Rand) []int {
+	opts = opts.withDefaults(g)
+	n := g.NumVertices()
+	if n < 2 {
+		return make([]int, n)
+	}
+	h := coarsen.Coarsen(g, coarsen.Options{Scheme: coarsen.RM, CoarsenTo: opts.CoarsenTo}, rng)
+	levels := h.Levels
+	coarsest := levels[len(levels)-1].Graph
+	// Exact (full-dimension) Lanczos on the coarsest graph.
+	vec := Fiedler(coarsest, coarsest.NumVertices(), nil, rng)
+	for li := len(levels) - 2; li >= 0; li-- {
+		fine := levels[li].Graph
+		cmap := levels[li].Cmap
+		fvec := make([]float64, fine.NumVertices())
+		for v := range fvec {
+			fvec[v] = vec[cmap[v]]
+		}
+		iters := opts.PolishIter
+		if iters <= 0 {
+			iters = defaultPolishIter(fine.NumVertices())
+		}
+		vec = Fiedler(fine, iters, fvec, rng)
+	}
+	where := SplitAtMedian(g, vec, opts.TargetPwgt0)
+	if opts.KL {
+		b := refine.NewBisection(g, where)
+		refine.Refine(b, refine.KLR, refine.Options{
+			TargetPwgt: [2]int{opts.TargetPwgt0, g.TotalVertexWeight() - opts.TargetPwgt0},
+		})
+		where = b.Where
+	}
+	return where
+}
+
+// MSBPartition recursively applies MSBisect to produce a k-way partition,
+// mirroring how the paper's baseline produces 64/128/256-way partitions.
+// It returns the k-way partition vector.
+func MSBPartition(g *graph.Graph, k int, opts MSBOptions, rng *rand.Rand) []int {
+	where := make([]int, g.NumVertices())
+	ids := make([]int, g.NumVertices())
+	for i := range ids {
+		ids[i] = i
+	}
+	msbRecurse(g, ids, k, 0, opts, rng, where)
+	return where
+}
+
+func msbRecurse(g *graph.Graph, ids []int, k, base int, opts MSBOptions, rng *rand.Rand, out []int) {
+	if k <= 1 || g.NumVertices() == 0 {
+		for _, id := range ids {
+			out[id] = base
+		}
+		return
+	}
+	kl := k / 2
+	kr := k - kl
+	o := opts
+	o.TargetPwgt0 = g.TotalVertexWeight() * kl / k
+	where := MSBisect(g, o, rng)
+	left, l2gL := g.PartSubgraph(where, 0)
+	right, l2gR := g.PartSubgraph(where, 1)
+	idsL := make([]int, left.NumVertices())
+	for i, lv := range l2gL {
+		idsL[i] = ids[lv]
+	}
+	idsR := make([]int, right.NumVertices())
+	for i, rv := range l2gR {
+		idsR[i] = ids[rv]
+	}
+	msbRecurse(left, idsL, kl, base, opts, rng, out)
+	msbRecurse(right, idsR, kr, base+kl, opts, rng, out)
+}

@@ -1,0 +1,226 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlpart/internal/matgen"
+	"mlpart/internal/refine"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestTql2Diagonal(t *testing.T) {
+	d, z := tql2([]float64{3, 1, 2}, []float64{0, 0})
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-12 {
+			t.Fatalf("eigenvalues %v, want %v", d, want)
+		}
+	}
+	// Eigenvector for eigenvalue 1 is e_1 (original position of value 1).
+	if math.Abs(math.Abs(z[1][0])-1) > 1e-12 {
+		t.Fatalf("eigenvector wrong: %v", z)
+	}
+}
+
+func TestTql2KnownTridiagonal(t *testing.T) {
+	// Laplacian of the path graph P3: diag {1,2,1}, sub {-1,-1}.
+	// Eigenvalues are 0, 1, 3.
+	d, z := tql2([]float64{1, 2, 1}, []float64{-1, -1})
+	want := []float64{0, 1, 3}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-10 {
+			t.Fatalf("eigenvalues %v, want %v", d, want)
+		}
+	}
+	// Check residual ||Tv - λv|| for each eigenpair.
+	T := [][]float64{{1, -1, 0}, {-1, 2, -1}, {0, -1, 1}}
+	for j := 0; j < 3; j++ {
+		for i := 0; i < 3; i++ {
+			s := 0.0
+			for k := 0; k < 3; k++ {
+				s += T[i][k] * z[k][j]
+			}
+			if math.Abs(s-d[j]*z[i][j]) > 1e-10 {
+				t.Fatalf("residual too large for eigenpair %d", j)
+			}
+		}
+	}
+}
+
+func TestTql2RandomResiduals(t *testing.T) {
+	r := rng(5)
+	n := 30
+	alpha := make([]float64, n)
+	beta := make([]float64, n-1)
+	for i := range alpha {
+		alpha[i] = r.Float64() * 10
+	}
+	for i := range beta {
+		beta[i] = r.Float64()*2 - 1
+	}
+	d, z := tql2(alpha, beta)
+	for j := 0; j < n; j++ {
+		if j > 0 && d[j] < d[j-1] {
+			t.Fatal("eigenvalues not sorted")
+		}
+		// Residual of (T - d[j] I) z[:,j].
+		res := 0.0
+		for i := 0; i < n; i++ {
+			s := alpha[i] * z[i][j]
+			if i > 0 {
+				s += beta[i-1] * z[i-1][j]
+			}
+			if i < n-1 {
+				s += beta[i] * z[i+1][j]
+			}
+			res += (s - d[j]*z[i][j]) * (s - d[j]*z[i][j])
+		}
+		if math.Sqrt(res) > 1e-8 {
+			t.Fatalf("eigenpair %d residual %g", j, math.Sqrt(res))
+		}
+	}
+}
+
+func TestFiedlerPathGraph(t *testing.T) {
+	// The Fiedler vector of a path is monotone along the path, so sorting
+	// by it recovers the path order (up to reversal).
+	g := matgen.Grid2D(1, 20) // path with 20 vertices
+	vec := Fiedler(g, 19, nil, rng(1))
+	inc, dec := true, true
+	for i := 1; i < len(vec); i++ {
+		if vec[i] < vec[i-1] {
+			inc = false
+		}
+		if vec[i] > vec[i-1] {
+			dec = false
+		}
+	}
+	if !inc && !dec {
+		t.Fatalf("Fiedler vector of path not monotone: %v", vec)
+	}
+}
+
+func TestFiedlerEigenResidual(t *testing.T) {
+	g := matgen.Mesh2DTri(8, 8, 0, 2)
+	n := g.NumVertices()
+	vec := Fiedler(g, n-1, nil, rng(3))
+	// Rayleigh quotient and residual of the computed vector.
+	wdeg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		wdeg[v] = float64(g.WeightedDegree(v))
+	}
+	y := make([]float64, n)
+	applyLaplacian(g, wdeg, vec, y)
+	lambda := dot(y, vec) / dot(vec, vec)
+	if lambda <= 1e-8 {
+		t.Fatalf("Fiedler value %g not positive (picked the null vector?)", lambda)
+	}
+	res := 0.0
+	for i := range y {
+		d := y[i] - lambda*vec[i]
+		res += d * d
+	}
+	res = math.Sqrt(res) / norm(vec)
+	if res > 1e-6 {
+		t.Fatalf("residual %g too large", res)
+	}
+	// Orthogonal to the constant vector.
+	s := 0.0
+	for _, v := range vec {
+		s += v
+	}
+	if math.Abs(s) > 1e-6*float64(n) {
+		t.Fatalf("not deflated: sum %g", s)
+	}
+}
+
+func TestFiedlerSeparatesDumbbell(t *testing.T) {
+	// Two dense clusters joined by a single edge: the Fiedler vector's sign
+	// separates the clusters.
+	g := matgen.FinanceLP(2, 20, 4)
+	n := g.NumVertices()
+	vec := Fiedler(g, n-1, nil, rng(5))
+	where := SplitAtMedian(g, vec, g.TotalVertexWeight()/2)
+	cut := refine.ComputeCut(g, where)
+	if cut > g.NumEdges()/8 {
+		t.Fatalf("spectral split of clustered graph cut %d of %d edges", cut, g.NumEdges())
+	}
+}
+
+func TestSplitAtMedianBalance(t *testing.T) {
+	g := matgen.Grid2D(10, 10)
+	vec := Fiedler(g, 60, nil, rng(6))
+	where := SplitAtMedian(g, vec, 50)
+	w0 := 0
+	for v, p := range where {
+		if p == 0 {
+			w0 += g.Vwgt[v]
+		}
+	}
+	if w0 < 45 || w0 > 55 {
+		t.Fatalf("part 0 weight %d, want ~50", w0)
+	}
+}
+
+func TestFiedlerTinyGraphs(t *testing.T) {
+	g1 := matgen.Grid2D(1, 1)
+	if v := Fiedler(g1, 5, nil, rng(1)); len(v) != 1 {
+		t.Fatal("n=1 Fiedler wrong length")
+	}
+	g2 := matgen.Grid2D(1, 2)
+	v := Fiedler(g2, 5, nil, rng(1))
+	if len(v) != 2 || math.Abs(v[0]+v[1]) > 1e-9 {
+		t.Fatalf("n=2 Fiedler = %v, want antisymmetric", v)
+	}
+}
+
+func TestMSBisectQualityOnGrid(t *testing.T) {
+	// A 24x24 grid has optimal bisection 24; MSB should be close.
+	g := matgen.Grid2D(24, 24)
+	where := MSBisect(g, MSBOptions{}, rng(7))
+	cut := refine.ComputeCut(g, where)
+	if cut > 2*24 {
+		t.Fatalf("MSB cut %d on 24x24 grid, want <= 48", cut)
+	}
+	w0 := 0
+	for v, p := range where {
+		if p == 0 {
+			w0 += g.Vwgt[v]
+		}
+	}
+	if w0 != g.TotalVertexWeight()/2 {
+		t.Fatalf("MSB unbalanced: %d", w0)
+	}
+}
+
+func TestMSBKLImproves(t *testing.T) {
+	g := matgen.Mesh2DTri(30, 30, 0.02, 8)
+	plain := MSBisect(g, MSBOptions{}, rng(9))
+	kl := MSBisect(g, MSBOptions{KL: true}, rng(9))
+	if refine.ComputeCut(g, kl) > refine.ComputeCut(g, plain) {
+		t.Fatalf("MSB-KL (%d) worse than MSB (%d)",
+			refine.ComputeCut(g, kl), refine.ComputeCut(g, plain))
+	}
+}
+
+func TestMSBPartitionKWay(t *testing.T) {
+	g := matgen.Mesh2DTri(20, 20, 0, 10)
+	k := 8
+	where := MSBPartition(g, k, MSBOptions{}, rng(11))
+	counts := make([]int, k)
+	for _, p := range where {
+		if p < 0 || p >= k {
+			t.Fatalf("part %d out of range", p)
+		}
+		counts[p]++
+	}
+	avg := g.NumVertices() / k
+	for p, c := range counts {
+		if c < avg/2 || c > avg*2 {
+			t.Fatalf("part %d has %d vertices, avg %d", p, c, avg)
+		}
+	}
+}

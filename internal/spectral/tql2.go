@@ -1,0 +1,109 @@
+package spectral
+
+import "math"
+
+// tql2 computes all eigenvalues and eigenvectors of a symmetric tridiagonal
+// matrix with diagonal alpha (length n) and subdiagonal beta (length n-1),
+// using the implicit QL method (a translation of the EISPACK routine of the
+// same name). It returns the eigenvalues in ascending order and the matrix
+// z with z[i][j] = component i of the eigenvector for eigenvalue j.
+func tql2(alpha, beta []float64) ([]float64, [][]float64) {
+	n := len(alpha)
+	d := append([]float64(nil), alpha...)
+	e := make([]float64, n)
+	copy(e, beta)
+	z := make([][]float64, n)
+	for i := range z {
+		z[i] = make([]float64, n)
+		z[i][i] = 1
+	}
+	if n == 1 {
+		return d, z
+	}
+
+	const eps = 2.22e-16
+	f, tst1 := 0.0, 0.0
+	for l := 0; l < n; l++ {
+		// Find a small subdiagonal element.
+		tst1 = math.Max(tst1, math.Abs(d[l])+math.Abs(e[l]))
+		m := l
+		for m < n {
+			if math.Abs(e[m]) <= eps*tst1 {
+				break
+			}
+			m++
+		}
+		// If m == l, d[l] is an eigenvalue; otherwise iterate.
+		if m > l {
+			for iter := 0; ; iter++ {
+				// Compute implicit shift.
+				g := d[l]
+				p := (d[l+1] - g) / (2 * e[l])
+				r := math.Hypot(p, 1)
+				if p < 0 {
+					r = -r
+				}
+				d[l] = e[l] / (p + r)
+				d[l+1] = e[l] * (p + r)
+				dl1 := d[l+1]
+				h := g - d[l]
+				for i := l + 2; i < n; i++ {
+					d[i] -= h
+				}
+				f += h
+				// Implicit QL transformation.
+				p = d[m]
+				c, c2, c3 := 1.0, 1.0, 1.0
+				el1 := e[l+1]
+				s, s2 := 0.0, 0.0
+				for i := m - 1; i >= l; i-- {
+					c3 = c2
+					c2 = c
+					s2 = s
+					g = c * e[i]
+					h = c * p
+					r = math.Hypot(p, e[i])
+					e[i+1] = s * r
+					s = e[i] / r
+					c = p / r
+					p = c*d[i] - s*g
+					d[i+1] = h + s*(c*g+s*d[i])
+					// Accumulate transformation.
+					for k := 0; k < n; k++ {
+						h = z[k][i+1]
+						z[k][i+1] = s*z[k][i] + c*h
+						z[k][i] = c*z[k][i] - s*h
+					}
+				}
+				p = -s * s2 * c3 * el1 * e[l] / dl1
+				e[l] = s * p
+				d[l] = c * p
+				if math.Abs(e[l]) <= eps*tst1 {
+					break
+				}
+				if iter > 60 {
+					break // convergence failure; accept current values
+				}
+			}
+		}
+		d[l] += f
+		e[l] = 0
+	}
+
+	// Sort eigenvalues and corresponding vectors ascending.
+	for i := 0; i < n-1; i++ {
+		k := i
+		for j := i + 1; j < n; j++ {
+			if d[j] < d[k] {
+				k = j
+			}
+		}
+		if k != i {
+			d[i], d[k] = d[k], d[i]
+			for r := 0; r < n; r++ {
+				z[r][i], z[r][k] = z[r][k], z[r][i]
+			}
+		}
+	}
+	return d, z
+}

@@ -1,0 +1,167 @@
+// Package vcover turns the edge separator produced by a graph bisection
+// into a small vertex separator, as required by nested dissection ordering
+// (§4.3 of the paper). Following Pothen & Fan, the minimum vertex cover of
+// the bipartite graph induced by the cut edges is computed exactly via
+// Hopcroft-Karp maximum matching and König's theorem; that cover is a
+// minimum vertex separator among subsets of the boundary.
+package vcover
+
+import (
+	"mlpart/internal/graph"
+)
+
+// PartA, PartB and PartSep label the three-way output of Separator.
+const (
+	PartA   = 0
+	PartB   = 1
+	PartSep = 2
+)
+
+// Separator computes a vertex separator from a two-way partition. It
+// returns the separator vertices and a labeling where3 with values PartA,
+// PartB and PartSep such that no edge joins PartA and PartB directly.
+func Separator(g *graph.Graph, where []int) (sep []int, where3 []int) {
+	n := g.NumVertices()
+	// Collect the bipartite boundary graph: left = part-0 endpoints of cut
+	// edges, right = part-1 endpoints.
+	leftID := make(map[int]int)  // original -> left index
+	rightID := make(map[int]int) // original -> right index
+	var left, right []int
+	for v := 0; v < n; v++ {
+		if where[v] != 0 {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if where[u] == 1 {
+				if _, ok := leftID[v]; !ok {
+					leftID[v] = len(left)
+					left = append(left, v)
+				}
+				if _, ok := rightID[u]; !ok {
+					rightID[u] = len(right)
+					right = append(right, u)
+				}
+			}
+		}
+	}
+	// Bipartite adjacency, left to right.
+	adj := make([][]int, len(left))
+	for i, v := range left {
+		for _, u := range g.Neighbors(v) {
+			if where[u] == 1 {
+				adj[i] = append(adj[i], rightID[u])
+			}
+		}
+	}
+
+	matchL, matchR := hopcroftKarp(adj, len(right))
+
+	// König: alternate from unmatched left vertices. Z = visited set.
+	visL := make([]bool, len(left))
+	visR := make([]bool, len(right))
+	var queue []int
+	for i := range left {
+		if matchL[i] < 0 {
+			visL[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, j := range adj[i] {
+			if visR[j] {
+				continue
+			}
+			visR[j] = true
+			// Follow the matched edge back to the left.
+			if i2 := matchR[j]; i2 >= 0 && !visL[i2] {
+				visL[i2] = true
+				queue = append(queue, i2)
+			}
+		}
+	}
+	// Cover = (L \ Z) ∪ (R ∩ Z).
+	where3 = make([]int, n)
+	copy(where3, where)
+	for i, v := range left {
+		if !visL[i] {
+			where3[v] = PartSep
+			sep = append(sep, v)
+		}
+	}
+	for j, v := range right {
+		if visR[j] {
+			where3[v] = PartSep
+			sep = append(sep, v)
+		}
+	}
+	return sep, where3
+}
+
+// hopcroftKarp computes a maximum matching of a bipartite graph given as
+// left-side adjacency lists into [0, nRight). It returns matchL and matchR
+// (partner indices, -1 if unmatched) in O(E sqrt(V)).
+func hopcroftKarp(adj [][]int, nRight int) (matchL, matchR []int) {
+	nLeft := len(adj)
+	matchL = make([]int, nLeft)
+	matchR = make([]int, nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for j := range matchR {
+		matchR[j] = -1
+	}
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, nLeft)
+	queue := make([]int, 0, nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for i := 0; i < nLeft; i++ {
+			if matchL[i] < 0 {
+				dist[i] = 0
+				queue = append(queue, i)
+			} else {
+				dist[i] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			i := queue[qi]
+			for _, j := range adj[i] {
+				i2 := matchR[j]
+				if i2 < 0 {
+					found = true
+				} else if dist[i2] == inf {
+					dist[i2] = dist[i] + 1
+					queue = append(queue, i2)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		for _, j := range adj[i] {
+			i2 := matchR[j]
+			if i2 < 0 || (dist[i2] == dist[i]+1 && dfs(i2)) {
+				matchL[i] = j
+				matchR[j] = i
+				return true
+			}
+		}
+		dist[i] = inf
+		return false
+	}
+
+	for bfs() {
+		for i := 0; i < nLeft; i++ {
+			if matchL[i] < 0 {
+				dfs(i)
+			}
+		}
+	}
+	return matchL, matchR
+}

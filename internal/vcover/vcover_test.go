@@ -1,0 +1,279 @@
+package vcover
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlpart/internal/graph"
+	"mlpart/internal/matgen"
+	"mlpart/internal/multilevel"
+)
+
+// checkSeparator verifies that where3 is a valid vertex separator: no edge
+// connects PartA directly to PartB, and sep lists exactly the PartSep set.
+func checkSeparator(t *testing.T, g *graph.Graph, sep []int, where3 []int) {
+	t.Helper()
+	inSep := make(map[int]bool, len(sep))
+	for _, v := range sep {
+		if where3[v] != PartSep {
+			t.Fatalf("separator vertex %d labeled %d", v, where3[v])
+		}
+		if inSep[v] {
+			t.Fatalf("separator lists %d twice", v)
+		}
+		inSep[v] = true
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if where3[v] == PartSep && !inSep[v] {
+			t.Fatalf("vertex %d labeled separator but missing from list", v)
+		}
+		if where3[v] != PartA {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if where3[u] == PartB {
+				t.Fatalf("edge (%d,%d) crosses A-B after separation", v, u)
+			}
+		}
+	}
+}
+
+func TestSeparatorOnPath(t *testing.T) {
+	// Path 0-1-2-3 split {0,1} | {2,3}: one cut edge, separator size 1.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	sep, where3 := Separator(g, []int{0, 0, 1, 1})
+	checkSeparator(t, g, sep, where3)
+	if len(sep) != 1 {
+		t.Fatalf("separator size %d, want 1", len(sep))
+	}
+	if sep[0] != 1 && sep[0] != 2 {
+		t.Fatalf("separator = %v, want {1} or {2}", sep)
+	}
+}
+
+func TestSeparatorSmallerThanEdgeCut(t *testing.T) {
+	// Star from one part-0 vertex to many part-1 vertices: edge cut is
+	// large but the vertex cover is the single center.
+	k := 10
+	b := graph.NewBuilder(k + 1)
+	for i := 1; i <= k; i++ {
+		b.AddEdge(0, i)
+	}
+	g := b.MustBuild()
+	where := make([]int, k+1)
+	for i := 1; i <= k; i++ {
+		where[i] = 1
+	}
+	sep, where3 := Separator(g, where)
+	checkSeparator(t, g, sep, where3)
+	if len(sep) != 1 || sep[0] != 0 {
+		t.Fatalf("separator = %v, want {0}", sep)
+	}
+}
+
+func TestSeparatorGrid(t *testing.T) {
+	// 8x8 grid split into left/right halves: minimum vertex separator is
+	// one column (8 vertices), matching the matching size.
+	g := matgen.Grid2D(8, 8)
+	where := make([]int, 64)
+	for v := 0; v < 64; v++ {
+		if v%8 >= 4 {
+			where[v] = 1
+		}
+	}
+	sep, where3 := Separator(g, where)
+	checkSeparator(t, g, sep, where3)
+	if len(sep) != 8 {
+		t.Fatalf("separator size %d, want 8", len(sep))
+	}
+}
+
+func TestSeparatorNoCut(t *testing.T) {
+	// Already-disconnected parts: empty separator.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	sep, where3 := Separator(g, []int{0, 0, 1, 1})
+	checkSeparator(t, g, sep, where3)
+	if len(sep) != 0 {
+		t.Fatalf("separator = %v, want empty", sep)
+	}
+}
+
+func TestHopcroftKarpPerfectMatching(t *testing.T) {
+	// Complete bipartite K3,3 has a perfect matching.
+	adj := [][]int{{0, 1, 2}, {0, 1, 2}, {0, 1, 2}}
+	mL, mR := hopcroftKarp(adj, 3)
+	for i, j := range mL {
+		if j < 0 || mR[j] != i {
+			t.Fatalf("imperfect matching: %v %v", mL, mR)
+		}
+	}
+}
+
+func TestHopcroftKarpKnownSize(t *testing.T) {
+	// Left 0 -> {0}, left 1 -> {0}: maximum matching 1.
+	adj := [][]int{{0}, {0}}
+	mL, _ := hopcroftKarp(adj, 1)
+	cnt := 0
+	for _, j := range mL {
+		if j >= 0 {
+			cnt++
+		}
+	}
+	if cnt != 1 {
+		t.Fatalf("matching size %d, want 1", cnt)
+	}
+}
+
+// Property: on multilevel bisections of random meshes the separator is
+// valid and never larger than the boundary of the smaller side.
+func TestSeparatorPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := matgen.Mesh2DTri(12, 12, 0.02, seed)
+		res, err := multilevel.Partition(g, 2, multilevel.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		sep, where3 := Separator(g, res.Where)
+		// Validity.
+		for v := 0; v < g.NumVertices(); v++ {
+			if where3[v] == PartA {
+				for _, u := range g.Neighbors(v) {
+					if where3[u] == PartB {
+						return false
+					}
+				}
+			}
+		}
+		// König: separator size equals the bipartite matching size, which
+		// is at most the number of cut edges and at most either boundary.
+		bA, bB := 0, 0
+		seen := make(map[int]bool)
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, u := range g.Neighbors(v) {
+				if res.Where[v] == 0 && res.Where[u] == 1 {
+					if !seen[v] {
+						seen[v] = true
+						bA++
+					}
+					if !seen[u+g.NumVertices()] {
+						seen[u+g.NumVertices()] = true
+						bB++
+					}
+				}
+			}
+		}
+		min := bA
+		if bB < bA {
+			min = bB
+		}
+		return len(sep) <= min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeparatorDeterministicAcrossRuns(t *testing.T) {
+	g := matgen.Mesh2DTri(10, 10, 0, 3)
+	where := make([]int, g.NumVertices())
+	r := rand.New(rand.NewSource(4))
+	for i := range where {
+		where[i] = r.Intn(2)
+	}
+	s1, _ := Separator(g, where)
+	s2, _ := Separator(g, where)
+	if len(s1) != len(s2) {
+		t.Fatal("separator not deterministic")
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("separator order not deterministic")
+		}
+	}
+}
+
+// checkValidSeparator verifies no A-B edge exists under where3.
+func checkValidSeparator(t *testing.T, g *graph.Graph, where3 []int) {
+	t.Helper()
+	for v := 0; v < g.NumVertices(); v++ {
+		if where3[v] != PartA {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if where3[u] == PartB {
+				t.Fatalf("edge (%d,%d) crosses A-B", v, u)
+			}
+		}
+	}
+}
+
+func TestRefineSeparatorNeverGrows(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := matgen.Mesh2DTri(14, 14, 0.02, seed)
+		res, err := multilevel.Partition(g, 2, multilevel.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sep, where3 := Separator(g, res.Where)
+		before := len(sep)
+		refined := RefineSeparator(g, where3, 0)
+		checkValidSeparator(t, g, where3)
+		if len(refined) > before {
+			t.Fatalf("seed %d: separator grew %d -> %d", seed, before, len(refined))
+		}
+	}
+}
+
+func TestRefineSeparatorShrinksBloated(t *testing.T) {
+	// Put an entire column band of a grid into the separator; refinement
+	// must shrink it back toward a single column.
+	g := matgen.Grid2D(10, 10)
+	where3 := make([]int, 100)
+	for v := 0; v < 100; v++ {
+		switch c := v % 10; {
+		case c < 4:
+			where3[v] = PartA
+		case c < 7:
+			where3[v] = PartSep
+		default:
+			where3[v] = PartB
+		}
+	}
+	sep := RefineSeparator(g, where3, 0)
+	checkValidSeparator(t, g, where3)
+	if len(sep) > 12 {
+		t.Fatalf("separator still has %d vertices, want near 10", len(sep))
+	}
+}
+
+func TestRefineSeparatorEmptyAndTrivial(t *testing.T) {
+	g := matgen.Grid2D(3, 3)
+	where3 := make([]int, 9) // everything in A, no separator
+	sep := RefineSeparator(g, where3, 0)
+	if len(sep) != 0 {
+		t.Fatalf("invented separator %v", sep)
+	}
+}
+
+func TestRefineSeparatorTerminates(t *testing.T) {
+	// Pathological: everything in the separator. Must terminate and leave
+	// a valid (possibly empty-side) labeling.
+	g := matgen.Mesh2DTri(8, 8, 0, 7)
+	where3 := make([]int, g.NumVertices())
+	for i := range where3 {
+		where3[i] = PartSep
+	}
+	sep := RefineSeparator(g, where3, 0)
+	checkValidSeparator(t, g, where3)
+	if len(sep) == g.NumVertices() {
+		t.Fatal("no progress from all-separator state")
+	}
+}

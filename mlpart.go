@@ -1,0 +1,385 @@
+// Package mlpart is a from-scratch Go implementation of the multilevel
+// graph partitioning schemes of Karypis & Kumar, "Multilevel Graph
+// Partitioning Schemes" (ICPP 1995) — the algorithms that became METIS.
+//
+// The package partitions the vertices of a weighted undirected graph into k
+// parts of roughly equal weight while minimizing the weight of edges that
+// cross parts, and computes fill-reducing orderings of symmetric sparse
+// matrices by multilevel nested dissection. The multilevel scheme works in
+// three phases:
+//
+//  1. Coarsening: the graph is repeatedly shrunk by collapsing the pairs of
+//     a maximal matching (heavy-edge matching by default) into multinodes.
+//  2. Initial partitioning: the few-hundred-vertex coarsest graph is split
+//     by greedy graph growing (GGGP by default).
+//  3. Uncoarsening: the partition is projected back level by level and
+//     refined with boundary Kernighan-Lin variants (BKLGR by default).
+//
+// Every phase algorithm evaluated in the paper is available through
+// Options, as are the paper's baselines (multilevel spectral bisection,
+// Chaco-ML, multiple minimum degree) via the experiment harness in
+// cmd/mlbench.
+//
+// Quick start:
+//
+//	g, _ := mlpart.NewGraphFromCSR(xadj, adjncy, nil, nil)
+//	res, _ := mlpart.Partition(g, 8, nil)
+//	fmt.Println(res.EdgeCut, res.PartWeights)
+package mlpart
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"mlpart/internal/coarsen"
+	"mlpart/internal/graph"
+	"mlpart/internal/initpart"
+	"mlpart/internal/matgen"
+	"mlpart/internal/metrics"
+	"mlpart/internal/mmd"
+	"mlpart/internal/multilevel"
+	"mlpart/internal/ordering"
+	"mlpart/internal/refine"
+	"mlpart/internal/sparse"
+)
+
+// Graph is a weighted undirected graph in CSR form; see NewGraphFromCSR
+// and NewGraphBuilder for construction.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges and produces a validated Graph.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder for a graph with n vertices.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// NewGraphFromCSR wraps CSR arrays (xadj of length n+1, adjncy/adjwgt of
+// length xadj[n], vwgt of length n) in a validated Graph. vwgt and adjwgt
+// may be nil for unit weights.
+func NewGraphFromCSR(xadj, adjncy, adjwgt, vwgt []int) (*Graph, error) {
+	return graph.FromCSR(xadj, adjncy, adjwgt, vwgt)
+}
+
+// ReadGraph decodes a graph in METIS graph-file format.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// WriteGraph encodes a graph in METIS graph-file format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// ReadMatrixMarket decodes the adjacency structure of a square sparse
+// matrix in MatrixMarket coordinate format (the SuiteSparse collection's
+// format); see the package-level documentation of internal/graph for the
+// symmetrization and weight-rounding rules.
+func ReadMatrixMarket(r io.Reader) (*Graph, error) { return graph.ReadMatrixMarket(r) }
+
+// WriteMatrixMarket encodes g as a symmetric integer MatrixMarket file.
+func WriteMatrixMarket(w io.Writer, g *Graph) error { return graph.WriteMatrixMarket(w, g) }
+
+// WriteDOT encodes g in Graphviz DOT format; when where is non-nil,
+// vertices are colored by part and cut edges drawn dashed. For small
+// graphs and documentation.
+func WriteDOT(w io.Writer, g *Graph, where []int) error { return graph.WriteDOT(w, g, where) }
+
+// GenerateWorkload builds one of the named synthetic workloads standing in
+// for the paper's Table 1 matrices (see internal/matgen); scale 1.0 gives
+// laptop-sized graphs, smaller values shrink them. WorkloadNames lists the
+// valid names.
+func GenerateWorkload(name string, scale float64) (*Graph, error) {
+	w, err := matgen.Generate(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	return w.Graph, nil
+}
+
+// WorkloadNames lists the names accepted by GenerateWorkload.
+func WorkloadNames() []string { return matgen.AllNames() }
+
+// Matching scheme names accepted by Options.Matching.
+const (
+	MatchRM  = "RM"  // random matching
+	MatchHEM = "HEM" // heavy-edge matching (default; the paper's choice)
+	MatchLEM = "LEM" // light-edge matching
+	MatchHCM = "HCM" // heavy-clique matching
+)
+
+// Initial-partitioning method names accepted by Options.InitPart.
+const (
+	InitGGGP = "GGGP" // greedy graph growing (default; the paper's choice)
+	InitGGP  = "GGP"  // BFS graph growing
+	InitSBP  = "SBP"  // spectral bisection of the coarsest graph
+)
+
+// Refinement policy names accepted by Options.Refinement.
+const (
+	RefineNone  = "NONE"  // no refinement (projection only)
+	RefineGR    = "GR"    // greedy (one KL pass)
+	RefineKLR   = "KLR"   // Kernighan-Lin to convergence
+	RefineBGR   = "BGR"   // boundary greedy
+	RefineBKLR  = "BKLR"  // boundary Kernighan-Lin
+	RefineBKLGR = "BKLGR" // hybrid (default; the paper's choice)
+)
+
+// Options configures partitioning and ordering. The zero value (and a nil
+// *Options) is the configuration the paper recommends: HEM coarsening to
+// 100 vertices, GGGP initial partitioning with 5 trials, BKLGR refinement,
+// 5% imbalance tolerance, seed 0.
+type Options struct {
+	// Matching is the coarsening scheme: MatchRM, MatchHEM, MatchLEM or
+	// MatchHCM. Empty means MatchHEM.
+	Matching string
+	// InitPart is the coarsest-graph partitioner: InitGGGP, InitGGP or
+	// InitSBP. Empty means InitGGGP.
+	InitPart string
+	// Refinement is the uncoarsening policy: RefineNone, RefineGR,
+	// RefineKLR, RefineBGR, RefineBKLR or RefineBKLGR. Empty means
+	// RefineBKLGR.
+	Refinement string
+	// CoarsenTo is the coarsest-graph size (0 means 100).
+	CoarsenTo int
+	// Ubfactor is the allowed imbalance: each part may weigh up to
+	// Ubfactor times its target (0 means 1.05).
+	Ubfactor float64
+	// Seed drives all randomized choices; equal seeds give identical
+	// results.
+	Seed int64
+	// Parallel runs independent subproblems of recursive bisection and
+	// nested dissection on separate goroutines; results are unchanged.
+	Parallel bool
+	// KWayRefine runs an extra direct k-way refinement pass over the
+	// assembled partition after recursive bisection (never worsens the
+	// edge-cut; costs one extra sweep over the graph per pass).
+	KWayRefine bool
+	// NCuts runs every bisection this many times with independent seeds
+	// and keeps the best cut, trading time for quality; <=1 means once.
+	NCuts int
+	// CoarsenWorkers > 1 computes matchings with the parallel handshake
+	// algorithm on that many workers during coarsening; deterministic for
+	// a fixed seed regardless of worker count, but the matching differs
+	// from the sequential default.
+	CoarsenWorkers int
+	// CompressGraph enables indistinguishable-vertex compression before
+	// NestedDissection: groups of vertices with identical closed
+	// neighborhoods (multiple degrees of freedom per mesh node) collapse
+	// into weighted supervertices, shrinking every later phase. It has no
+	// effect on Partition.
+	CompressGraph bool
+}
+
+// toML converts public options to the internal configuration.
+func (o *Options) toML() (multilevel.Options, error) {
+	ml := multilevel.Options{}
+	if o == nil {
+		return ml, nil
+	}
+	ml.CoarsenTo = o.CoarsenTo
+	ml.Ubfactor = o.Ubfactor
+	ml.Seed = o.Seed
+	ml.Parallel = o.Parallel
+	ml.KWayRefine = o.KWayRefine
+	ml.NCuts = o.NCuts
+	ml.CoarsenWorkers = o.CoarsenWorkers
+	if o.Matching != "" {
+		s, err := coarsen.ParseScheme(o.Matching)
+		if err != nil {
+			return ml, err
+		}
+		ml = ml.WithMatching(s)
+	}
+	if o.InitPart != "" {
+		m, err := initpart.ParseMethod(o.InitPart)
+		if err != nil {
+			return ml, err
+		}
+		ml.InitMethod = m
+	}
+	if o.Refinement != "" {
+		p, err := refine.ParsePolicy(o.Refinement)
+		if err != nil {
+			return ml, err
+		}
+		ml = ml.WithRefinement(p)
+	}
+	return ml, nil
+}
+
+// Partitioning is the result of a k-way partition.
+type Partitioning struct {
+	// Where[v] is the part (0..k-1) assigned to vertex v.
+	Where []int
+	// EdgeCut is the total weight of edges whose endpoints lie in
+	// different parts — the objective the paper minimizes.
+	EdgeCut int
+	// PartWeights[p] is the total vertex weight of part p.
+	PartWeights []int
+}
+
+// Balance returns k*max(PartWeights)/total; 1.0 is a perfect balance.
+func (p *Partitioning) Balance() float64 {
+	tot, maxw := 0, 0
+	for _, w := range p.PartWeights {
+		tot += w
+		if w > maxw {
+			maxw = w
+		}
+	}
+	if tot == 0 {
+		return 1
+	}
+	return float64(len(p.PartWeights)) * float64(maxw) / float64(tot)
+}
+
+// Partition divides g into k parts by recursive multilevel bisection,
+// minimizing the edge-cut subject to the balance tolerance. opts may be
+// nil for the paper's recommended configuration.
+func Partition(g *Graph, k int, opts *Options) (*Partitioning, error) {
+	ml, err := optsOrDefault(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := multilevel.Partition(g, k, ml)
+	if err != nil {
+		return nil, err
+	}
+	return &Partitioning{
+		Where:       res.Where,
+		EdgeCut:     res.EdgeCut,
+		PartWeights: res.PartWeights,
+	}, nil
+}
+
+// PartitionWeighted divides g into len(fractions) parts where part p
+// receives approximately fractions[p] of the total vertex weight — for
+// heterogeneous targets such as processors of different speeds. Fractions
+// must be positive and are normalized internally.
+func PartitionWeighted(g *Graph, fractions []float64, opts *Options) (*Partitioning, error) {
+	ml, err := optsOrDefault(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := multilevel.PartitionWeighted(g, fractions, ml)
+	if err != nil {
+		return nil, err
+	}
+	return &Partitioning{
+		Where:       res.Where,
+		EdgeCut:     res.EdgeCut,
+		PartWeights: res.PartWeights,
+	}, nil
+}
+
+// PartitionDirectKWay divides g into k parts with the direct multilevel
+// k-way scheme: one coarsening pass, a k-way split of the coarsest graph,
+// and k-way refinement at every uncoarsening level. It is substantially
+// faster than Partition for large k at comparable quality (the follow-up
+// direction of the paper's authors; provided as an extension).
+func PartitionDirectKWay(g *Graph, k int, opts *Options) (*Partitioning, error) {
+	ml, err := optsOrDefault(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := multilevel.PartitionKWay(g, k, ml)
+	if err != nil {
+		return nil, err
+	}
+	return &Partitioning{
+		Where:       res.Where,
+		EdgeCut:     res.EdgeCut,
+		PartWeights: res.PartWeights,
+	}, nil
+}
+
+// Bisect splits g into two parts of equal target weight and returns the
+// 2-way Partitioning.
+func Bisect(g *Graph, opts *Options) (*Partitioning, error) {
+	ml, err := optsOrDefault(opts)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(ml.Seed))
+	b, _ := multilevel.Bisect(g, 0, ml, rng)
+	return &Partitioning{
+		Where:       b.Where,
+		EdgeCut:     b.Cut,
+		PartWeights: []int{b.Pwgt[0], b.Pwgt[1]},
+	}, nil
+}
+
+// EdgeCut returns the edge-cut of an arbitrary partition vector of g; use
+// it to evaluate externally produced partitions.
+func EdgeCut(g *Graph, where []int) int { return refine.ComputeCut(g, where) }
+
+// PartitionReport summarizes partition quality beyond the edge-cut:
+// communication volume, boundary size, balance, part adjacency and
+// per-part connectivity.
+type PartitionReport = metrics.Report
+
+// EvaluatePartition computes a PartitionReport for any partition vector
+// with parts in 0..k-1, whether produced by this package or externally.
+func EvaluatePartition(g *Graph, where []int, k int) (*PartitionReport, error) {
+	return metrics.Evaluate(g, where, k)
+}
+
+// NestedDissection computes a fill-reducing ordering of the symmetric
+// matrix whose adjacency structure is g, using multilevel nested dissection
+// (MLND). It returns perm (perm[i] = the vertex eliminated i-th) and iperm
+// (its inverse: iperm[v] = the position of v in the elimination order).
+func NestedDissection(g *Graph, opts *Options) (perm, iperm []int, err error) {
+	ml, err := optsOrDefault(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	o := ordering.Options{ML: ml, Seed: ml.Seed, Parallel: ml.Parallel}
+	if opts != nil && opts.CompressGraph {
+		perm = ordering.MLNDCompressed(g, o)
+	} else {
+		perm = ordering.MLND(g, o)
+	}
+	return perm, sparse.InversePerm(perm), nil
+}
+
+// MinimumDegree computes a fill-reducing ordering with the multiple
+// minimum degree algorithm (the serial baseline the paper compares MLND
+// against). Returns perm and iperm as in NestedDissection.
+func MinimumDegree(g *Graph) (perm, iperm []int) {
+	perm = mmd.Order(g)
+	return perm, sparse.InversePerm(perm)
+}
+
+// OrderingStats reports the symbolic Cholesky cost of factoring the matrix
+// with adjacency structure g under a given elimination order.
+type OrderingStats struct {
+	// FactorNonzeros is nnz(L), counting the diagonal.
+	FactorNonzeros int64
+	// OperationCount is the factorization flop count (sum of squared
+	// column counts), the measure the paper's Figure 5 compares.
+	OperationCount float64
+	// TreeHeight is the elimination tree height; lower means more
+	// concurrency for parallel factorization.
+	TreeHeight int
+}
+
+// AnalyzeOrdering symbolically factors g under perm and reports the cost.
+func AnalyzeOrdering(g *Graph, perm []int) (*OrderingStats, error) {
+	a, err := sparse.Analyze(g, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &OrderingStats{
+		FactorNonzeros: a.NnzL,
+		OperationCount: a.Flops,
+		TreeHeight:     a.Height,
+	}, nil
+}
+
+func optsOrDefault(opts *Options) (multilevel.Options, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	ml, err := opts.toML()
+	if err != nil {
+		return ml, fmt.Errorf("mlpart: %w", err)
+	}
+	return ml, nil
+}

@@ -1,0 +1,76 @@
+package mlpart
+
+import (
+	"fmt"
+
+	"mlpart/internal/kway"
+)
+
+// RepartitionOptions configures Repartition.
+type RepartitionOptions struct {
+	// Ubfactor is the balance target per part (0 means 1.05).
+	Ubfactor float64
+	// MigrationWeight trades cut quality against data movement: higher
+	// values keep more vertices in their incumbent part (0 means 1.0).
+	MigrationWeight float64
+	// Seed orders the rebalancing sweeps deterministically.
+	Seed int64
+}
+
+// RepartitionResult is the outcome of adapting a partition.
+type RepartitionResult struct {
+	// Where is the adapted partition vector.
+	Where []int
+	// EdgeCut is the adapted partition's cut.
+	EdgeCut int
+	// PartWeights are the adapted part weights under the graph's current
+	// vertex weights.
+	PartWeights []int
+	// MigratedWeight is the total vertex weight assigned to a different
+	// part than in the incumbent partition — the data that must move.
+	MigratedWeight int
+}
+
+// Repartition adapts an existing k-way partition to the graph's *current*
+// vertex weights — the dynamic load-balancing step of adaptive
+// computations, where per-vertex work changes after an initial placement
+// (e.g. adaptive mesh refinement). Unlike calling Partition from scratch,
+// it minimizes the weight that migrates away from the incumbent placement
+// oldWhere while restoring balance and keeping the cut low.
+//
+// oldWhere must assign every vertex a part in [0, k). It is not modified.
+func Repartition(g *Graph, k int, oldWhere []int, opts *RepartitionOptions) (*RepartitionResult, error) {
+	if len(oldWhere) != g.NumVertices() {
+		return nil, fmt.Errorf("mlpart: len(oldWhere) = %d, want %d", len(oldWhere), g.NumVertices())
+	}
+	for v, p := range oldWhere {
+		if p < 0 || p >= k {
+			return nil, fmt.Errorf("mlpart: oldWhere[%d] = %d, want [0,%d)", v, p, k)
+		}
+	}
+	if opts == nil {
+		opts = &RepartitionOptions{}
+	}
+	where := append([]int(nil), oldWhere...)
+	p := kway.NewPartition(g, k, where)
+	kway.Rebalance(p, oldWhere, kway.RebalanceOptions{
+		Ubfactor:        opts.Ubfactor,
+		MigrationWeight: opts.MigrationWeight,
+		Seed:            opts.Seed,
+	})
+	// Recover cut quality lost to the diffusion moves; greedy k-way
+	// refinement respects the balance the rebalance just established.
+	kway.Refine(p, kway.Options{Ubfactor: opts.Ubfactor, Seed: opts.Seed})
+	migrated := 0
+	for v, w := range p.Where {
+		if w != oldWhere[v] {
+			migrated += g.Vwgt[v]
+		}
+	}
+	return &RepartitionResult{
+		Where:          p.Where,
+		EdgeCut:        p.Cut,
+		PartWeights:    p.Pwgt,
+		MigratedWeight: migrated,
+	}, nil
+}

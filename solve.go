@@ -1,0 +1,83 @@
+package mlpart
+
+import (
+	"mlpart/internal/solver"
+	"mlpart/internal/sparse"
+)
+
+// Matrix is a symmetric sparse matrix over a Graph's adjacency structure,
+// suitable for the direct and iterative solvers below.
+type Matrix = sparse.Matrix
+
+// CholeskyFactor is a sparse Cholesky factorization; its Solve method
+// solves A x = b.
+type CholeskyFactor = sparse.CholFactor
+
+// NewLaplacianMatrix builds the graph Laplacian of g shifted by +shift on
+// the diagonal; any shift > 0 makes it symmetric positive definite, the
+// standard model problem for testing orderings and solvers.
+func NewLaplacianMatrix(g *Graph, shift float64) *Matrix {
+	return sparse.NewLaplacian(g, shift)
+}
+
+// FactorizeSPD computes the sparse Cholesky factorization of m under the
+// elimination order perm (for example one produced by NestedDissection —
+// the better the ordering, the fewer nonzeros and operations the factor
+// costs). It fails if a pivot is non-positive.
+func FactorizeSPD(m *Matrix, perm []int) (*CholeskyFactor, error) {
+	return sparse.Factorize(m, perm)
+}
+
+// CGOptions configures SolveCG.
+type CGOptions struct {
+	// Tol is the relative residual target (0 means 1e-8).
+	Tol float64
+	// MaxIter bounds the iterations (0 means 10n).
+	MaxIter int
+	// Jacobi enables diagonal preconditioning.
+	Jacobi bool
+	// Workers > 1 runs the matrix-vector products in parallel, with matrix
+	// rows assigned to workers by a multilevel partition of the matrix
+	// graph (the paper's motivating application). The numeric result is
+	// identical to the serial solve.
+	Workers int
+	// Seed drives the partition when Workers > 1.
+	Seed int64
+}
+
+// CGResult reports the outcome of SolveCG.
+type CGResult struct {
+	X          []float64
+	Iterations int
+	Residual   float64
+	Converged  bool
+}
+
+// SolveCG solves A x = b by conjugate gradients.
+func SolveCG(m *Matrix, b []float64, opts *CGOptions) (*CGResult, error) {
+	if opts == nil {
+		opts = &CGOptions{}
+	}
+	sopts := solver.Options{Tol: opts.Tol, MaxIter: opts.MaxIter, Jacobi: opts.Jacobi}
+	if opts.Workers > 1 {
+		part, err := Partition(m.G, opts.Workers, &Options{Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		layout, err := solver.NewLayout(part.Where, opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		sopts.Layout = layout
+	}
+	res, err := solver.CG(m, b, sopts)
+	if err != nil {
+		return nil, err
+	}
+	return &CGResult{
+		X:          res.X,
+		Iterations: res.Iterations,
+		Residual:   res.Residual,
+		Converged:  res.Converged,
+	}, nil
+}

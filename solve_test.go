@@ -1,0 +1,105 @@
+package mlpart
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func spdSystem(t *testing.T) (*Matrix, []float64, []float64) {
+	t.Helper()
+	g := testMesh(t)
+	m := NewLaplacianMatrix(g, 1)
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(1))
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	m.MulVec(xTrue, b)
+	return m, b, xTrue
+}
+
+func TestFactorizeSPDWithMLNDOrdering(t *testing.T) {
+	m, b, xTrue := spdSystem(t)
+	g := m.G
+	perm, _, err := NestedDissection(g, &Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FactorizeSPD(m, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve(b)
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("direct solve error %g at %d", math.Abs(x[i]-xTrue[i]), i)
+		}
+	}
+	// MLND fill must not exceed natural-order fill on a mesh.
+	natural := make([]int, g.NumVertices())
+	for i := range natural {
+		natural[i] = i
+	}
+	fn, err := FactorizeSPD(m, natural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NnzL() > fn.NnzL() {
+		t.Errorf("MLND fill %d worse than natural %d", f.NnzL(), fn.NnzL())
+	}
+}
+
+func TestSolveCGSerialAndParallel(t *testing.T) {
+	m, b, xTrue := spdSystem(t)
+	serial, err := SolveCG(m, b, &CGOptions{Jacobi: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Converged {
+		t.Fatal("CG did not converge")
+	}
+	par, err := SolveCG(m, b, &CGOptions{Jacobi: true, Workers: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Iterations != par.Iterations {
+		t.Fatalf("worker parallelism changed iteration count: %d vs %d",
+			serial.Iterations, par.Iterations)
+	}
+	for i := range serial.X {
+		if serial.X[i] != par.X[i] {
+			t.Fatal("worker parallelism changed the numeric result")
+		}
+	}
+	for i := range xTrue {
+		if math.Abs(serial.X[i]-xTrue[i]) > 1e-5 {
+			t.Fatalf("CG error %g at %d", math.Abs(serial.X[i]-xTrue[i]), i)
+		}
+	}
+}
+
+func TestSolveCGNilOptions(t *testing.T) {
+	m, b, _ := spdSystem(t)
+	res, err := SolveCG(m, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("default CG did not converge")
+	}
+}
+
+func TestFactorizeSPDRejectsSingular(t *testing.T) {
+	g := testMesh(t)
+	m := NewLaplacianMatrix(g, 0) // singular
+	perm := make([]int, g.NumVertices())
+	for i := range perm {
+		perm[i] = i
+	}
+	if _, err := FactorizeSPD(m, perm); err == nil {
+		t.Fatal("singular matrix factorized")
+	}
+}

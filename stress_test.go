@@ -1,0 +1,83 @@
+package mlpart_test
+
+import (
+	"testing"
+
+	"mlpart"
+	"mlpart/internal/matgen"
+)
+
+// TestFullScaleSuite generates the complete Table 1 suite at scale 1.0
+// (the documented laptop-sized configuration) and sanity-checks every
+// graph plus one partition per structural class. Skipped with -short.
+func TestFullScaleSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale suite generation is slow")
+	}
+	representative := map[string]bool{
+		"BC31": true, "BRCK": true, "4ELT": true, "FINC": true,
+		"MAP": true, "MEM": true, "BSP10": true,
+	}
+	for _, name := range matgen.AllNames() {
+		w, err := matgen.Generate(name, 1.0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g := w.Graph
+		n := g.NumVertices()
+		if n < 1000 || n > 300000 {
+			t.Errorf("%s: scale-1.0 size %d outside the documented range", name, n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !g.IsConnected() {
+			t.Errorf("%s: disconnected at full scale", name)
+		}
+		if !representative[name] {
+			continue
+		}
+		res, err := mlpart.Partition(g, 32, &mlpart.Options{Seed: 1, Parallel: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.EdgeCut != mlpart.EdgeCut(g, res.Where) {
+			t.Errorf("%s: cut inconsistent", name)
+		}
+		report, err := mlpart.EvaluatePartition(g, res.Where, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.EmptyParts > 0 || report.Balance > 1.5 {
+			t.Errorf("%s: degenerate partition %s", name, report)
+		}
+	}
+}
+
+// TestSeedSweepStress partitions and orders one irregular workload under
+// many seeds, checking invariants on each run. Skipped with -short.
+func TestSeedSweepStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep is slow")
+	}
+	g, err := mlpart.GenerateWorkload("COPT", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		res, err := mlpart.Partition(g, 16, &mlpart.Options{Seed: seed, KWayRefine: seed%2 == 0})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.EdgeCut != mlpart.EdgeCut(g, res.Where) {
+			t.Fatalf("seed %d: cut mismatch", seed)
+		}
+		perm, _, err := mlpart.NestedDissection(g, &mlpart.Options{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := mlpart.AnalyzeOrdering(g, perm); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
