@@ -39,6 +39,7 @@ func benchGraph(b *testing.B) *matgen.Named {
 
 // BenchmarkTable1Suite measures generating the full Table 1 workload suite.
 func BenchmarkTable1Suite(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ws := matgen.Suite(matgen.AllNames(), benchScale)
 		if len(ws) != len(matgen.AllNames()) {
@@ -50,9 +51,11 @@ func BenchmarkTable1Suite(b *testing.B) {
 // BenchmarkTable2Matching reproduces Table 2: a 32-way partition per
 // matching scheme (GGGP init, BKLGR refinement), reporting the edge-cut.
 func BenchmarkTable2Matching(b *testing.B) {
+	b.ReportAllocs()
 	w := benchGraph(b)
 	for _, s := range []coarsen.Scheme{coarsen.RM, coarsen.HEM, coarsen.LEM, coarsen.HCM} {
 		b.Run(s.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var cut int
 			for i := 0; i < b.N; i++ {
 				res, err := multilevel.Partition(w.Graph, 32,
@@ -70,9 +73,11 @@ func BenchmarkTable2Matching(b *testing.B) {
 // BenchmarkTable3NoRefine reproduces Table 3: the same sweep with
 // refinement disabled, isolating coarsening quality.
 func BenchmarkTable3NoRefine(b *testing.B) {
+	b.ReportAllocs()
 	w := benchGraph(b)
 	for _, s := range []coarsen.Scheme{coarsen.RM, coarsen.HEM, coarsen.LEM, coarsen.HCM} {
 		b.Run(s.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var cut int
 			for i := 0; i < b.N; i++ {
 				res, err := multilevel.Partition(w.Graph, 32,
@@ -92,9 +97,11 @@ func BenchmarkTable3NoRefine(b *testing.B) {
 // BenchmarkTable4Refine reproduces Table 4: a 32-way partition per
 // refinement policy (HEM coarsening, GGGP init).
 func BenchmarkTable4Refine(b *testing.B) {
+	b.ReportAllocs()
 	w := benchGraph(b)
 	for _, p := range []refine.Policy{refine.GR, refine.KLR, refine.BGR, refine.BKLR, refine.BKLGR} {
 		b.Run(p.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var cut int
 			for i := 0; i < b.N; i++ {
 				res, err := multilevel.Partition(w.Graph, 32,
@@ -115,6 +122,7 @@ func figureBench(b *testing.B, baseline experiments.Baseline) {
 	w := benchGraph(b)
 	const k = 64
 	b.Run("Ours", func(b *testing.B) {
+		b.ReportAllocs()
 		var cut int
 		for i := 0; i < b.N; i++ {
 			res, err := multilevel.Partition(w.Graph, k, multilevel.Options{Seed: 1})
@@ -126,6 +134,7 @@ func figureBench(b *testing.B, baseline experiments.Baseline) {
 		b.ReportMetric(float64(cut), "edgecut")
 	})
 	b.Run(baseline.String(), func(b *testing.B) {
+		b.ReportAllocs()
 		var cut int
 		for i := 0; i < b.N; i++ {
 			var where []int
@@ -158,26 +167,50 @@ func BenchmarkFigure3VsChacoML(b *testing.B) { figureBench(b, experiments.ChacoM
 // each partitioner on the same 64-way problem; relative ns/op values are
 // the figure's bars.
 func BenchmarkFigure4Runtime(b *testing.B) {
+	b.ReportAllocs()
 	w := benchGraph(b)
 	const k = 64
 	b.Run("Ours", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := multilevel.Partition(w.Graph, k, multilevel.Options{Seed: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+	// Best-of-4 bisections, serial vs parallel trials: both pick the same
+	// cuts (the trials have order-independent derived seeds), so the pair
+	// measures the wall-clock speedup of concurrent NCuts alone.
+	b.Run("OursNCuts4Serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := multilevel.Partition(w.Graph, k, multilevel.Options{Seed: 1, NCuts: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("OursNCuts4Parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := multilevel.Partition(w.Graph, k, multilevel.Options{Seed: 1, NCuts: 4, Parallel: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	b.Run("ChacoML", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			chaco.Partition(w.Graph, k, chaco.Options{}, 1)
 		}
 	})
 	b.Run("MSB", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			spectral.MSBPartition(w.Graph, k, spectral.MSBOptions{}, rand.New(rand.NewSource(1)))
 		}
 	})
 	b.Run("MSBKL", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			spectral.MSBPartition(w.Graph, k, spectral.MSBOptions{KL: true}, rand.New(rand.NewSource(1)))
 		}
@@ -188,6 +221,7 @@ func BenchmarkFigure4Runtime(b *testing.B) {
 // orderings of the same stiffness matrix, reporting the factorization
 // opcount each produces.
 func BenchmarkFigure5Ordering(b *testing.B) {
+	b.ReportAllocs()
 	w, err := matgen.Generate("BC30", benchScale)
 	if err != nil {
 		b.Fatal(err)
@@ -200,6 +234,7 @@ func BenchmarkFigure5Ordering(b *testing.B) {
 		b.ReportMetric(a.Flops, "opcount")
 	}
 	b.Run("MLND", func(b *testing.B) {
+		b.ReportAllocs()
 		var perm []int
 		for i := 0; i < b.N; i++ {
 			perm = ordering.MLND(w.Graph, ordering.Options{Seed: 1})
@@ -207,6 +242,7 @@ func BenchmarkFigure5Ordering(b *testing.B) {
 		report(b, perm)
 	})
 	b.Run("MMD", func(b *testing.B) {
+		b.ReportAllocs()
 		var perm []int
 		for i := 0; i < b.N; i++ {
 			perm = mmd.Order(w.Graph)
@@ -214,6 +250,7 @@ func BenchmarkFigure5Ordering(b *testing.B) {
 		report(b, perm)
 	})
 	b.Run("SND", func(b *testing.B) {
+		b.ReportAllocs()
 		var perm []int
 		for i := 0; i < b.N; i++ {
 			perm = ordering.SND(w.Graph, ordering.Options{Seed: 1})
@@ -226,9 +263,11 @@ func BenchmarkFigure5Ordering(b *testing.B) {
 // (BKLGR) refinement on a bisection, the comparison behind the paper's
 // choice of HEM.
 func BenchmarkAblationMatching(b *testing.B) {
+	b.ReportAllocs()
 	w := benchGraph(b)
 	for _, s := range []coarsen.Scheme{coarsen.RM, coarsen.HEM} {
 		b.Run(s.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var cut int
 			for i := 0; i < b.N; i++ {
 				bis, _ := multilevel.Bisect(w.Graph, 0,
@@ -244,9 +283,11 @@ func BenchmarkAblationMatching(b *testing.B) {
 // BenchmarkAblationBoundary isolates the boundary optimization: KLR vs
 // BKLR at fixed HEM coarsening.
 func BenchmarkAblationBoundary(b *testing.B) {
+	b.ReportAllocs()
 	w := benchGraph(b)
 	for _, p := range []refine.Policy{refine.KLR, refine.BKLR} {
 		b.Run(p.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var cut int
 			for i := 0; i < b.N; i++ {
 				bis, _ := multilevel.Bisect(w.Graph, 0,
@@ -261,9 +302,11 @@ func BenchmarkAblationBoundary(b *testing.B) {
 
 // BenchmarkAblationTrials varies the GGGP trial count (the paper uses 5).
 func BenchmarkAblationTrials(b *testing.B) {
+	b.ReportAllocs()
 	w := benchGraph(b)
 	for _, trials := range []int{1, 5, 10} {
 		b.Run(fmt.Sprintf("trials=%d", trials), func(b *testing.B) {
+			b.ReportAllocs()
 			var cut int
 			for i := 0; i < b.N; i++ {
 				res, err := multilevel.Partition(w.Graph, 32,
@@ -281,9 +324,11 @@ func BenchmarkAblationTrials(b *testing.B) {
 // BenchmarkAblationCoarsestSize varies where coarsening stops (the paper
 // coarsens to ~100 vertices).
 func BenchmarkAblationCoarsestSize(b *testing.B) {
+	b.ReportAllocs()
 	w := benchGraph(b)
 	for _, ct := range []int{50, 100, 200} {
 		b.Run(fmt.Sprintf("coarsenTo=%d", ct), func(b *testing.B) {
+			b.ReportAllocs()
 			var cut int
 			for i := 0; i < b.N; i++ {
 				res, err := multilevel.Partition(w.Graph, 32,
@@ -301,9 +346,11 @@ func BenchmarkAblationCoarsestSize(b *testing.B) {
 // BenchmarkAblationStopRule varies the refinement stop window x (the paper
 // uses x = 50).
 func BenchmarkAblationStopRule(b *testing.B) {
+	b.ReportAllocs()
 	w := benchGraph(b)
 	for _, x := range []int{10, 50, 200} {
 		b.Run(fmt.Sprintf("x=%d", x), func(b *testing.B) {
+			b.ReportAllocs()
 			var cut int
 			for i := 0; i < b.N; i++ {
 				res, err := multilevel.Partition(w.Graph, 32,
@@ -321,6 +368,7 @@ func BenchmarkAblationStopRule(b *testing.B) {
 // BenchmarkAblationParallelKway compares sequential and parallel recursive
 // k-way decomposition (identical results, different wall-clock).
 func BenchmarkAblationParallelKway(b *testing.B) {
+	b.ReportAllocs()
 	w, err := matgen.Generate("WAVE", 0.2)
 	if err != nil {
 		b.Fatal(err)
@@ -331,6 +379,7 @@ func BenchmarkAblationParallelKway(b *testing.B) {
 			name = "parallel"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := multilevel.Partition(w.Graph, 64,
 					multilevel.Options{Seed: 1, Parallel: par}); err != nil {
@@ -345,9 +394,11 @@ func BenchmarkAblationParallelKway(b *testing.B) {
 // multilevel k-way extension at k=64 (quality via edgecut, speed via
 // ns/op): the direct scheme coarsens once instead of k-1 times.
 func BenchmarkAblationDirectKWay(b *testing.B) {
+	b.ReportAllocs()
 	w := benchGraph(b)
 	const k = 64
 	b.Run("recursive", func(b *testing.B) {
+		b.ReportAllocs()
 		var cut int
 		for i := 0; i < b.N; i++ {
 			res, err := multilevel.Partition(w.Graph, k, multilevel.Options{Seed: 1})
@@ -359,6 +410,7 @@ func BenchmarkAblationDirectKWay(b *testing.B) {
 		b.ReportMetric(float64(cut), "edgecut")
 	})
 	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
 		var cut int
 		for i := 0; i < b.N; i++ {
 			res, err := multilevel.PartitionKWay(w.Graph, k, multilevel.Options{Seed: 1})

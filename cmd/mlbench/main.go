@@ -23,6 +23,7 @@ import (
 
 	"mlpart/internal/experiments"
 	"mlpart/internal/matgen"
+	"mlpart/internal/multilevel"
 )
 
 func main() {
@@ -33,6 +34,9 @@ func main() {
 	seed := flag.Int64("seed", 0, "random seed")
 	k := flag.Int("k", 32, "parts for Tables 2-4")
 	figK := flag.Int("figk", 64, "parts for Figure 4 run-time comparison")
+	ncuts := flag.Int("ncuts", 0, "best-of-N bisections for Figure 4's \"ours\" (quality for time)")
+	workers := flag.Int("workers", 0, "parallel coarsening workers for Figure 4's \"ours\" (>1 enables)")
+	parallel := flag.Bool("parallel", false, "run Figure 4's \"ours\" with concurrent subgraphs and NCuts trials")
 	ablation := flag.Bool("ablation", false, "run the design-choice ablation sweeps of DESIGN.md")
 	flag.Parse()
 
@@ -81,7 +85,13 @@ func main() {
 	if run(4, figure) {
 		banner(fmt.Sprintf("Figure 4: run time relative to ours (%d-way)", *figK))
 		ws := matgen.Suite(experiments.FigureNames(), *scale)
-		experiments.PrintRuntimes(os.Stdout, experiments.Runtimes(ws, *figK, *seed))
+		opts := multilevel.Options{
+			Seed:           *seed,
+			NCuts:          *ncuts,
+			CoarsenWorkers: *workers,
+			Parallel:       *parallel,
+		}
+		experiments.PrintRuntimes(os.Stdout, experiments.RuntimesOpts(ws, *figK, opts))
 	}
 	if run(5, figure) {
 		banner("Figure 5: ordering quality, MMD and SND relative to MLND")

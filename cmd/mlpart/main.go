@@ -6,8 +6,9 @@
 // Usage:
 //
 //	mlpart -k 32 [-match HEM] [-init GGGP] [-refine BKLGR] [-seed 0]
-//	       [-parallel] [-direct] [-weighted 4,2,1,1] [-stats]
-//	       [-o out.part] graph.file(.graph or .mtx)
+//	       [-parallel] [-ncuts 4] [-coarsen-workers 4] [-direct]
+//	       [-weighted 4,2,1,1] [-stats] [-o out.part]
+//	       graph.file(.graph or .mtx)
 //
 // With -gen NAME the input file is replaced by a generated workload (see
 // mlpart.WorkloadNames), e.g. `mlpart -k 32 -gen 4ELT`.
@@ -31,7 +32,11 @@ func main() {
 	init := flag.String("init", "GGGP", "initial partitioner: GGGP, GGP, SBP")
 	ref := flag.String("refine", "BKLGR", "refinement: NONE, GR, KLR, BGR, BKLR, BKLGR")
 	seed := flag.Int64("seed", 0, "random seed (fixed seed => fixed result)")
-	parallel := flag.Bool("parallel", false, "partition independent subgraphs concurrently")
+	parallel := flag.Bool("parallel", false, "partition independent subgraphs (and NCuts trials) concurrently")
+	ncuts := flag.Int("ncuts", 0, "run each bisection this many times with independent seeds, keep the best cut")
+	coarsenWorkers := flag.Int("coarsen-workers", 0, "compute matchings with this many parallel workers (>1 enables)")
+	parallelDepth := flag.Int("parallel-depth", 0, "recursion levels that fan out when -parallel (0 = default 4)")
+	parallelMinVerts := flag.Int("parallel-minverts", 0, "smallest subgraph that fans out when -parallel (0 = default 2000)")
 	out := flag.String("o", "", "write the partition vector to this file")
 	stats := flag.Bool("stats", false, "print extended quality metrics (comm volume, connectivity, ...)")
 	direct := flag.Bool("direct", false, "use direct multilevel k-way instead of recursive bisection")
@@ -47,11 +52,15 @@ func main() {
 	fmt.Printf("graph %s: %d vertices, %d edges\n", name, g.NumVertices(), g.NumEdges())
 
 	opts := &mlpart.Options{
-		Matching:   *match,
-		InitPart:   *init,
-		Refinement: *ref,
-		Seed:       *seed,
-		Parallel:   *parallel,
+		Matching:            *match,
+		InitPart:            *init,
+		Refinement:          *ref,
+		Seed:                *seed,
+		Parallel:            *parallel,
+		NCuts:               *ncuts,
+		CoarsenWorkers:      *coarsenWorkers,
+		ParallelDepth:       *parallelDepth,
+		ParallelMinVertices: *parallelMinVerts,
 	}
 	t0 := time.Now()
 	var res *mlpart.Partitioning

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"mlpart/internal/graph"
+	"mlpart/internal/workspace"
 )
 
 // Scheme selects the matching heuristic used at each coarsening level.
@@ -74,12 +75,16 @@ func ParseScheme(s string) (Scheme, error) {
 // weight of original edges already inside the multinode); it is only
 // consulted by HCM and may be nil for the others or for level-0 graphs.
 func Match(g *graph.Graph, scheme Scheme, cew []int, rng *rand.Rand) []int {
+	return MatchWS(g, scheme, cew, rng, nil)
+}
+
+// MatchWS is Match drawing its scratch (and the returned matching) from ws;
+// the caller releases the result with ws.PutInt once contracted. A nil ws
+// allocates, exactly like Match.
+func MatchWS(g *graph.Graph, scheme Scheme, cew []int, rng *rand.Rand, ws *workspace.Workspace) []int {
 	n := g.NumVertices()
-	match := make([]int, n)
-	for i := range match {
-		match[i] = -1
-	}
-	order := rng.Perm(n)
+	match := ws.IntFilled(n, -1)
+	order := workspace.PermInto(rng, n, ws.Int(n))
 	for _, u := range order {
 		if match[u] >= 0 {
 			continue
@@ -140,6 +145,7 @@ func Match(g *graph.Graph, scheme Scheme, cew []int, rng *rand.Rand) []int {
 			match[u] = u
 		}
 	}
+	ws.PutInt(order)
 	return match
 }
 
@@ -162,10 +168,19 @@ func mergedDensity(g *graph.Graph, cew []int, u, v, w int) float64 {
 // Contract builds the next-coarser graph induced by a matching. It returns
 // the coarse graph, the vertex map cmap (fine vertex -> coarse vertex), and
 // the coarse contracted-edge-weight array (needed by HCM at deeper levels).
-// cew may be nil, meaning all-zero.
+// cew may be nil, meaning all-zero. The returned adjacency arrays are
+// length-trimmed: the coarse graph pins no more memory than it needs.
 func Contract(g *graph.Graph, match []int, cew []int) (*graph.Graph, []int, []int) {
+	return ContractWS(g, match, cew, nil)
+}
+
+// ContractWS is Contract drawing its scratch and the coarse graph's arrays
+// from ws. The returned graph, cmap and cew arrays are pooled buffers owned
+// by the caller (Coarsen releases them through Hierarchy.Release); with a
+// nil ws the coarse arrays are freshly allocated at their exact sizes.
+func ContractWS(g *graph.Graph, match []int, cew []int, ws *workspace.Workspace) (*graph.Graph, []int, []int) {
 	n := g.NumVertices()
-	cmap := make([]int, n)
+	cmap := ws.Int(n)
 	cn := 0
 	for v := 0; v < n; v++ {
 		if match[v] >= v || match[v] < 0 {
@@ -180,48 +195,45 @@ func Contract(g *graph.Graph, match []int, cew []int) (*graph.Graph, []int, []in
 		}
 	}
 
-	cxadj := make([]int, cn+1)
-	cvwgt := make([]int, cn)
-	ccew := make([]int, cn)
-	// First pass: upper-bound coarse degrees to size the arrays.
-	for v := 0; v < n; v++ {
-		cxadj[cmap[v]+1] += g.Degree(v)
-	}
-	for i := 0; i < cn; i++ {
-		cxadj[i+1] += cxadj[i]
-	}
-	cadjncy := make([]int, cxadj[cn])
-	cadjwgt := make([]int, cxadj[cn])
+	cvwgt := ws.Int(cn)
+	ccew := ws.IntFilled(cn, 0)
+	// Stage the coarse adjacency at its upper bound — the fine graph's total
+	// degree — dedup in place, and trim afterwards.
+	ub := len(g.Adjncy)
+	cadjncy := ws.Int(ub)
+	cadjwgt := ws.Int(ub)
 
 	// htable[c] is the position of coarse neighbor c in the current coarse
 	// vertex's adjacency, or -1.
-	htable := make([]int, cn)
-	for i := range htable {
-		htable[i] = -1
-	}
+	htable := ws.IntFilled(cn, -1)
 	pos := 0
-	write := make([]int, cn+1)
+	cxadj := ws.Int(cn + 1)
 	cv := 0
 	for v := 0; v < n; v++ {
 		if match[v] >= 0 && match[v] < v {
 			continue // handled with its representative
 		}
 		start := pos
-		write[cv] = start
+		cxadj[cv] = start
 		if cew != nil {
 			ccew[cv] = cew[v]
 		}
 		cvwgt[cv] = g.Vwgt[v]
-		pair := []int{v}
 		if match[v] != v && match[v] >= 0 {
-			pair = append(pair, match[v])
 			cvwgt[cv] += g.Vwgt[match[v]]
 			if cew != nil {
 				ccew[cv] += cew[match[v]]
 			}
 			ccew[cv] += g.EdgeWeight(v, match[v])
 		}
-		for _, u := range pair {
+		for j := 0; j < 2; j++ {
+			u := v
+			if j == 1 {
+				if match[v] == v || match[v] < 0 {
+					break
+				}
+				u = match[v]
+			}
 			adj := g.Neighbors(u)
 			wgt := g.EdgeWeights(u)
 			for i, w := range adj {
@@ -243,11 +255,20 @@ func Contract(g *graph.Graph, match []int, cew []int) (*graph.Graph, []int, []in
 			htable[cadjncy[p]] = -1
 		}
 		cv++
-		write[cv] = pos
+		cxadj[cv] = pos
 	}
+	ws.PutInt(htable)
 
-	// Compact to the true sizes.
-	cxadj = write[:cn+1]
+	if ws == nil {
+		// Trim: the staging arrays were sized to the upper bound; copy the
+		// used prefix so the coarse graph does not pin ~2x its needed
+		// memory for the lifetime of the hierarchy.
+		trimmedNcy := make([]int, pos)
+		copy(trimmedNcy, cadjncy)
+		trimmedWgt := make([]int, pos)
+		copy(trimmedWgt, cadjwgt)
+		cadjncy, cadjwgt = trimmedNcy, trimmedWgt
+	}
 	cg := &graph.Graph{
 		Xadj:   cxadj,
 		Adjncy: cadjncy[:pos],
@@ -270,11 +291,41 @@ type Level struct {
 // produced by repeated matching and contraction.
 type Hierarchy struct {
 	Levels []Level
+	// pooled records whether the level arrays (except the finest graph,
+	// which belongs to the caller) came from a workspace.
+	pooled bool
 }
 
 // Coarsest returns the last (smallest) graph of the hierarchy.
 func (h *Hierarchy) Coarsest() *graph.Graph {
 	return h.Levels[len(h.Levels)-1].Graph
+}
+
+// Release returns every pooled array of the hierarchy — the coarse graphs
+// and all cmaps, but never the caller-owned finest graph — to ws, leaving h
+// empty. It is a no-op for hierarchies built without a workspace. The
+// caller must not touch any level after Release.
+func (h *Hierarchy) Release(ws *workspace.Workspace) {
+	if ws == nil || !h.pooled {
+		return
+	}
+	for i := range h.Levels {
+		if h.Levels[i].Cmap != nil {
+			ws.PutInt(h.Levels[i].Cmap)
+		}
+		if i > 0 {
+			releaseGraph(ws, h.Levels[i].Graph)
+		}
+	}
+	h.Levels = nil
+}
+
+// releaseGraph returns a coarse graph's four CSR arrays to ws.
+func releaseGraph(ws *workspace.Workspace, g *graph.Graph) {
+	ws.PutInt(g.Xadj)
+	ws.PutInt(g.Adjncy)
+	ws.PutInt(g.Adjwgt)
+	ws.PutInt(g.Vwgt)
 }
 
 // Options configures Coarsen.
@@ -288,6 +339,10 @@ type Options struct {
 	// MaxLevels bounds the number of coarsening levels (safety net for
 	// graphs that barely contract); <=0 means no bound.
 	MaxLevels int
+	// Workspace, when non-nil, supplies pooled scratch buffers and backs
+	// the hierarchy's own arrays; the caller must call Hierarchy.Release
+	// when done with the hierarchy. Results are identical either way.
+	Workspace *workspace.Workspace
 }
 
 // Coarsen builds the full hierarchy for g. Coarsening stops when the graph
@@ -298,7 +353,8 @@ func Coarsen(g *graph.Graph, opts Options, rng *rand.Rand) *Hierarchy {
 	if opts.CoarsenTo <= 0 {
 		opts.CoarsenTo = 100
 	}
-	h := &Hierarchy{}
+	ws := opts.Workspace
+	h := &Hierarchy{pooled: ws != nil}
 	cur := g
 	var cew []int // zero at the finest level
 	for {
@@ -309,15 +365,23 @@ func Coarsen(g *graph.Graph, opts Options, rng *rand.Rand) *Hierarchy {
 		if opts.MaxLevels > 0 && len(h.Levels) > opts.MaxLevels {
 			break
 		}
-		match := Match(cur, opts.Scheme, cew, rng)
-		next, cmap, ccew := Contract(cur, match, cew)
+		match := MatchWS(cur, opts.Scheme, cew, rng, ws)
+		next, cmap, ccew := ContractWS(cur, match, cew, ws)
+		ws.PutInt(match)
 		if next.NumVertices() > cur.NumVertices()*9/10 {
 			// Matching stalled; further levels would waste time.
+			if ws != nil {
+				releaseGraph(ws, next)
+				ws.PutInt(cmap)
+			}
+			ws.PutInt(ccew)
 			break
 		}
 		h.Levels[len(h.Levels)-1].Cmap = cmap
+		ws.PutInt(cew) // the previous level's cew is dead once contracted
 		cur = next
 		cew = ccew
 	}
+	ws.PutInt(cew)
 	return h
 }

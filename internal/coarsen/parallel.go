@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"mlpart/internal/graph"
+	"mlpart/internal/workspace"
 )
 
 // ParallelMatch computes a maximal matching with the handshake algorithm,
@@ -21,6 +22,13 @@ import (
 // workers <= 0 selects GOMAXPROCS. The result maps each vertex to its
 // partner (itself when unmatched), exactly like Match.
 func ParallelMatch(g *graph.Graph, scheme Scheme, cew []int, rnd *rand.Rand, workers int) []int {
+	return ParallelMatchWS(g, scheme, cew, rnd, workers, nil)
+}
+
+// ParallelMatchWS is ParallelMatch drawing its scratch (and the returned
+// matching) from ws; the caller releases the result with ws.PutInt once
+// contracted. A nil ws allocates, exactly like ParallelMatch.
+func ParallelMatchWS(g *graph.Graph, scheme Scheme, cew []int, rnd *rand.Rand, workers int, ws *workspace.Workspace) []int {
 	n := g.NumVertices()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -28,15 +36,15 @@ func ParallelMatch(g *graph.Graph, scheme Scheme, cew []int, rnd *rand.Rand, wor
 	if workers > n/1024+1 {
 		workers = n/1024 + 1
 	}
-	match := make([]int, n)
+	match := ws.Int(n)
 	// Random keys decide proposal preference among equal candidates, so
 	// the matching does not systematically favor low vertex indices.
-	key := make([]int64, n)
+	key := ws.Int64(n)
 	for i := range match {
 		match[i] = -1
 		key[i] = rnd.Int63()
 	}
-	proposal := make([]int, n)
+	proposal := ws.Int(n)
 
 	// propose computes the preferred unmatched neighbor of u under the
 	// scheme, or -1.
@@ -151,6 +159,8 @@ func ParallelMatch(g *graph.Graph, scheme Scheme, cew []int, rnd *rand.Rand, wor
 			match[u] = u
 		}
 	}
+	ws.PutInt64(key)
+	ws.PutInt(proposal)
 	return match
 }
 
@@ -161,7 +171,8 @@ func ParallelCoarsen(g *graph.Graph, opts Options, rnd *rand.Rand, workers int) 
 	if opts.CoarsenTo <= 0 {
 		opts.CoarsenTo = 100
 	}
-	h := &Hierarchy{}
+	ws := opts.Workspace
+	h := &Hierarchy{pooled: ws != nil}
 	cur := g
 	var cew []int
 	for {
@@ -172,14 +183,22 @@ func ParallelCoarsen(g *graph.Graph, opts Options, rnd *rand.Rand, workers int) 
 		if opts.MaxLevels > 0 && len(h.Levels) > opts.MaxLevels {
 			break
 		}
-		match := ParallelMatch(cur, opts.Scheme, cew, rnd, workers)
-		next, cmap, ccew := Contract(cur, match, cew)
+		match := ParallelMatchWS(cur, opts.Scheme, cew, rnd, workers, ws)
+		next, cmap, ccew := ContractWS(cur, match, cew, ws)
+		ws.PutInt(match)
 		if next.NumVertices() > cur.NumVertices()*9/10 {
+			if ws != nil {
+				releaseGraph(ws, next)
+				ws.PutInt(cmap)
+			}
+			ws.PutInt(ccew)
 			break
 		}
 		h.Levels[len(h.Levels)-1].Cmap = cmap
+		ws.PutInt(cew)
 		cur = next
 		cew = ccew
 	}
+	ws.PutInt(cew)
 	return h
 }

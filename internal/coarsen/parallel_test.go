@@ -80,6 +80,7 @@ func TestParallelMatchEdgeless(t *testing.T) {
 }
 
 func BenchmarkMatchSequential(b *testing.B) {
+	b.ReportAllocs()
 	g := matgen.Stiffness3D(20, 20, 20)
 	r := rand.New(rand.NewSource(1))
 	b.ResetTimer()
@@ -89,9 +90,11 @@ func BenchmarkMatchSequential(b *testing.B) {
 }
 
 func BenchmarkMatchParallel(b *testing.B) {
+	b.ReportAllocs()
 	g := matgen.Stiffness3D(20, 20, 20)
 	for _, workers := range []int{1, 4} {
 		b.Run(map[int]string{1: "workers=1", 4: "workers=4"}[workers], func(b *testing.B) {
+			b.ReportAllocs()
 			r := rand.New(rand.NewSource(1))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -102,6 +105,7 @@ func BenchmarkMatchParallel(b *testing.B) {
 }
 
 func BenchmarkContract(b *testing.B) {
+	b.ReportAllocs()
 	g := matgen.Stiffness3D(16, 16, 16)
 	match := Match(g, HEM, nil, rand.New(rand.NewSource(1)))
 	b.ResetTimer()

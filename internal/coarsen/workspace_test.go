@@ -1,0 +1,72 @@
+package coarsen
+
+import (
+	"slices"
+	"testing"
+
+	"mlpart/internal/matgen"
+	"mlpart/internal/workspace"
+)
+
+func sameHierarchy(t *testing.T, label string, ref, got *Hierarchy) {
+	t.Helper()
+	if len(got.Levels) != len(ref.Levels) {
+		t.Fatalf("%s: %d levels, want %d", label, len(got.Levels), len(ref.Levels))
+	}
+	for i := range ref.Levels {
+		rg, gg := ref.Levels[i].Graph, got.Levels[i].Graph
+		if !slices.Equal(gg.Xadj, rg.Xadj) || !slices.Equal(gg.Adjncy, rg.Adjncy) ||
+			!slices.Equal(gg.Adjwgt, rg.Adjwgt) || !slices.Equal(gg.Vwgt, rg.Vwgt) {
+			t.Fatalf("%s: level %d graph differs", label, i)
+		}
+		if !slices.Equal(got.Levels[i].Cmap, ref.Levels[i].Cmap) {
+			t.Fatalf("%s: level %d cmap differs", label, i)
+		}
+	}
+}
+
+// TestParallelCoarsenIdenticalAcrossWorkers pins the determinism contract of
+// the handshake matching: the entire hierarchy — every level's graph and
+// cmap — is bit-identical for any worker count, for every scheme.
+func TestParallelCoarsenIdenticalAcrossWorkers(t *testing.T) {
+	g := matgen.Mesh2DTri(22, 22, 0.02, 7)
+	for _, s := range allSchemes() {
+		ref := ParallelCoarsen(g, Options{Scheme: s, CoarsenTo: 60}, rng(9), 1)
+		for _, workers := range []int{2, 8} {
+			got := ParallelCoarsen(g, Options{Scheme: s, CoarsenTo: 60}, rng(9), workers)
+			sameHierarchy(t, s.String(), ref, got)
+		}
+	}
+}
+
+// TestCoarsenWorkspaceParity checks the pooling invariant end to end: a
+// workspace-backed hierarchy is identical to the allocating one, including
+// on a second run that reuses the (now dirty) pooled buffers.
+func TestCoarsenWorkspaceParity(t *testing.T) {
+	g := matgen.FE3DTetra(8, 8, 8, 3)
+	opts := Options{Scheme: HEM, CoarsenTo: 80}
+	ref := Coarsen(g, opts, rng(11))
+
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	wopts := opts
+	wopts.Workspace = ws
+	for run := 0; run < 2; run++ {
+		got := Coarsen(g, wopts, rng(11))
+		sameHierarchy(t, "pooled", ref, got)
+		got.Release(ws)
+	}
+}
+
+// TestContractTrimmedArrays: the coarse graph's adjacency arrays must not
+// keep the pessimistic upper-bound capacity they were staged with.
+func TestContractTrimmedArrays(t *testing.T) {
+	g := matgen.Grid2D(20, 20)
+	cg, _, _ := Contract(g, Match(g, HEM, nil, rng(3)), nil)
+	if cap(cg.Adjncy) != len(cg.Adjncy) {
+		t.Errorf("cadjncy cap %d != len %d", cap(cg.Adjncy), len(cg.Adjncy))
+	}
+	if cap(cg.Adjwgt) != len(cg.Adjwgt) {
+		t.Errorf("cadjwgt cap %d != len %d", cap(cg.Adjwgt), len(cg.Adjwgt))
+	}
+}

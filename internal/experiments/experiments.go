@@ -221,12 +221,21 @@ type RuntimeRow struct {
 // Runtimes reproduces Figure 4: wall-clock time of each baseline relative
 // to our multilevel algorithm for a k-way partition of every workload.
 func Runtimes(workloads []matgen.Named, k int, seed int64) []RuntimeRow {
+	return RuntimesOpts(workloads, k, multilevel.Options{Seed: seed})
+}
+
+// RuntimesOpts is Runtimes with full control over the multilevel options of
+// "our" algorithm (NCuts, Parallel, CoarsenWorkers, ...); the baselines
+// always run their standard sequential configuration, so speedup knobs show
+// up directly in the relative columns.
+func RuntimesOpts(workloads []matgen.Named, k int, opts multilevel.Options) []RuntimeRow {
+	seed := opts.Seed
 	var rows []RuntimeRow
 	for _, w := range workloads {
 		row := RuntimeRow{Graph: w.Name, K: k}
 
 		t0 := time.Now()
-		res, err := multilevel.Partition(w.Graph, k, multilevel.Options{Seed: seed})
+		res, err := multilevel.Partition(w.Graph, k, opts)
 		if err != nil {
 			panic(err)
 		}

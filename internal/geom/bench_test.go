@@ -7,6 +7,7 @@ import (
 )
 
 func BenchmarkRCB(b *testing.B) {
+	b.ReportAllocs()
 	g, pts := matgen.GeoMesh2D(60, 60, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -17,6 +18,7 @@ func BenchmarkRCB(b *testing.B) {
 }
 
 func BenchmarkInertial(b *testing.B) {
+	b.ReportAllocs()
 	g, pts := matgen.GeoMesh2D(60, 60, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

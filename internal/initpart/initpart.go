@@ -13,6 +13,7 @@ import (
 	"mlpart/internal/graph"
 	"mlpart/internal/refine"
 	"mlpart/internal/spectral"
+	"mlpart/internal/workspace"
 )
 
 // Method selects the coarse-graph bisection algorithm.
@@ -72,6 +73,11 @@ type Options struct {
 	Trials int
 	// TargetPwgt0 is the desired weight of part 0; 0 means half the total.
 	TargetPwgt0 int
+	// Workspace, when non-nil, supplies pooled buffers for the trial
+	// bisections and their scratch; the winning bisection is itself
+	// workspace-backed, so the caller must Release or Detach it. Results
+	// are identical either way.
+	Workspace *workspace.Workspace
 }
 
 func (o Options) withDefaults(g *graph.Graph) Options {
@@ -95,6 +101,7 @@ func (o Options) withDefaults(g *graph.Graph) Options {
 // are run per Options and the smallest cut wins (ties broken by balance).
 func Partition(g *graph.Graph, opts Options, rng *rand.Rand) *refine.Bisection {
 	opts = opts.withDefaults(g)
+	ws := opts.Workspace
 	n := g.NumVertices()
 	if n == 0 {
 		return refine.NewBisection(g, nil)
@@ -104,20 +111,25 @@ func Partition(g *graph.Graph, opts Options, rng *rand.Rand) *refine.Bisection {
 		var b *refine.Bisection
 		switch opts.Method {
 		case GGP:
-			b = growBFS(g, opts.TargetPwgt0, rng)
+			b = growBFS(g, opts.TargetPwgt0, rng, ws)
 		case GGGP:
-			b = growGreedy(g, opts.TargetPwgt0, rng)
+			b = growGreedy(g, opts.TargetPwgt0, rng, ws)
 		case SBP:
 			vec := spectral.Fiedler(g, n-1, nil, rng)
-			b = refine.NewBisection(g, spectral.SplitAtMedian(g, vec, opts.TargetPwgt0))
+			b = refine.NewBisectionWS(g, spectral.SplitAtMedian(g, vec, opts.TargetPwgt0), ws)
 		case RandomPart:
-			b = randomSplit(g, opts.TargetPwgt0, rng)
+			b = randomSplit(g, opts.TargetPwgt0, rng, ws)
 		default:
 			panic(fmt.Sprintf("initpart: invalid method %d", opts.Method))
 		}
 		if best == nil || b.Cut < best.Cut ||
 			(b.Cut == best.Cut && absInt(b.Pwgt[0]-opts.TargetPwgt0) < absInt(best.Pwgt[0]-opts.TargetPwgt0)) {
+			if best != nil {
+				best.Release(ws)
+			}
 			best = b
+		} else {
+			b.Release(ws)
 		}
 	}
 	return best
@@ -133,14 +145,12 @@ func absInt(x int) int {
 // growBFS is GGP: breadth-first region growing from a random seed until
 // part 0 reaches the target weight. Disconnected remainders are handled by
 // reseeding from an unvisited vertex.
-func growBFS(g *graph.Graph, target0 int, rng *rand.Rand) *refine.Bisection {
+func growBFS(g *graph.Graph, target0 int, rng *rand.Rand, ws *workspace.Workspace) *refine.Bisection {
 	n := g.NumVertices()
-	where := make([]int, n)
-	for i := range where {
-		where[i] = 1
-	}
-	visited := make([]bool, n)
-	queue := make([]int, 0, n)
+	where := ws.IntFilled(n, 1)
+	visited := ws.Bool(n)
+	queueBuf := ws.Int(n)
+	queue := queueBuf[:0]
 	acc := 0
 	seed := rng.Intn(n)
 	visited[seed] = true
@@ -169,7 +179,9 @@ func growBFS(g *graph.Graph, target0 int, rng *rand.Rand) *refine.Bisection {
 			}
 		}
 	}
-	return refine.NewBisection(g, where)
+	ws.PutBool(visited)
+	ws.PutInt(queueBuf)
+	return refine.NewBisectionWS(g, where, ws)
 }
 
 // growGreedy is GGGP: region growing where the next vertex absorbed is the
@@ -177,14 +189,12 @@ func growBFS(g *graph.Graph, target0 int, rng *rand.Rand) *refine.Bisection {
 // (equivalently, has maximum gain). Implemented directly on the refinement
 // state: all vertices start in part 1, and the frontier is the set of
 // part-1 vertices adjacent to part 0.
-func growGreedy(g *graph.Graph, target0 int, rng *rand.Rand) *refine.Bisection {
+func growGreedy(g *graph.Graph, target0 int, rng *rand.Rand, ws *workspace.Workspace) *refine.Bisection {
 	n := g.NumVertices()
-	where := make([]int, n)
-	for i := range where {
-		where[i] = 1
-	}
-	b := refine.NewBisection(g, where)
-	bk := refine.NewGainBuckets(n, g.MaxWeightedDegree())
+	where := ws.IntFilled(n, 1)
+	b := refine.NewBisectionWS(g, where, ws)
+	var bk refine.GainBuckets
+	bk.Init(n, g.MaxWeightedDegree(), ws)
 	onGainChange := func(u int) {
 		if b.Where[u] != 1 {
 			return
@@ -213,17 +223,15 @@ func growGreedy(g *graph.Graph, target0 int, rng *rand.Rand) *refine.Bisection {
 		}
 		b.Move(v, onGainChange)
 	}
+	bk.Free(ws)
 	return b
 }
 
 // randomSplit assigns random vertices to part 0 until the target is met.
-func randomSplit(g *graph.Graph, target0 int, rng *rand.Rand) *refine.Bisection {
+func randomSplit(g *graph.Graph, target0 int, rng *rand.Rand, ws *workspace.Workspace) *refine.Bisection {
 	n := g.NumVertices()
-	where := make([]int, n)
-	for i := range where {
-		where[i] = 1
-	}
-	perm := rng.Perm(n)
+	where := ws.IntFilled(n, 1)
+	perm := workspace.PermInto(rng, n, ws.Int(n))
 	acc := 0
 	for _, v := range perm {
 		if acc >= target0 {
@@ -232,5 +240,6 @@ func randomSplit(g *graph.Graph, target0 int, rng *rand.Rand) *refine.Bisection 
 		where[v] = 0
 		acc += g.Vwgt[v]
 	}
-	return refine.NewBisection(g, where)
+	ws.PutInt(perm)
+	return refine.NewBisectionWS(g, where, ws)
 }

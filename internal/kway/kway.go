@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"mlpart/internal/graph"
+	"mlpart/internal/workspace"
 )
 
 // Options configures k-way refinement.
@@ -22,6 +23,9 @@ type Options struct {
 	Ubfactor float64
 	// Seed orders the sweep deterministically.
 	Seed int64
+	// Workspace, when non-nil, supplies pooled scratch for the sweep order
+	// and per-part degree arrays. Results are identical either way.
+	Workspace *workspace.Workspace
 }
 
 func (o Options) withDefaults() Options {
@@ -102,10 +106,13 @@ func Refine(p *Partition, opts Options) int {
 		limit = lim2
 	}
 
-	order := rand.New(rand.NewSource(opts.Seed)).Perm(n)
+	ws := opts.Workspace
+	order := workspace.PermInto(rand.New(rand.NewSource(opts.Seed)), n, ws.Int(n))
 	// Scratch arrays for per-part external degrees of the current vertex.
-	ed := make([]int, p.K)
-	seen := make([]int, p.K)
+	// seen must start clean: a stale entry equal to a future stamp would
+	// corrupt the degree collection.
+	ed := ws.Int(p.K)
+	seen := ws.IntFilled(p.K, 0)
 	stamp := 0
 
 	for pass := 0; pass < opts.MaxPasses; pass++ {
@@ -175,5 +182,8 @@ func Refine(p *Partition, opts Options) int {
 			break
 		}
 	}
+	ws.PutInt(order)
+	ws.PutInt(ed)
+	ws.PutInt(seen)
 	return p.Cut
 }

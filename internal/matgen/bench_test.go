@@ -3,6 +3,7 @@ package matgen
 import "testing"
 
 func BenchmarkDelaunay(b *testing.B) {
+	b.ReportAllocs()
 	xs, ys := randomPoints(5000, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -11,12 +12,14 @@ func BenchmarkDelaunay(b *testing.B) {
 }
 
 func BenchmarkStiffness3D(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Stiffness3D(20, 20, 20)
 	}
 }
 
 func BenchmarkCircuitPowerLaw(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		CircuitPowerLaw(20000, 3, 1)
 	}

@@ -7,9 +7,11 @@ import (
 )
 
 func BenchmarkOrder(b *testing.B) {
+	b.ReportAllocs()
 	for _, size := range []int{8, 12, 16} {
 		g := matgen.FE3DTetra(size, size, size, 1)
 		b.Run(g.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				Order(g)
 			}

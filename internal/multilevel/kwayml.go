@@ -1,7 +1,6 @@
 package multilevel
 
 import (
-	"fmt"
 	"math/rand"
 	"time"
 
@@ -9,6 +8,7 @@ import (
 	"mlpart/internal/graph"
 	"mlpart/internal/kway"
 	"mlpart/internal/refine"
+	"mlpart/internal/workspace"
 )
 
 // PartitionKWay computes a k-way partition with the *direct multilevel
@@ -21,13 +21,10 @@ import (
 // follow-up direction the paper's authors took after ICPP'95 (k-way
 // METIS); it is provided as an extension.
 func PartitionKWay(g *graph.Graph, k int, opts Options) (*Result, error) {
+	if err := validate(g, k, opts); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
-	if k < 1 {
-		return nil, fmt.Errorf("multilevel: k = %d, want >= 1", k)
-	}
-	if k > g.NumVertices() && g.NumVertices() > 0 {
-		return nil, fmt.Errorf("multilevel: k = %d exceeds vertex count %d", k, g.NumVertices())
-	}
 	res := &Result{
 		Where:       make([]int, g.NumVertices()),
 		PartWeights: make([]int, k),
@@ -43,13 +40,15 @@ func PartitionKWay(g *graph.Graph, k int, opts Options) (*Result, error) {
 	}
 
 	rng := rand.New(rand.NewSource(opts.Seed))
+	ws := workspace.Get()
+	defer workspace.Put(ws)
 	// Coarsen once, but keep enough coarse vertices to host k parts.
 	coarsenTo := opts.CoarsenTo
 	if min := 15 * k; coarsenTo < min {
 		coarsenTo = min
 	}
 	t0 := time.Now()
-	h := coarsen.Coarsen(g, coarsen.Options{Scheme: opts.Matching, CoarsenTo: coarsenTo}, rng)
+	h := coarsen.Coarsen(g, coarsen.Options{Scheme: opts.Matching, CoarsenTo: coarsenTo, Workspace: ws}, rng)
 	res.Stats.CoarsenTime = time.Since(t0)
 	res.Stats.Levels = len(h.Levels)
 	res.Stats.CoarsestN = h.Coarsest().NumVertices()
@@ -70,8 +69,10 @@ func PartitionKWay(g *graph.Graph, k int, opts Options) (*Result, error) {
 	res.Stats.Bisections = k - 1
 
 	// Uncoarsen: project the k-way partition and refine at every level.
+	// Intermediate where-vectors are pooled; only the finest one is copied
+	// into the escaping result.
 	where := cres.Where
-	kopts := kway.Options{Ubfactor: opts.Ubfactor, Seed: opts.Seed}
+	kopts := kway.Options{Ubfactor: opts.Ubfactor, Seed: opts.Seed, Workspace: ws}
 	t0 = time.Now()
 	p := kway.NewPartition(coarse, k, where)
 	kway.Refine(p, kopts)
@@ -80,10 +81,11 @@ func PartitionKWay(g *graph.Graph, k int, opts Options) (*Result, error) {
 		fine := h.Levels[li].Graph
 		cmap := h.Levels[li].Cmap
 		t0 = time.Now()
-		fineWhere := make([]int, fine.NumVertices())
+		fineWhere := ws.Int(fine.NumVertices())
 		for v := range fineWhere {
 			fineWhere[v] = where[cmap[v]]
 		}
+		ws.PutInt(where)
 		where = fineWhere
 		res.Stats.ProjectTime += time.Since(t0)
 		t0 = time.Now()
@@ -92,10 +94,12 @@ func PartitionKWay(g *graph.Graph, k int, opts Options) (*Result, error) {
 		res.Stats.RefineTime += time.Since(t0)
 	}
 
-	res.Where = where
-	for v, part := range where {
+	copy(res.Where, where)
+	ws.PutInt(where)
+	h.Release(ws)
+	for v, part := range res.Where {
 		res.PartWeights[part] += g.Vwgt[v]
 	}
-	res.EdgeCut = refine.ComputeCut(g, where)
+	res.EdgeCut = refine.ComputeCut(g, res.Where)
 	return res, nil
 }

@@ -16,6 +16,7 @@ import (
 	"mlpart/internal/initpart"
 	"mlpart/internal/kway"
 	"mlpart/internal/refine"
+	"mlpart/internal/workspace"
 )
 
 // Options selects the algorithm for each phase plus the shared knobs. The
@@ -50,9 +51,19 @@ type Options struct {
 	// partition, as the paper's "fixed seed" experiments require.
 	Seed int64
 	// Parallel partitions independent subgraphs of the recursive k-way
-	// decomposition on separate goroutines. Results are identical to the
+	// decomposition on separate goroutines, and runs the NCuts > 1 trials
+	// of each bisection concurrently. Results are identical to the
 	// sequential run because every subproblem derives its own seed.
 	Parallel bool
+	// ParallelDepth bounds how deep the recursion tree fans out onto new
+	// goroutines when Parallel is set: subproblems deeper than this run
+	// sequentially, because goroutine overhead dominates on the small
+	// graphs there. 0 means 4 (at most 2^4 concurrent branches).
+	ParallelDepth int
+	// ParallelMinVertices is the smallest subgraph that still fans out
+	// when Parallel is set; smaller subproblems run sequentially.
+	// 0 means 2000.
+	ParallelMinVertices int
 	// KWayRefine runs a direct k-way greedy refinement pass over the
 	// assembled partition after recursive bisection, the natural extension
 	// of the paper's scheme (it never worsens the cut).
@@ -99,7 +110,45 @@ func (o Options) withDefaults() Options {
 	if o.Ubfactor <= 1 {
 		o.Ubfactor = 1.05
 	}
+	if o.ParallelDepth <= 0 {
+		o.ParallelDepth = 4
+	}
+	if o.ParallelMinVertices <= 0 {
+		o.ParallelMinVertices = 2000
+	}
 	return o
+}
+
+// validate rejects option/argument combinations that would otherwise
+// recurse silently into nonsense: non-positive or oversized k, negative
+// trial counts, and imbalance factors below 1 (every part may always hold
+// at least its target weight).
+func validate(g *graph.Graph, k int, o Options) error {
+	if k < 1 {
+		return fmt.Errorf("multilevel: k = %d, want >= 1", k)
+	}
+	if k > g.NumVertices() && g.NumVertices() > 0 {
+		return fmt.Errorf("multilevel: k = %d exceeds vertex count %d", k, g.NumVertices())
+	}
+	if o.NCuts < 0 {
+		return fmt.Errorf("multilevel: NCuts = %d, want >= 0", o.NCuts)
+	}
+	if o.InitTrials < 0 {
+		return fmt.Errorf("multilevel: InitTrials = %d, want >= 0", o.InitTrials)
+	}
+	if o.CoarsenWorkers < 0 {
+		return fmt.Errorf("multilevel: CoarsenWorkers = %d, want >= 0", o.CoarsenWorkers)
+	}
+	if o.Ubfactor != 0 && o.Ubfactor < 1 {
+		return fmt.Errorf("multilevel: Ubfactor = %v, want >= 1 (or 0 for the default)", o.Ubfactor)
+	}
+	if o.ParallelDepth < 0 {
+		return fmt.Errorf("multilevel: ParallelDepth = %d, want >= 0", o.ParallelDepth)
+	}
+	if o.ParallelMinVertices < 0 {
+		return fmt.Errorf("multilevel: ParallelMinVertices = %d, want >= 0", o.ParallelMinVertices)
+	}
+	return nil
 }
 
 // Stats reports where the time went, matching the columns of the paper's
@@ -141,34 +190,28 @@ func (s *Stats) add(o *Stats) {
 // statistics (summed over the NCuts runs).
 func Bisect(g *graph.Graph, target0 int, opts Options, rng *rand.Rand) (*refine.Bisection, *Stats) {
 	if opts.NCuts > 1 {
-		n := opts.NCuts
-		opts.NCuts = 1
-		var best *refine.Bisection
-		total := &Stats{}
-		for i := 0; i < n; i++ {
-			b, s := Bisect(g, target0, opts, rng)
-			total.add(s)
-			if best == nil || b.Cut < best.Cut {
-				best = b
-			}
-		}
-		total.Bisections = 1
-		return best, total
+		return bisectNCuts(g, target0, opts, rng)
 	}
 	opts = opts.withDefaults()
 	if target0 <= 0 {
 		target0 = g.TotalVertexWeight() / 2
 	}
 	stats := &Stats{Bisections: 1}
+	// All scratch for this bisection — hierarchy arrays, trial bisections,
+	// gain buckets — comes from one pooled workspace. Nothing backed by it
+	// may escape: the returned Bisection is detached into fresh memory below.
+	ws := workspace.Get()
+	defer workspace.Put(ws)
 	ropts := refine.Options{
 		StopWindow: opts.StopWindow,
 		Ubfactor:   opts.Ubfactor,
 		TargetPwgt: [2]int{target0, g.TotalVertexWeight() - target0},
 		OrigNvtxs:  g.NumVertices(),
+		Workspace:  ws,
 	}
 
 	t0 := time.Now()
-	copts := coarsen.Options{Scheme: opts.Matching, CoarsenTo: opts.CoarsenTo}
+	copts := coarsen.Options{Scheme: opts.Matching, CoarsenTo: opts.CoarsenTo, Workspace: ws}
 	var h *coarsen.Hierarchy
 	if opts.CoarsenWorkers > 1 {
 		h = coarsen.ParallelCoarsen(g, copts, rng, opts.CoarsenWorkers)
@@ -184,6 +227,7 @@ func Bisect(g *graph.Graph, target0 int, opts Options, rng *rand.Rand) (*refine.
 		Method:      opts.InitMethod,
 		Trials:      opts.InitTrials,
 		TargetPwgt0: target0,
+		Workspace:   ws,
 	}, rng)
 	stats.InitTime = time.Since(t0)
 	stats.InitialCut = b.Cut
@@ -195,13 +239,59 @@ func Bisect(g *graph.Graph, target0 int, opts Options, rng *rand.Rand) (*refine.
 	stats.RefineTime += time.Since(t0)
 	for li := len(h.Levels) - 2; li >= 0; li-- {
 		t0 = time.Now()
-		b = refine.Project(h.Levels[li].Graph, h.Levels[li].Cmap, b)
+		nb := refine.ProjectWS(h.Levels[li].Graph, h.Levels[li].Cmap, b, ws)
+		b.Release(ws)
+		b = nb
 		stats.ProjectTime += time.Since(t0)
 		t0 = time.Now()
 		refine.Refine(b, opts.Refinement, ropts)
 		stats.RefineTime += time.Since(t0)
 	}
+	b = b.Detach(ws)
+	h.Release(ws)
 	return b, stats
+}
+
+// bisectNCuts repeats the full bisection opts.NCuts times with seeds derived
+// from a single draw on rng and keeps the smallest cut (ties to the earliest
+// trial). Because each trial owns a derived-seed RNG rather than sharing
+// rng's stream, the trials are order-independent: with opts.Parallel they run
+// concurrently and still pick the exact bisection the sequential loop picks.
+func bisectNCuts(g *graph.Graph, target0 int, opts Options, rng *rand.Rand) (*refine.Bisection, *Stats) {
+	n := opts.NCuts
+	opts.NCuts = 1
+	base := rng.Int63()
+	bs := make([]*refine.Bisection, n)
+	ss := make([]*Stats, n)
+	trial := func(i int) {
+		trng := rand.New(rand.NewSource(deriveSeed(base, int64(i))))
+		bs[i], ss[i] = Bisect(g, target0, opts, trng)
+	}
+	if opts.Parallel {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				trial(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < n; i++ {
+			trial(i)
+		}
+	}
+	var best *refine.Bisection
+	total := &Stats{}
+	for i := 0; i < n; i++ {
+		total.add(ss[i])
+		if best == nil || bs[i].Cut < best.Cut {
+			best = bs[i]
+		}
+	}
+	total.Bisections = 1
+	return best, total
 }
 
 // Result is the outcome of a k-way partition.
@@ -235,13 +325,10 @@ func (r *Result) Balance() float64 {
 // (log k levels of bisection, with target weights proportional to the
 // number of leaf parts on each side, so any k >= 1 is supported).
 func Partition(g *graph.Graph, k int, opts Options) (*Result, error) {
+	if err := validate(g, k, opts); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
-	if k < 1 {
-		return nil, fmt.Errorf("multilevel: k = %d, want >= 1", k)
-	}
-	if k > g.NumVertices() && g.NumVertices() > 0 {
-		return nil, fmt.Errorf("multilevel: k = %d exceeds vertex count %d", k, g.NumVertices())
-	}
 	res := &Result{
 		Where:       make([]int, g.NumVertices()),
 		PartWeights: make([]int, k),
@@ -253,8 +340,10 @@ func Partition(g *graph.Graph, k int, opts Options) (*Result, error) {
 	var mu sync.Mutex
 	recurse(g, ids, k, 0, opts, opts.Seed, res, &mu, 0)
 	if opts.KWayRefine && k >= 2 {
+		ws := workspace.Get()
 		p := kway.NewPartition(g, k, res.Where)
-		kway.Refine(p, kway.Options{Ubfactor: opts.Ubfactor, Seed: opts.Seed})
+		kway.Refine(p, kway.Options{Ubfactor: opts.Ubfactor, Seed: opts.Seed, Workspace: ws})
+		workspace.Put(ws)
 	}
 	for v, p := range res.Where {
 		res.PartWeights[p] += g.Vwgt[v]
@@ -285,6 +374,11 @@ func recurse(g *graph.Graph, ids []int, k, base int, opts Options, seed int64, r
 	kl := k / 2
 	kr := k - kl
 	target0 := g.TotalVertexWeight() * kl / k
+	if target0 < 1 {
+		// Degenerate weights (e.g. all-zero subgraph) must still seed part 0,
+		// or the left recursion receives an empty graph forever.
+		target0 = 1
+	}
 	rng := rand.New(rand.NewSource(seed))
 	b, stats := Bisect(g, target0, opts, rng)
 	mu.Lock()
@@ -305,7 +399,7 @@ func recurse(g *graph.Graph, ids []int, k, base int, opts Options, seed int64, r
 	seedR := deriveSeed(seed, 3)
 	// Fan out the top few levels of the recursion tree; deeper subproblems
 	// are small enough that goroutine overhead dominates.
-	if opts.Parallel && depth < 4 && g.NumVertices() > 2000 {
+	if opts.Parallel && depth < opts.ParallelDepth && g.NumVertices() > opts.ParallelMinVertices {
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {

@@ -1,0 +1,85 @@
+package multilevel
+
+import (
+	"slices"
+	"testing"
+
+	"mlpart/internal/matgen"
+)
+
+// TestNCutsParallelMatchesSerial pins the order-independence of the NCuts
+// trials: because every trial derives its own seed, the parallel run must
+// pick the exact bisection (cut AND vector) the sequential loop picks.
+func TestNCutsParallelMatchesSerial(t *testing.T) {
+	g := matgen.FE3DTetra(9, 9, 9, 2)
+	serial, _ := Bisect(g, 0, Options{Seed: 7, NCuts: 4}, rng(7))
+	par, _ := Bisect(g, 0, Options{Seed: 7, NCuts: 4, Parallel: true}, rng(7))
+	if par.Cut != serial.Cut {
+		t.Fatalf("parallel NCuts cut %d, serial %d", par.Cut, serial.Cut)
+	}
+	if !slices.Equal(par.Where, serial.Where) {
+		t.Fatal("parallel NCuts picked a different bisection than serial")
+	}
+}
+
+// TestNCutsParallelPartition is the same contract through the full k-way
+// recursion, with the fan-out thresholds forced low so both parallel paths
+// (recursion and NCuts trials) actually execute.
+func TestNCutsParallelPartition(t *testing.T) {
+	g := matgen.Mesh2DTri(25, 25, 0.02, 4)
+	serial, err := Partition(g, 8, Options{Seed: 3, NCuts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Partition(g, 8, Options{
+		Seed: 3, NCuts: 3, Parallel: true,
+		ParallelDepth: 8, ParallelMinVertices: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.EdgeCut != serial.EdgeCut {
+		t.Fatalf("parallel edge-cut %d, serial %d", par.EdgeCut, serial.EdgeCut)
+	}
+	if !slices.Equal(par.Where, serial.Where) {
+		t.Fatal("parallel partition differs from serial")
+	}
+}
+
+// TestValidateOptions: every malformed option combination is rejected with
+// an error instead of recursing into nonsense.
+func TestValidateOptions(t *testing.T) {
+	g := matgen.Grid2D(8, 8) // 64 vertices
+	cases := []struct {
+		name string
+		k    int
+		opts Options
+	}{
+		{"k=0", 0, Options{}},
+		{"k<0", -3, Options{}},
+		{"k>n", 65, Options{}},
+		{"NCuts<0", 2, Options{NCuts: -1}},
+		{"InitTrials<0", 2, Options{InitTrials: -2}},
+		{"CoarsenWorkers<0", 2, Options{CoarsenWorkers: -1}},
+		{"Ubfactor<1", 2, Options{Ubfactor: 0.5}},
+		{"ParallelDepth<0", 2, Options{ParallelDepth: -1}},
+		{"ParallelMinVertices<0", 2, Options{ParallelMinVertices: -5}},
+	}
+	for _, tc := range cases {
+		if _, err := Partition(g, tc.k, tc.opts); err == nil {
+			t.Errorf("Partition %s: no error", tc.name)
+		}
+		if _, err := PartitionKWay(g, tc.k, tc.opts); err == nil {
+			t.Errorf("PartitionKWay %s: no error", tc.name)
+		}
+		if tc.k >= 1 {
+			fr := make([]float64, tc.k)
+			for i := range fr {
+				fr[i] = 1
+			}
+			if _, err := PartitionWeighted(g, fr, tc.opts); err == nil {
+				t.Errorf("PartitionWeighted %s: no error", tc.name)
+			}
+		}
+	}
+}

@@ -16,14 +16,14 @@ import (
 // internally. Each recursive bisection splits the remaining fraction mass
 // between the two half-ranges of parts.
 func PartitionWeighted(g *graph.Graph, fractions []float64, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
 	k := len(fractions)
 	if k < 1 {
 		return nil, fmt.Errorf("multilevel: no fractions given")
 	}
-	if k > g.NumVertices() && g.NumVertices() > 0 {
-		return nil, fmt.Errorf("multilevel: k = %d exceeds vertex count %d", k, g.NumVertices())
+	if err := validate(g, k, opts); err != nil {
+		return nil, err
 	}
+	opts = opts.withDefaults()
 	sum := 0.0
 	for p, f := range fractions {
 		if f <= 0 {

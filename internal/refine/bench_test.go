@@ -19,6 +19,7 @@ func benchBisection(b *testing.B, seed int64) (*Bisection, []int) {
 }
 
 func BenchmarkNewBisection(b *testing.B) {
+	b.ReportAllocs()
 	g := matgen.FE3DTetra(16, 16, 16, 1)
 	n := g.NumVertices()
 	where := make([]int, n)
@@ -32,6 +33,7 @@ func BenchmarkNewBisection(b *testing.B) {
 }
 
 func BenchmarkMove(b *testing.B) {
+	b.ReportAllocs()
 	bis, _ := benchBisection(b, 2)
 	rng := rand.New(rand.NewSource(3))
 	n := bis.G.NumVertices()
@@ -42,8 +44,10 @@ func BenchmarkMove(b *testing.B) {
 }
 
 func BenchmarkRefinePolicies(b *testing.B) {
+	b.ReportAllocs()
 	for _, p := range []Policy{GR, KLR, BGR, BKLR, BKLGR} {
 		b.Run(p.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				bis, _ := benchBisection(b, 4)
@@ -55,6 +59,7 @@ func BenchmarkRefinePolicies(b *testing.B) {
 }
 
 func BenchmarkGainBucketsOps(b *testing.B) {
+	b.ReportAllocs()
 	const n = 1 << 14
 	bk := NewGainBuckets(n, 64)
 	rng := rand.New(rand.NewSource(5))

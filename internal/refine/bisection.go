@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"mlpart/internal/graph"
+	"mlpart/internal/workspace"
 )
 
 // Bisection is a 2-way partition of a graph together with the incremental
@@ -37,16 +38,22 @@ type Bisection struct {
 // NewBisection builds the full refinement state for the partition `where`
 // of g. where is retained, not copied.
 func NewBisection(g *graph.Graph, where []int) *Bisection {
+	return NewBisectionWS(g, where, nil)
+}
+
+// NewBisectionWS is NewBisection drawing the state arrays from ws (a nil ws
+// allocates). A pooled bisection is returned to ws with Release, or turned
+// into an ordinary heap-owned one with Detach before it escapes the call
+// tree that owns ws.
+func NewBisectionWS(g *graph.Graph, where []int, ws *workspace.Workspace) *Bisection {
 	n := g.NumVertices()
 	b := &Bisection{
 		G:        g,
 		Where:    where,
-		ID:       make([]int, n),
-		ED:       make([]int, n),
-		bndIndex: make([]int, n),
-	}
-	for i := range b.bndIndex {
-		b.bndIndex[i] = -1
+		ID:       ws.IntFilled(n, 0),
+		ED:       ws.IntFilled(n, 0),
+		bndIndex: ws.IntFilled(n, -1),
+		bndList:  ws.Int(n)[:0],
 	}
 	for v := 0; v < n; v++ {
 		b.Pwgt[where[v]] += g.Vwgt[v]
@@ -66,6 +73,43 @@ func NewBisection(g *graph.Graph, where []int) *Bisection {
 	}
 	b.Cut /= 2
 	return b
+}
+
+// Release returns the bisection's arrays — including Where — to ws; b must
+// not be used afterwards. Only call it when every array was either drawn
+// from the workspace or is otherwise dead. A no-op for a nil ws.
+func (b *Bisection) Release(ws *workspace.Workspace) {
+	if ws == nil {
+		return
+	}
+	ws.PutInt(b.Where)
+	ws.PutInt(b.ID)
+	ws.PutInt(b.ED)
+	ws.PutInt(b.bndIndex)
+	ws.PutInt(b.bndList)
+	b.Where, b.ID, b.ED, b.bndIndex, b.bndList = nil, nil, nil, nil, nil
+}
+
+// Detach copies b into freshly allocated arrays, releases the pooled ones
+// to ws, and returns the copy — the escape hatch that upholds the pooling
+// invariant (no workspace buffer outlives the call tree that obtained it)
+// for the bisection a caller keeps. With a nil ws, b is returned unchanged.
+func (b *Bisection) Detach(ws *workspace.Workspace) *Bisection {
+	if ws == nil {
+		return b
+	}
+	nb := &Bisection{
+		G:        b.G,
+		Where:    append([]int(nil), b.Where...),
+		Pwgt:     b.Pwgt,
+		ID:       append([]int(nil), b.ID...),
+		ED:       append([]int(nil), b.ED...),
+		Cut:      b.Cut,
+		bndList:  append([]int(nil), b.bndList...),
+		bndIndex: append([]int(nil), b.bndIndex...),
+	}
+	b.Release(ws)
+	return nb
 }
 
 // Gain returns the decrease in edge-cut if v moved to the other part.
@@ -182,12 +226,19 @@ func (b *Bisection) Verify() error {
 // (the contraction invariant); the returned state is rebuilt on the fine
 // graph so refinement can proceed.
 func Project(fine *graph.Graph, cmap []int, coarse *Bisection) *Bisection {
+	return ProjectWS(fine, cmap, coarse, nil)
+}
+
+// ProjectWS is Project drawing the fine-level state from ws (a nil ws
+// allocates). The coarse bisection is still intact afterwards; the caller
+// typically Releases it once the projection is built.
+func ProjectWS(fine *graph.Graph, cmap []int, coarse *Bisection, ws *workspace.Workspace) *Bisection {
 	n := fine.NumVertices()
-	where := make([]int, n)
+	where := ws.Int(n)
 	for v := 0; v < n; v++ {
 		where[v] = coarse.Where[cmap[v]]
 	}
-	return NewBisection(fine, where)
+	return NewBisectionWS(fine, where, ws)
 }
 
 // ComputeCut returns the edge-cut of an arbitrary k-way partition vector

@@ -1,5 +1,7 @@
 package refine
 
+import "mlpart/internal/workspace"
+
 // GainBuckets is the bucket priority structure of Fiduccia-Mattheyses:
 // an array of doubly-linked vertex lists indexed by gain, supporting O(1)
 // insert, remove and update, and amortized O(1) extract-max. The paper's
@@ -20,21 +22,41 @@ type GainBuckets struct {
 // NewGainBuckets sizes the structure for nvtxs vertices whose gains are
 // bounded by maxGain in absolute value.
 func NewGainBuckets(nvtxs, maxGain int) *GainBuckets {
+	b := &GainBuckets{}
+	b.Init(nvtxs, maxGain, nil)
+	return b
+}
+
+// Init (re)builds b in place for nvtxs vertices whose gains are bounded by
+// maxGain in absolute value, drawing the backing arrays from ws (a nil ws
+// allocates). Pair with Free; refinement calls Init/Free once per pass, so
+// pooling here removes the dominant per-pass allocations.
+func (b *GainBuckets) Init(nvtxs, maxGain int, ws *workspace.Workspace) {
 	if maxGain < 1 {
 		maxGain = 1
 	}
-	b := &GainBuckets{
-		offset: maxGain,
-		heads:  make([]int, 2*maxGain+1),
-		next:   make([]int, nvtxs),
-		prev:   make([]int, nvtxs),
-		gain:   make([]int, nvtxs),
-		in:     make([]bool, nvtxs),
+	b.offset = maxGain
+	b.heads = ws.IntFilled(2*maxGain+1, -1)
+	b.next = ws.Int(nvtxs)
+	b.prev = ws.Int(nvtxs)
+	b.gain = ws.Int(nvtxs)
+	b.in = ws.Bool(nvtxs)
+	b.maxPtr = 0
+	b.n = 0
+}
+
+// Free returns the backing arrays to ws; b must not be used again until the
+// next Init. A no-op for a nil ws.
+func (b *GainBuckets) Free(ws *workspace.Workspace) {
+	if ws == nil {
+		return
 	}
-	for i := range b.heads {
-		b.heads[i] = -1
-	}
-	return b
+	ws.PutInt(b.heads)
+	ws.PutInt(b.next)
+	ws.PutInt(b.prev)
+	ws.PutInt(b.gain)
+	ws.PutBool(b.in)
+	b.heads, b.next, b.prev, b.gain, b.in = nil, nil, nil, nil, nil
 }
 
 // reset empties the structure in O(inserted) by walking nothing — callers

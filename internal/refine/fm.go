@@ -2,6 +2,8 @@ package refine
 
 import (
 	"fmt"
+
+	"mlpart/internal/workspace"
 )
 
 // Policy selects the refinement algorithm run after each projection step
@@ -83,6 +85,10 @@ type Options struct {
 	// OrigNvtxs is the vertex count of the original (finest) graph, used
 	// by BKLGR's 2% switch rule. 0 means "use the current graph's size".
 	OrigNvtxs int
+	// Workspace, when non-nil, supplies pooled scratch buffers (gain
+	// buckets, lock flags, the move journal) so refinement passes run
+	// allocation-free. Results are identical either way.
+	Workspace *workspace.Workspace
 }
 
 func (o Options) withDefaults(b *Bisection) Options {
@@ -172,13 +178,14 @@ func iterate(b *Bisection, opts Options, boundaryOnly bool) {
 // pass ends after StopWindow consecutive non-improving moves (which are
 // undone). Reports whether the cut improved.
 func fmPass(b *Bisection, opts Options, boundaryOnly bool) bool {
+	ws := opts.Workspace
 	n := b.G.NumVertices()
 	maxGain := b.G.MaxWeightedDegree()
-	buckets := [2]*GainBuckets{
-		NewGainBuckets(n, maxGain),
-		NewGainBuckets(n, maxGain),
-	}
-	locked := make([]bool, n)
+	var bk0, bk1 GainBuckets
+	bk0.Init(n, maxGain, ws)
+	bk1.Init(n, maxGain, ws)
+	buckets := [2]*GainBuckets{&bk0, &bk1}
+	locked := ws.Bool(n)
 	limit := maxAllowed(b, opts)
 
 	if boundaryOnly {
@@ -195,7 +202,9 @@ func fmPass(b *Bisection, opts Options, boundaryOnly bool) bool {
 	bestCut := b.Cut
 	bestDiff := balanceDiff(b, opts)
 	bestIdx := 0
-	var moved []int
+	// Each vertex is locked after its move, so at most n moves per pass:
+	// a pooled length-n buffer never reallocates.
+	moved := ws.Int(n)[:0]
 	badMoves := 0
 
 	onGainChange := func(u int) {
@@ -262,6 +271,10 @@ func fmPass(b *Bisection, opts Options, boundaryOnly bool) bool {
 	for i := len(moved) - 1; i >= bestIdx; i-- {
 		b.Move(moved[i], nil)
 	}
+	bk0.Free(ws)
+	bk1.Free(ws)
+	ws.PutBool(locked)
+	ws.PutInt(moved)
 	return bestCut < startCut
 }
 
@@ -289,7 +302,9 @@ func ForceBalance(b *Bisection, opts Options) {
 		from = 1
 	}
 	n := b.G.NumVertices()
-	bk := NewGainBuckets(n, b.G.MaxWeightedDegree())
+	var bk GainBuckets
+	bk.Init(n, b.G.MaxWeightedDegree(), opts.Workspace)
+	defer bk.Free(opts.Workspace)
 	for _, v := range b.Boundary() {
 		if b.Where[v] == from {
 			bk.Insert(v, b.Gain(v))

@@ -22,6 +22,7 @@ func benchSystem(b *testing.B) (*sparse.Matrix, []float64) {
 }
 
 func BenchmarkCG(b *testing.B) {
+	b.ReportAllocs()
 	m, rhs := benchSystem(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -32,6 +33,7 @@ func BenchmarkCG(b *testing.B) {
 }
 
 func BenchmarkCGPartitionedSpMV(b *testing.B) {
+	b.ReportAllocs()
 	m, rhs := benchSystem(b)
 	res, err := multilevel.Partition(m.G, 4, multilevel.Options{Seed: 3})
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 )
 
 func BenchmarkAnalyze(b *testing.B) {
+	b.ReportAllocs()
 	g := matgen.FE3DTetra(14, 14, 14, 1)
 	perm := rand.New(rand.NewSource(2)).Perm(g.NumVertices())
 	b.ResetTimer()
@@ -19,6 +20,7 @@ func BenchmarkAnalyze(b *testing.B) {
 }
 
 func BenchmarkFactorize(b *testing.B) {
+	b.ReportAllocs()
 	g := matgen.Mesh2DTri(40, 40, 0, 3)
 	m := NewLaplacian(g, 1)
 	perm := IdentityPerm(g.NumVertices())
@@ -31,6 +33,7 @@ func BenchmarkFactorize(b *testing.B) {
 }
 
 func BenchmarkSolve(b *testing.B) {
+	b.ReportAllocs()
 	g := matgen.Mesh2DTri(40, 40, 0, 4)
 	m := NewLaplacian(g, 1)
 	f, err := Factorize(m, IdentityPerm(g.NumVertices()))

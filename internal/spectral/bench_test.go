@@ -8,6 +8,7 @@ import (
 )
 
 func BenchmarkFiedlerCoarse(b *testing.B) {
+	b.ReportAllocs()
 	// The per-bisection cost of the spectral initial partitioner: an exact
 	// Lanczos solve on a ~100-vertex coarse graph.
 	g := matgen.Mesh2DTri(10, 10, 0, 1)
@@ -19,6 +20,7 @@ func BenchmarkFiedlerCoarse(b *testing.B) {
 }
 
 func BenchmarkMSBisect(b *testing.B) {
+	b.ReportAllocs()
 	g := matgen.FE3DTetra(12, 12, 12, 3)
 	r := rand.New(rand.NewSource(4))
 	b.ResetTimer()

@@ -1,0 +1,25 @@
+package workspace
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestPermIntoMatchesRandPerm pins the RNG-stream contract: PermInto must
+// produce rng.Perm's exact permutation AND leave the RNG in the exact same
+// state, so pooled and allocating code paths stay bit-identical.
+func TestPermIntoMatchesRandPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100} {
+		a := rand.New(rand.NewSource(42))
+		b := rand.New(rand.NewSource(42))
+		want := a.Perm(n)
+		got := PermInto(b, n, make([]int, n))
+		if !slices.Equal(got, want) {
+			t.Fatalf("n=%d: PermInto = %v, rng.Perm = %v", n, got, want)
+		}
+		if x, y := a.Int63(), b.Int63(); x != y {
+			t.Fatalf("n=%d: RNG streams diverged after permutation (%d vs %d)", n, x, y)
+		}
+	}
+}

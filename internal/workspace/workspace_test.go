@@ -1,0 +1,123 @@
+package workspace
+
+import "testing"
+
+func TestIntReuse(t *testing.T) {
+	ws := &Workspace{}
+	a := ws.Int(100)
+	if len(a) != 100 {
+		t.Fatalf("len = %d, want 100", len(a))
+	}
+	pa := &a[0]
+	ws.PutInt(a)
+	b := ws.Int(50)
+	if &b[0] != pa {
+		t.Error("expected the freed buffer to be reused for a smaller request")
+	}
+	if len(b) != 50 {
+		t.Fatalf("len = %d, want 50", len(b))
+	}
+}
+
+func TestIntBestFit(t *testing.T) {
+	ws := &Workspace{}
+	big := make([]int, 1000)
+	small := make([]int, 60)
+	ws.PutInt(big)
+	ws.PutInt(small)
+	got := ws.Int(50)
+	if cap(got) != cap(small) {
+		t.Errorf("best fit picked cap %d, want %d (the smaller buffer)", cap(got), cap(small))
+	}
+}
+
+func TestIntFilled(t *testing.T) {
+	ws := &Workspace{}
+	a := ws.Int(10)
+	for i := range a {
+		a[i] = 7
+	}
+	ws.PutInt(a)
+	b := ws.IntFilled(10, -1)
+	for i, v := range b {
+		if v != -1 {
+			t.Fatalf("b[%d] = %d, want -1", i, v)
+		}
+	}
+}
+
+func TestBoolCleared(t *testing.T) {
+	ws := &Workspace{}
+	a := ws.Bool(8)
+	for i := range a {
+		a[i] = true
+	}
+	ws.PutBool(a)
+	b := ws.Bool(8)
+	for i, v := range b {
+		if v {
+			t.Fatalf("b[%d] = true, want false (Bool must clear)", i)
+		}
+	}
+}
+
+func TestInt64Reuse(t *testing.T) {
+	ws := &Workspace{}
+	a := ws.Int64(32)
+	pa := &a[0]
+	ws.PutInt64(a)
+	b := ws.Int64(16)
+	if &b[0] != pa {
+		t.Error("expected int64 buffer reuse")
+	}
+}
+
+func TestNilWorkspace(t *testing.T) {
+	var ws *Workspace
+	if got := ws.Int(5); len(got) != 5 {
+		t.Fatalf("nil ws Int len = %d", len(got))
+	}
+	if got := ws.IntFilled(3, 9); got[0] != 9 || got[2] != 9 {
+		t.Fatal("nil ws IntFilled wrong contents")
+	}
+	if got := ws.Bool(4); len(got) != 4 || got[0] {
+		t.Fatal("nil ws Bool wrong")
+	}
+	if got := ws.Int64(2); len(got) != 2 {
+		t.Fatal("nil ws Int64 wrong")
+	}
+	// Puts on a nil workspace are no-ops, not panics.
+	ws.PutInt([]int{1})
+	ws.PutInt64([]int64{1})
+	ws.PutBool([]bool{true})
+}
+
+func TestPutCap(t *testing.T) {
+	ws := &Workspace{}
+	a := make([]int, 10, 64)
+	ws.PutInt(a[:0]) // a zero-length view still contributes its full capacity
+	b := ws.Int(60)
+	if len(b) != 60 {
+		t.Fatalf("len = %d, want 60", len(b))
+	}
+}
+
+func TestMaxFreeBound(t *testing.T) {
+	ws := &Workspace{}
+	for i := 0; i < 2*maxFree; i++ {
+		ws.PutInt(make([]int, 4))
+	}
+	if len(ws.ints) > maxFree {
+		t.Fatalf("free list grew to %d, bound is %d", len(ws.ints), maxFree)
+	}
+}
+
+func TestGetPut(t *testing.T) {
+	ws := Get()
+	if ws == nil {
+		t.Fatal("Get returned nil")
+	}
+	ws.PutInt(ws.Int(10))
+	Put(ws)
+	Put(nil) // must not panic
+}

@@ -145,8 +145,16 @@ type Options struct {
 	// results.
 	Seed int64
 	// Parallel runs independent subproblems of recursive bisection and
-	// nested dissection on separate goroutines; results are unchanged.
+	// nested dissection on separate goroutines, and the NCuts trials of
+	// each bisection concurrently; results are unchanged.
 	Parallel bool
+	// ParallelDepth bounds how many recursion levels fan out onto new
+	// goroutines when Parallel is set (0 means 4, i.e. at most 16
+	// concurrent branches). Deeper subproblems run sequentially.
+	ParallelDepth int
+	// ParallelMinVertices is the smallest subgraph that still fans out
+	// when Parallel is set (0 means 2000).
+	ParallelMinVertices int
 	// KWayRefine runs an extra direct k-way refinement pass over the
 	// assembled partition after recursive bisection (never worsens the
 	// edge-cut; costs one extra sweep over the graph per pass).
@@ -177,6 +185,8 @@ func (o *Options) toML() (multilevel.Options, error) {
 	ml.Ubfactor = o.Ubfactor
 	ml.Seed = o.Seed
 	ml.Parallel = o.Parallel
+	ml.ParallelDepth = o.ParallelDepth
+	ml.ParallelMinVertices = o.ParallelMinVertices
 	ml.KWayRefine = o.KWayRefine
 	ml.NCuts = o.NCuts
 	ml.CoarsenWorkers = o.CoarsenWorkers

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Run the full benchmark suite with allocation reporting and save a JSON
+# snapshot (one go-test event per line) as BENCH_<date>.json in the repo
+# root. Compare snapshots across commits to track the allocs/op and ns/op
+# of the paper-table benchmarks.
+#
+# Usage:
+#   scripts/bench.sh                 # full suite, 1 iteration per benchmark
+#   BENCHTIME=5x scripts/bench.sh    # more iterations
+#   BENCH=Table4 scripts/bench.sh    # subset by regexp
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+BENCH="${BENCH:-.}"
+OUT="BENCH_$(date +%Y%m%d).json"
+
+go test -json -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . ./internal/... >"$OUT"
+
+grep -c '"Action":"output"' "$OUT" >/dev/null || {
+    echo "bench.sh: no benchmark output captured" >&2
+    exit 1
+}
+echo "benchmark snapshot written to $OUT"

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Local CI: the same gate .github/workflows/ci.yml runs. Fails on
+# unformatted files, vet findings, build or test failures, and data races
+# in the concurrent packages (parallel coarsening, parallel NCuts /
+# recursive bisection, k-way refinement).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrent packages)"
+go test -race ./internal/coarsen/ ./internal/multilevel/ ./internal/kway/
+
+echo "CI OK"
