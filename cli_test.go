@@ -1,11 +1,14 @@
 package mlpart_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mlpart"
 )
 
 // runTool builds-and-runs one of the repository's commands via `go run`,
@@ -89,6 +92,93 @@ func TestCLIMlbenchSingleTable(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("mlbench output missing %q", want)
 		}
+	}
+}
+
+// TestCLITraceJSONRoundTrip runs `mlpart -trace -json` and decodes every
+// stdout line: per-level trace events (one well-formed event per level,
+// plus initial/pass/project/phase events) followed by one result object.
+func TestCLITraceJSONRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests build binaries")
+	}
+	cmd := exec.Command("go", "run", "./cmd/mlpart",
+		"-gen", "4ELT", "-scale", "0.05", "-k", "4", "-seed", "7", "-trace", "-json")
+	cmd.Dir = "."
+	stdout, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("mlpart -trace -json: %v", err)
+	}
+	kinds := map[string]int{}
+	var result struct {
+		Kind    string `json:"kind"`
+		K       int    `json:"k"`
+		EdgeCut int    `json:"edge_cut"`
+	}
+	lines := strings.Split(strings.TrimSpace(string(stdout)), "\n")
+	levelsSeen := map[int]bool{}
+	for i, line := range lines {
+		var ev mlpart.TraceEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("stdout line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		if ev.Kind != "" {
+			kinds[string(ev.Kind)]++
+			if ev.Kind == "level" {
+				if ev.Vertices <= 0 {
+					t.Errorf("level event with no vertices: %s", line)
+				}
+				levelsSeen[ev.Level] = true
+			}
+		}
+		if i == len(lines)-1 {
+			if err := json.Unmarshal([]byte(line), &result); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, k := range []string{"level", "initial", "refine_pass", "project", "phase"} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q events on stdout (saw %v)", k, kinds)
+		}
+	}
+	// Every level index 0..max must have produced an event.
+	for l := 0; l < len(levelsSeen); l++ {
+		if !levelsSeen[l] {
+			t.Errorf("missing level event for level %d", l)
+		}
+	}
+	if result.Kind != "result" || result.K != 4 || result.EdgeCut <= 0 {
+		t.Errorf("bad final result line: %+v", result)
+	}
+}
+
+// TestCLITimeoutExitStatus checks the distinct exit status for deadline
+// expiry (3, not the generic 1).
+func TestCLITimeoutExitStatus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests build binaries")
+	}
+	bin := filepath.Join(t.TempDir(), "mlpart.bin")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/mlpart")
+	build.Dir = "."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-gen", "4ELT", "-scale", "0.4", "-k", "64", "-ncuts", "16", "-timeout", "1ms")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Skip("machine fast enough to finish before the deadline")
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("unexpected error type %T: %v", err, err)
+	}
+	if ee.ExitCode() != 3 {
+		t.Errorf("exit code = %d, want 3\n%s", ee.ExitCode(), out)
+	}
+	if !strings.Contains(string(out), "deadline") {
+		t.Errorf("stderr should mention the deadline:\n%s", out)
 	}
 }
 

@@ -24,6 +24,7 @@ func main() {
 	list := flag.Bool("list", false, "list workload names and exit")
 	dir := flag.String("dir", ".", "output directory")
 	format := flag.String("format", "metis", "output format: metis or mtx")
+	quiet := flag.Bool("q", false, "suppress the per-file progress lines (for scripts)")
 	flag.Parse()
 
 	if *format != "metis" && *format != "mtx" {
@@ -74,7 +75,9 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%-8s n=%-8d m=%-9d -> %s\n", name, g.NumVertices(), g.NumEdges(), path)
+		if !*quiet {
+			fmt.Printf("%-8s n=%-8d m=%-9d -> %s\n", name, g.NumVertices(), g.NumEdges(), path)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@
 //
 //	mlbench -table 2            # matching-scheme comparison (Table 2)
 //	mlbench -figure 5           # ordering comparison (Figure 5)
+//	mlbench -levels 4ELT        # per-level V-cycle breakdown of one workload
 //	mlbench -all                # everything
 //	mlbench -all -scale 0.1     # faster, smaller workloads
 //
@@ -38,11 +39,28 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel coarsening workers for Figure 4's \"ours\" (>1 enables)")
 	parallel := flag.Bool("parallel", false, "run Figure 4's \"ours\" with concurrent subgraphs and NCuts trials")
 	ablation := flag.Bool("ablation", false, "run the design-choice ablation sweeps of DESIGN.md")
+	levels := flag.String("levels", "", "print the per-level V-cycle breakdown for the named workload")
 	flag.Parse()
 
-	if !*all && *table == 0 && *figure == 0 && !*ablation {
-		fmt.Fprintln(os.Stderr, "mlbench: pass -table N, -figure N, -ablation or -all (see -h)")
+	if !*all && *table == 0 && *figure == 0 && !*ablation && *levels == "" {
+		fmt.Fprintln(os.Stderr, "mlbench: pass -table N, -figure N, -levels NAME, -ablation or -all (see -h)")
 		os.Exit(1)
+	}
+
+	if *levels != "" {
+		banner(fmt.Sprintf("Per-level breakdown: %s, %d-way direct multilevel", *levels, *k))
+		w, err := matgen.Generate(*levels, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlbench:", err)
+			os.Exit(1)
+		}
+		rows, res, err := experiments.Levels(w.Graph, *k, multilevel.Options{Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlbench:", err)
+			os.Exit(1)
+		}
+		experiments.PrintLevels(os.Stdout, rows)
+		fmt.Printf("final edge-cut %d, balance %.3f\n", res.EdgeCut, res.Balance())
 	}
 	run := func(want int, sel *int) bool { return *all || *sel == want }
 

@@ -7,12 +7,18 @@
 //
 // Usage:
 //
-//	mlorder [-seed 0] [-parallel] [-o out.perm] graph.file
+//	mlorder [-seed 0] [-parallel] [-timeout 30s] [-o out.perm] graph.file
 //	mlorder -gen BC30                 # on a generated workload
+//
+// With -timeout the MLND ordering is abandoned at the next dissection step
+// once the deadline passes, and the process exits with status 3 (distinct
+// from status 1 for other errors).
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,12 +28,17 @@ import (
 	"mlpart"
 )
 
+// exitTimeout is the exit status for context deadline/cancellation,
+// matching cmd/mlpart's convention.
+const exitTimeout = 3
+
 func main() {
 	seed := flag.Int64("seed", 0, "random seed")
 	parallel := flag.Bool("parallel", false, "order independent subgraphs concurrently")
 	out := flag.String("o", "", "write the MLND permutation to this file")
 	gen := flag.String("gen", "", "generate the named synthetic workload instead of reading a file")
 	scale := flag.Float64("scale", 0.25, "workload scale when -gen is used")
+	timeout := flag.Duration("timeout", 0, "abandon the MLND ordering after this long (exit status 3)")
 	flag.Parse()
 
 	g, name, err := loadGraph(*gen, *scale)
@@ -37,9 +48,19 @@ func main() {
 	fmt.Printf("matrix %s: order %d, %d off-diagonal nonzeros\n",
 		name, g.NumVertices(), 2*g.NumEdges())
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	t0 := time.Now()
-	perm, _, err := mlpart.NestedDissection(g, &mlpart.Options{Seed: *seed, Parallel: *parallel})
+	perm, _, err := mlpart.NestedDissectionCtx(ctx, g, &mlpart.Options{Seed: *seed, Parallel: *parallel})
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "mlorder:", err)
+			os.Exit(exitTimeout)
+		}
 		fatal(err)
 	}
 	tMLND := time.Since(t0)

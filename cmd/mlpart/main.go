@@ -7,15 +7,26 @@
 //
 //	mlpart -k 32 [-match HEM] [-init GGGP] [-refine BKLGR] [-seed 0]
 //	       [-parallel] [-ncuts 4] [-coarsen-workers 4] [-direct]
-//	       [-weighted 4,2,1,1] [-stats] [-o out.part]
-//	       graph.file(.graph or .mtx)
+//	       [-weighted 4,2,1,1] [-stats] [-trace] [-json] [-timeout 30s]
+//	       [-o out.part] graph.file(.graph or .mtx)
 //
 // With -gen NAME the input file is replaced by a generated workload (see
 // mlpart.WorkloadNames), e.g. `mlpart -k 32 -gen 4ELT`.
+//
+// With -trace, every hierarchy level, initial cut, refinement pass,
+// projection and phase timing is emitted as one JSON line while the
+// partitioner runs (to stderr, or to stdout with -json). With -json the
+// final summary is a JSON object instead of prose. With -timeout the run
+// is abandoned at the next level boundary once the deadline passes, and
+// the process exits with status 3 (distinct from status 1 for other
+// errors).
 package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +36,11 @@ import (
 
 	"mlpart"
 )
+
+// exitTimeout is the exit status for context deadline/cancellation, kept
+// distinct from 1 (general errors) so scripts can tell "too slow" from
+// "wrong input".
+const exitTimeout = 3
 
 func main() {
 	k := flag.Int("k", 2, "number of parts")
@@ -43,13 +59,18 @@ func main() {
 	weighted := flag.String("weighted", "", "comma-separated target fractions (overrides -k), e.g. 4,2,1,1")
 	gen := flag.String("gen", "", "generate the named synthetic workload instead of reading a file")
 	scale := flag.Float64("scale", 0.25, "workload scale when -gen is used")
+	doTrace := flag.Bool("trace", false, "emit per-level trace events as JSON lines while partitioning")
+	asJSON := flag.Bool("json", false, "write the summary (and -trace events) as JSON on stdout")
+	timeout := flag.Duration("timeout", 0, "abandon the run after this long (exit status 3)")
 	flag.Parse()
 
 	g, name, err := loadGraph(*gen, *scale)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("graph %s: %d vertices, %d edges\n", name, g.NumVertices(), g.NumEdges())
+	if !*asJSON {
+		fmt.Printf("graph %s: %d vertices, %d edges\n", name, g.NumVertices(), g.NumEdges())
+	}
 
 	opts := &mlpart.Options{
 		Matching:            *match,
@@ -62,6 +83,24 @@ func main() {
 		ParallelDepth:       *parallelDepth,
 		ParallelMinVertices: *parallelMinVerts,
 	}
+	// Trace events go to stdout when the whole run is JSON (one uniform
+	// stream), to stderr otherwise (keeping stdout for the prose summary).
+	var traceOut *bufio.Writer
+	if *doTrace {
+		dst := os.Stderr
+		if *asJSON {
+			dst = os.Stdout
+		}
+		traceOut = bufio.NewWriter(dst)
+		opts.Tracer = mlpart.NewJSONTracer(traceOut)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	t0 := time.Now()
 	var res *mlpart.Partitioning
 	switch {
@@ -75,20 +114,50 @@ func main() {
 			fractions = append(fractions, f)
 		}
 		*k = len(fractions)
-		res, err = mlpart.PartitionWeighted(g, fractions, opts)
+		res, err = mlpart.PartitionWeightedCtx(ctx, g, fractions, opts)
 	case *direct:
-		res, err = mlpart.PartitionDirectKWay(g, *k, opts)
+		res, err = mlpart.PartitionDirectKWayCtx(ctx, g, *k, opts)
 	default:
-		res, err = mlpart.Partition(g, *k, opts)
+		res, err = mlpart.PartitionCtx(ctx, g, *k, opts)
+	}
+	if traceOut != nil {
+		traceOut.Flush()
 	}
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "mlpart:", err)
+			os.Exit(exitTimeout)
+		}
 		fatal(err)
 	}
 	elapsed := time.Since(t0)
 
-	fmt.Printf("%d-way partition: edge-cut %d, balance %.3f, time %.3fs\n",
-		*k, res.EdgeCut, res.Balance(), elapsed.Seconds())
-	fmt.Printf("part weights: %v\n", res.PartWeights)
+	if *asJSON {
+		summary := struct {
+			Kind        string  `json:"kind"`
+			Graph       string  `json:"graph"`
+			Vertices    int     `json:"vertices"`
+			Edges       int     `json:"edges"`
+			K           int     `json:"k"`
+			EdgeCut     int     `json:"edge_cut"`
+			Balance     float64 `json:"balance"`
+			PartWeights []int   `json:"part_weights"`
+			ElapsedNS   int64   `json:"elapsed_ns"`
+		}{
+			Kind: "result", Graph: name,
+			Vertices: g.NumVertices(), Edges: g.NumEdges(),
+			K: *k, EdgeCut: res.EdgeCut, Balance: res.Balance(),
+			PartWeights: res.PartWeights, ElapsedNS: elapsed.Nanoseconds(),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(summary); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("%d-way partition: edge-cut %d, balance %.3f, time %.3fs\n",
+			*k, res.EdgeCut, res.Balance(), elapsed.Seconds())
+		fmt.Printf("part weights: %v\n", res.PartWeights)
+	}
 	if *stats {
 		report, err := mlpart.EvaluatePartition(g, res.Where, *k)
 		if err != nil {
@@ -112,7 +181,9 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("partition vector written to %s\n", *out)
+		if !*asJSON {
+			fmt.Printf("partition vector written to %s\n", *out)
+		}
 	}
 }
 

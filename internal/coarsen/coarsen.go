@@ -14,8 +14,10 @@ package coarsen
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"mlpart/internal/graph"
+	"mlpart/internal/trace"
 	"mlpart/internal/workspace"
 )
 
@@ -343,6 +345,27 @@ type Options struct {
 	// the hierarchy's own arrays; the caller must call Hierarchy.Release
 	// when done with the hierarchy. Results are identical either way.
 	Workspace *workspace.Workspace
+	// Tracer, when non-nil, receives one KindLevel event for the finest
+	// graph and one per contraction (vertices, edges, matching rate, wall
+	// time). Results are bit-identical with or without a tracer.
+	Tracer trace.Tracer
+}
+
+// emitLevel reports a new hierarchy level to tr. fine is the level the
+// contraction started from (nil for the finest level's own event).
+func emitLevel(tr trace.Tracer, level int, fine, cur *graph.Graph, elapsed time.Duration) {
+	ev := trace.Event{
+		Kind:      trace.KindLevel,
+		Level:     level,
+		Vertices:  cur.NumVertices(),
+		Edges:     cur.NumEdges(),
+		ElapsedNS: elapsed.Nanoseconds(),
+	}
+	if fine != nil && fine.NumVertices() > 0 {
+		// Fraction of the finer level's vertices absorbed into pairs.
+		ev.MatchRate = 2 * float64(fine.NumVertices()-cur.NumVertices()) / float64(fine.NumVertices())
+	}
+	tr.Event(ev)
 }
 
 // Coarsen builds the full hierarchy for g. Coarsening stops when the graph
@@ -356,6 +379,9 @@ func Coarsen(g *graph.Graph, opts Options, rng *rand.Rand) *Hierarchy {
 	ws := opts.Workspace
 	h := &Hierarchy{pooled: ws != nil}
 	cur := g
+	if opts.Tracer != nil {
+		emitLevel(opts.Tracer, 0, nil, g, 0)
+	}
 	var cew []int // zero at the finest level
 	for {
 		h.Levels = append(h.Levels, Level{Graph: cur})
@@ -364,6 +390,10 @@ func Coarsen(g *graph.Graph, opts Options, rng *rand.Rand) *Hierarchy {
 		}
 		if opts.MaxLevels > 0 && len(h.Levels) > opts.MaxLevels {
 			break
+		}
+		var t0 time.Time
+		if opts.Tracer != nil {
+			t0 = time.Now()
 		}
 		match := MatchWS(cur, opts.Scheme, cew, rng, ws)
 		next, cmap, ccew := ContractWS(cur, match, cew, ws)
@@ -376,6 +406,9 @@ func Coarsen(g *graph.Graph, opts Options, rng *rand.Rand) *Hierarchy {
 			}
 			ws.PutInt(ccew)
 			break
+		}
+		if opts.Tracer != nil {
+			emitLevel(opts.Tracer, len(h.Levels), cur, next, time.Since(t0))
 		}
 		h.Levels[len(h.Levels)-1].Cmap = cmap
 		ws.PutInt(cew) // the previous level's cew is dead once contracted

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"mlpart/internal/graph"
 	"mlpart/internal/workspace"
@@ -174,6 +175,9 @@ func ParallelCoarsen(g *graph.Graph, opts Options, rnd *rand.Rand, workers int) 
 	ws := opts.Workspace
 	h := &Hierarchy{pooled: ws != nil}
 	cur := g
+	if opts.Tracer != nil {
+		emitLevel(opts.Tracer, 0, nil, g, 0)
+	}
 	var cew []int
 	for {
 		h.Levels = append(h.Levels, Level{Graph: cur})
@@ -182,6 +186,10 @@ func ParallelCoarsen(g *graph.Graph, opts Options, rnd *rand.Rand, workers int) 
 		}
 		if opts.MaxLevels > 0 && len(h.Levels) > opts.MaxLevels {
 			break
+		}
+		var t0 time.Time
+		if opts.Tracer != nil {
+			t0 = time.Now()
 		}
 		match := ParallelMatchWS(cur, opts.Scheme, cew, rnd, workers, ws)
 		next, cmap, ccew := ContractWS(cur, match, cew, ws)
@@ -193,6 +201,9 @@ func ParallelCoarsen(g *graph.Graph, opts Options, rnd *rand.Rand, workers int) 
 			}
 			ws.PutInt(ccew)
 			break
+		}
+		if opts.Tracer != nil {
+			emitLevel(opts.Tracer, len(h.Levels), cur, next, time.Since(t0))
 		}
 		h.Levels[len(h.Levels)-1].Cmap = cmap
 		ws.PutInt(cew)

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mlpart/internal/graph"
+	"mlpart/internal/multilevel"
+	"mlpart/internal/trace"
+)
+
+// LevelRow is one hierarchy level of a direct multilevel k-way V-cycle,
+// assembled from the partitioner's trace events: the level's size, how
+// well matching contracted it, and what refinement did there. It is the
+// per-level view behind the aggregate phase times of Table 2.
+type LevelRow struct {
+	Level     int
+	Vertices  int
+	Edges     int
+	MatchRate float64 // fraction of finer vertices matched to produce this level
+	Cut       int     // cut after the last refinement pass at this level
+	Passes    int     // refinement passes run at this level
+	Moves     int     // vertices moved across all passes
+	PosGain   int     // moves with strictly positive gain
+	ProjectNS int64   // wall time projecting onto this level
+	RefineNS  int64   // wall time refining at this level
+}
+
+// Levels partitions g into k parts with the direct multilevel k-way scheme
+// (one hierarchy, so every level appears exactly once) and returns one row
+// per level, coarsest first, plus the final result. The partition is
+// identical to running multilevel.PartitionKWay without observation.
+func Levels(g *graph.Graph, k int, opts multilevel.Options) ([]LevelRow, *multilevel.Result, error) {
+	var col trace.Collector
+	opts.Tracer = &col
+	res, err := multilevel.PartitionKWay(g, k, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	byLevel := map[int]*LevelRow{}
+	row := func(level int) *LevelRow {
+		if byLevel[level] == nil {
+			byLevel[level] = &LevelRow{Level: level}
+		}
+		return byLevel[level]
+	}
+	for _, ev := range col.Events() {
+		switch ev.Kind {
+		case trace.KindLevel:
+			r := row(ev.Level)
+			r.Vertices = ev.Vertices
+			r.Edges = ev.Edges
+			r.MatchRate = ev.MatchRate
+		case trace.KindInitial:
+			row(ev.Level).Cut = ev.Cut
+		case trace.KindPass:
+			r := row(ev.Level)
+			r.Passes++
+			r.Moves += ev.Moves
+			r.PosGain += ev.PositiveGainMoves
+			r.Cut = ev.Cut
+			r.RefineNS += ev.ElapsedNS
+		case trace.KindProject:
+			r := row(ev.Level)
+			r.Cut = ev.Cut
+			r.ProjectNS += ev.ElapsedNS
+		}
+	}
+	rows := make([]LevelRow, 0, len(byLevel))
+	for _, r := range byLevel {
+		rows = append(rows, *r)
+	}
+	// Coarsest level first: the order the V-cycle's uncoarsening visits them.
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Level > rows[j].Level })
+	return rows, res, nil
+}
+
+// PrintLevels renders the per-level table.
+func PrintLevels(w io.Writer, rows []LevelRow) {
+	fmt.Fprintf(w, "%5s %9s %9s %6s | %8s %6s %8s %8s | %9s %9s\n",
+		"Level", "Vertices", "Edges", "Match", "Cut", "Passes", "Moves", "PosGain", "ProjMS", "RefMS")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%5d %9d %9d %5.0f%% | %8d %6d %8d %8d | %9.3f %9.3f\n",
+			r.Level, r.Vertices, r.Edges, 100*r.MatchRate,
+			r.Cut, r.Passes, r.Moves, r.PosGain,
+			float64(r.ProjectNS)/1e6, float64(r.RefineNS)/1e6)
+	}
+}

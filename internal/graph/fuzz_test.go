@@ -17,6 +17,15 @@ func FuzzRead(f *testing.F) {
 	f.Add("2 1\n2\n1\nextra\n")
 	f.Add("-1 -1\n")
 	f.Add("2 1 11\n2 3\n1 3\n")
+	// Overflow / truncation probes: header counts near int64 and int32
+	// bounds, truncated adjacency lists, huge weights.
+	f.Add("9223372036854775807 1\n2\n1\n")
+	f.Add("2 9223372036854775807\n2\n1\n")
+	f.Add("4294967296 0\n")
+	f.Add("3 3\n2 3\n1 3\n1 2\n") // header claims 3 edges, lists 6 endpoints
+	f.Add("2 1\n2\n")             // missing last vertex line
+	f.Add("2 1 001\n2 9223372036854775807\n1 9223372036854775807\n")
+	f.Add("1 0 010\n9223372036854775807\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := Read(strings.NewReader(in))
 		if err != nil {
@@ -47,6 +56,12 @@ func FuzzReadMatrixMarket(f *testing.F) {
 	f.Add("%%MatrixMarket matrix coordinate integer symmetric\n1 1 1\n1 1 4\n")
 	f.Add("garbage")
 	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 2 9\n")
+	// Overflow / truncation probes.
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n9223372036854775807 9223372036854775807 1\n1 2\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 9223372036854775807\n1 2\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 2 1e308\n2 3 -1e308\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n4294967296 4294967296 0\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n1 2\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := ReadMatrixMarket(strings.NewReader(in))
 		if err != nil {

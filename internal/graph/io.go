@@ -115,10 +115,13 @@ func Read(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: ncon=%s not supported", fields[3])
 	}
 
-	xadj := make([]int, 1, n+1)
-	adjncy := make([]int, 0, 2*m)
-	adjwgt := make([]int, 0, 2*m)
-	vwgt := make([]int, 0, n)
+	// Capacity hints only: clamp so a hostile header cannot force a huge
+	// (or, via overflow, negative-cap) allocation before any vertex data
+	// has been seen. Growth past the hint is driven by actual input.
+	xadj := make([]int, 1, clampCap(n+1))
+	adjncy := make([]int, 0, clampCap(2*m))
+	adjwgt := make([]int, 0, clampCap(2*m))
+	vwgt := make([]int, 0, clampCap(n))
 	for v := 0; v < n; v++ {
 		line, err := nextVertexLine(sc)
 		if err != nil {
@@ -169,6 +172,17 @@ func Read(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: header declares %d edges, found %d", m, g.NumEdges())
 	}
 	return g, nil
+}
+
+// clampCap bounds a header-derived capacity hint. Negative values (from
+// integer overflow of e.g. n+1) and absurd counts both collapse to a small
+// hint; the slices grow as real data arrives.
+func clampCap(c int) int {
+	const maxHint = 1 << 20
+	if c < 0 || c > maxHint {
+		return maxHint
+	}
+	return c
 }
 
 // nextDataLine returns the next non-blank, non-comment line; used for the

@@ -67,6 +67,14 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 	if rows != cols {
 		return nil, fmt.Errorf("graph: matrix is %dx%d, want square", rows, cols)
 	}
+	// The builder allocates per-vertex state up front, so bound the
+	// declared dimension before trusting it: a hostile header must not be
+	// able to force a giant allocation (or an overflowing one) from a
+	// few bytes of input.
+	const maxMatrixDim = 1 << 27
+	if rows > maxMatrixDim {
+		return nil, fmt.Errorf("graph: matrix dimension %d exceeds limit %d", rows, maxMatrixDim)
+	}
 
 	b := NewBuilder(rows)
 	for e := 0; e < nnz; e++ {

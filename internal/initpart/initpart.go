@@ -9,10 +9,12 @@ package initpart
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"mlpart/internal/graph"
 	"mlpart/internal/refine"
 	"mlpart/internal/spectral"
+	"mlpart/internal/trace"
 	"mlpart/internal/workspace"
 )
 
@@ -78,6 +80,11 @@ type Options struct {
 	// workspace-backed, so the caller must Release or Detach it. Results
 	// are identical either way.
 	Workspace *workspace.Workspace
+	// Level is the hierarchy level reported in trace events (engine-set).
+	Level int
+	// Tracer, when non-nil, receives one KindInitial event with the
+	// winning trial's cut. Results are bit-identical with or without.
+	Tracer trace.Tracer
 }
 
 func (o Options) withDefaults(g *graph.Graph) Options {
@@ -106,6 +113,10 @@ func Partition(g *graph.Graph, opts Options, rng *rand.Rand) *refine.Bisection {
 	if n == 0 {
 		return refine.NewBisection(g, nil)
 	}
+	var t0 time.Time
+	if opts.Tracer != nil {
+		t0 = time.Now()
+	}
 	var best *refine.Bisection
 	for trial := 0; trial < opts.Trials; trial++ {
 		var b *refine.Bisection
@@ -131,6 +142,17 @@ func Partition(g *graph.Graph, opts Options, rng *rand.Rand) *refine.Bisection {
 		} else {
 			b.Release(ws)
 		}
+	}
+	if opts.Tracer != nil {
+		opts.Tracer.Event(trace.Event{
+			Kind:      trace.KindInitial,
+			Level:     opts.Level,
+			Vertices:  n,
+			Cut:       best.Cut,
+			Algorithm: opts.Method.String(),
+			Trials:    opts.Trials,
+			ElapsedNS: time.Since(t0).Nanoseconds(),
+		})
 	}
 	return best
 }

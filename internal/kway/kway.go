@@ -10,8 +10,10 @@ package kway
 
 import (
 	"math/rand"
+	"time"
 
 	"mlpart/internal/graph"
+	"mlpart/internal/trace"
 	"mlpart/internal/workspace"
 )
 
@@ -26,6 +28,13 @@ type Options struct {
 	// Workspace, when non-nil, supplies pooled scratch for the sweep order
 	// and per-part degree arrays. Results are identical either way.
 	Workspace *workspace.Workspace
+	// Level is the hierarchy level reported in trace events (engine-set).
+	Level int
+	// Tracer, when non-nil, receives one KindPass event per greedy sweep.
+	// Results are bit-identical with or without a tracer.
+	Tracer trace.Tracer
+	// Counters, when non-nil, accumulates pass and move totals.
+	Counters *trace.Counters
 }
 
 func (o Options) withDefaults() Options {
@@ -116,7 +125,12 @@ func Refine(p *Partition, opts Options) int {
 	stamp := 0
 
 	for pass := 0; pass < opts.MaxPasses; pass++ {
+		var t0 time.Time
+		if opts.Tracer != nil {
+			t0 = time.Now()
+		}
 		moves := 0
+		posGain := 0
 		for _, v := range order {
 			from := p.Where[v]
 			adj := p.G.Neighbors(v)
@@ -177,6 +191,26 @@ func Refine(p *Partition, opts Options) int {
 			p.Pwgt[best] += p.G.Vwgt[v]
 			p.Cut -= bestGain
 			moves++
+			if bestGain > 0 {
+				posGain++
+			}
+		}
+		if opts.Counters != nil {
+			opts.Counters.RefinePasses++
+			opts.Counters.RefineMoves += moves
+			opts.Counters.PositiveGainMoves += posGain
+		}
+		if opts.Tracer != nil {
+			opts.Tracer.Event(trace.Event{
+				Kind:              trace.KindPass,
+				Level:             opts.Level,
+				Pass:              pass,
+				Moves:             moves,
+				PositiveGainMoves: posGain,
+				Cut:               p.Cut,
+				Algorithm:         "KWAY",
+				ElapsedNS:         time.Since(t0).Nanoseconds(),
+			})
 		}
 		if moves == 0 {
 			break

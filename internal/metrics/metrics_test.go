@@ -118,6 +118,111 @@ func TestReportString(t *testing.T) {
 	}
 }
 
+// TestEvaluateWeightedMultiPart checks a hand-built vertex- and
+// edge-weighted graph across k=3 parts: cut must sum edge weights, part
+// weights must sum vertex weights, and balance must use weights (not
+// counts).
+func TestEvaluateWeightedMultiPart(t *testing.T) {
+	// Triangle chain: 0-1-2-3-4-5 path plus chords 0-2 and 3-5.
+	b := graph.NewBuilder(6)
+	vw := []int{5, 1, 1, 2, 2, 7}
+	for v, w := range vw {
+		b.SetVertexWeight(v, w)
+	}
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(1, 2, 3)
+	b.AddWeightedEdge(2, 3, 4)
+	b.AddWeightedEdge(3, 4, 1)
+	b.AddWeightedEdge(4, 5, 2)
+	b.AddWeightedEdge(0, 2, 1)
+	b.AddWeightedEdge(3, 5, 6)
+	g := b.MustBuild()
+
+	// Parts: {0,1,2} | {3,4} | {5}. Crossing edges: 2-3 (4), 4-5 (2),
+	// 3-5 (6) => cut 12.
+	where := []int{0, 0, 0, 1, 1, 2}
+	r, err := Evaluate(g, where, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EdgeCut != 12 {
+		t.Errorf("EdgeCut = %d, want 12", r.EdgeCut)
+	}
+	wantW := []int{7, 4, 7}
+	for p, w := range wantW {
+		if r.PartWeights[p] != w {
+			t.Errorf("PartWeights[%d] = %d, want %d", p, r.PartWeights[p], w)
+		}
+	}
+	// Balance = k * max / total = 3*7/18.
+	if want := 3.0 * 7 / 18; r.Balance != want {
+		t.Errorf("Balance = %v, want %v", r.Balance, want)
+	}
+	// Boundary: 2 (nbr 3), 3 (nbrs 2,5 -> remote 2 parts), 4 (nbr 5),
+	// 5 (nbrs 3,4 in one remote part). CommVolume = 1+2+1+1 = 5.
+	if r.BoundaryVertices != 4 {
+		t.Errorf("BoundaryVertices = %d, want 4", r.BoundaryVertices)
+	}
+	if r.CommVolume != 5 {
+		t.Errorf("CommVolume = %d, want 5", r.CommVolume)
+	}
+	// Part 1 ({3,4}) talks to both others; MaxPartDegree = 2.
+	if r.MaxPartDegree != 2 {
+		t.Errorf("MaxPartDegree = %d, want 2", r.MaxPartDegree)
+	}
+	if r.DisconnectedParts != 0 || r.EmptyParts != 0 {
+		t.Errorf("connectivity wrong: %+v", r)
+	}
+}
+
+// TestEvaluateWeightedPartition runs PartitionWeighted on a graph with
+// non-uniform vertex weights and checks the Report agrees with the
+// partitioner's own accounting and respects the target fractions.
+func TestEvaluateWeightedPartition(t *testing.T) {
+	g := matgen.Mesh2DTri(20, 20, 0.02, 3)
+	// Make vertex weights non-uniform but deterministic.
+	for v := range g.Vwgt {
+		g.Vwgt[v] = 1 + v%4
+	}
+	fracs := []float64{4, 2, 1, 1}
+	res, err := multilevel.PartitionWeighted(g, fracs, multilevel.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Evaluate(g, res.Where, len(fracs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EdgeCut != res.EdgeCut {
+		t.Fatalf("metrics cut %d, partition cut %d", r.EdgeCut, res.EdgeCut)
+	}
+	tot := 0
+	for p, w := range r.PartWeights {
+		if w != res.PartWeights[p] {
+			t.Errorf("PartWeights[%d] = %d, partitioner says %d", p, w, res.PartWeights[p])
+		}
+		tot += w
+	}
+	if tot != g.TotalVertexWeight() {
+		t.Fatalf("part weights sum %d, total %d", tot, g.TotalVertexWeight())
+	}
+	// Each part should land near its fraction of the total (loose 25%
+	// tolerance: the point is proportionality, not exact balance).
+	fracTot := 0.0
+	for _, f := range fracs {
+		fracTot += f
+	}
+	for p, f := range fracs {
+		want := float64(tot) * f / fracTot
+		if got := float64(r.PartWeights[p]); got < 0.75*want || got > 1.25*want {
+			t.Errorf("part %d weight %v, want within 25%% of %v", p, got, want)
+		}
+	}
+	if r.EmptyParts != 0 {
+		t.Errorf("EmptyParts = %d, want 0", r.EmptyParts)
+	}
+}
+
 // Property: comm volume is at least the boundary count and at most the cut
 // counted by endpoints; weights always sum to the total.
 func TestEvaluatePropertyQuick(t *testing.T) {

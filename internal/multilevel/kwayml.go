@@ -1,6 +1,7 @@
 package multilevel
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"mlpart/internal/graph"
 	"mlpart/internal/kway"
 	"mlpart/internal/refine"
+	"mlpart/internal/trace"
 	"mlpart/internal/workspace"
 )
 
@@ -24,21 +26,26 @@ func PartitionKWay(g *graph.Graph, k int, opts Options) (*Result, error) {
 	if err := validate(g, k, opts); err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults()
+	e := newEngine(opts)
+	return e.runKWay(g, k)
+}
+
+// runKWay is the direct k-way parameterization of the V-cycle: one
+// hierarchy, a recursive-bisection initial partition on the coarsest
+// graph, and kway.Refine at every level of the shared uncoarsening walk.
+func (e *engine) runKWay(g *graph.Graph, k int) (*Result, error) {
+	opts := e.opts
 	res := &Result{
 		Where:       make([]int, g.NumVertices()),
 		PartWeights: make([]int, k),
 	}
 	if k == 1 || g.NumVertices() == 0 {
 		res.EdgeCut = 0
-		for v, p := range res.Where {
-			res.PartWeights[p] += g.Vwgt[v]
-			_ = v
-		}
 		res.PartWeights[0] = g.TotalVertexWeight()
 		return res, nil
 	}
 
+	tr := trace.WithSeed(e.tracer, opts.Seed)
 	rng := rand.New(rand.NewSource(opts.Seed))
 	ws := workspace.Get()
 	defer workspace.Put(ws)
@@ -48,17 +55,23 @@ func PartitionKWay(g *graph.Graph, k int, opts Options) (*Result, error) {
 		coarsenTo = min
 	}
 	t0 := time.Now()
-	h := coarsen.Coarsen(g, coarsen.Options{Scheme: opts.Matching, CoarsenTo: coarsenTo, Workspace: ws}, rng)
+	h := coarsen.Coarsen(g, coarsen.Options{Scheme: opts.Matching, CoarsenTo: coarsenTo, Workspace: ws, Tracer: tr}, rng)
 	res.Stats.CoarsenTime = time.Since(t0)
 	res.Stats.Levels = len(h.Levels)
 	res.Stats.CoarsestN = h.Coarsest().NumVertices()
+	if e.cancelled() {
+		h.Release(ws)
+		return nil, fmt.Errorf("multilevel: %w", e.err)
+	}
 
 	// Initial k-way partition of the coarsest graph by recursive bisection
-	// (cheap: the coarsest graph is tiny).
+	// (cheap: the coarsest graph is tiny). Its trace events are suppressed —
+	// the outer V-cycle reports one KindInitial event for the whole step.
 	t0 = time.Now()
 	initOpts := opts
 	initOpts.Parallel = false
 	initOpts.KWayRefine = false
+	initOpts.Tracer = nil
 	coarse := h.Coarsest()
 	cres, err := Partition(coarse, k, initOpts)
 	if err != nil {
@@ -67,31 +80,46 @@ func PartitionKWay(g *graph.Graph, k int, opts Options) (*Result, error) {
 	res.Stats.InitTime = time.Since(t0)
 	res.Stats.InitialCut = cres.EdgeCut
 	res.Stats.Bisections = k - 1
+	if tr != nil {
+		tr.Event(trace.Event{
+			Kind:      trace.KindInitial,
+			Level:     len(h.Levels) - 1,
+			Vertices:  coarse.NumVertices(),
+			Cut:       cres.EdgeCut,
+			Algorithm: "RB",
+			ElapsedNS: res.Stats.InitTime.Nanoseconds(),
+		})
+	}
 
 	// Uncoarsen: project the k-way partition and refine at every level.
 	// Intermediate where-vectors are pooled; only the finest one is copied
 	// into the escaping result.
 	where := cres.Where
-	kopts := kway.Options{Ubfactor: opts.Ubfactor, Seed: opts.Seed, Workspace: ws}
+	kopts := kway.Options{Ubfactor: opts.Ubfactor, Seed: opts.Seed, Workspace: ws, Tracer: tr, Counters: &res.Stats.Counters}
 	t0 = time.Now()
 	p := kway.NewPartition(coarse, k, where)
+	kopts.Level = len(h.Levels) - 1
 	kway.Refine(p, kopts)
 	res.Stats.RefineTime += time.Since(t0)
-	for li := len(h.Levels) - 2; li >= 0; li-- {
+	ok := e.uncoarsen(h, &res.Stats, tr, func(li int) int {
 		fine := h.Levels[li].Graph
 		cmap := h.Levels[li].Cmap
-		t0 = time.Now()
 		fineWhere := ws.Int(fine.NumVertices())
 		for v := range fineWhere {
 			fineWhere[v] = where[cmap[v]]
 		}
 		ws.PutInt(where)
 		where = fineWhere
-		res.Stats.ProjectTime += time.Since(t0)
-		t0 = time.Now()
 		p = kway.NewPartition(fine, k, where)
+		return p.Cut
+	}, func(li int) {
+		kopts.Level = li
 		kway.Refine(p, kopts)
-		res.Stats.RefineTime += time.Since(t0)
+	})
+	if !ok {
+		ws.PutInt(where)
+		h.Release(ws)
+		return nil, fmt.Errorf("multilevel: %w", e.err)
 	}
 
 	copy(res.Where, where)
@@ -101,5 +129,6 @@ func PartitionKWay(g *graph.Graph, k int, opts Options) (*Result, error) {
 		res.PartWeights[part] += g.Vwgt[v]
 	}
 	res.EdgeCut = refine.ComputeCut(g, res.Where)
+	emitPhases(tr, &res.Stats)
 	return res, nil
 }

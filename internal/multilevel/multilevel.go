@@ -3,20 +3,25 @@
 // and refinement during uncoarsening (internal/refine) — into the complete
 // multilevel bisection of §3, and builds k-way partitions by recursive
 // bisection as described in §2.
+//
+// Every driver — Bisect, Partition, PartitionKWay, PartitionWeighted — is a
+// thin parameterization of the single V-cycle engine in engine.go, which
+// owns depth-parallel recursion, NCuts trial selection, derived seeds,
+// workspace pooling, per-level trace events and context cancellation in
+// exactly one place.
 package multilevel
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"sync"
 	"time"
 
 	"mlpart/internal/coarsen"
 	"mlpart/internal/graph"
 	"mlpart/internal/initpart"
-	"mlpart/internal/kway"
 	"mlpart/internal/refine"
-	"mlpart/internal/workspace"
+	"mlpart/internal/trace"
 )
 
 // Options selects the algorithm for each phase plus the shared knobs. The
@@ -78,6 +83,18 @@ type Options struct {
 	// of the worker count. The paper observes that coarsening is the easy
 	// phase to parallelize; this is that observation for shared memory.
 	CoarsenWorkers int
+
+	// Context, when non-nil, is checked at every level boundary of the
+	// V-cycle and at every recursion step: once it is cancelled or past
+	// its deadline, Partition/PartitionKWay/PartitionWeighted return
+	// ctx.Err() (wrapped) instead of completing. A nil Context never
+	// cancels and costs nothing.
+	Context context.Context
+	// Tracer, when non-nil, receives typed per-level events (levels built,
+	// initial cut, refinement passes, projections, phase times). It must
+	// be safe for concurrent use when Parallel is set. Partition results
+	// are bit-identical with or without a tracer.
+	Tracer trace.Tracer
 }
 
 // WithMatching returns o with the matching scheme set explicitly, allowing
@@ -152,8 +169,10 @@ func validate(g *graph.Graph, k int, o Options) error {
 }
 
 // Stats reports where the time went, matching the columns of the paper's
-// Table 2: CoarsenTime is CTime; the sum of InitTime, RefineTime and
-// ProjectTime is UTime.
+// Table 2 (CoarsenTime is CTime; the sum of InitTime, RefineTime and
+// ProjectTime is UTime), plus the per-level event totals the tracer
+// observes — pass counts, moves, positive-gain moves and projections —
+// aggregated across every bisection of a recursive run.
 type Stats struct {
 	CoarsenTime time.Duration // CTime: building the hierarchy
 	InitTime    time.Duration // ITime: partitioning the coarsest graph
@@ -163,6 +182,10 @@ type Stats struct {
 	CoarsestN   int           // vertices in the coarsest graph
 	InitialCut  int           // cut of the coarsest-graph partition
 	Bisections  int           // bisections performed (k-1 for k-way)
+
+	// Counters aggregates the refinement and projection event totals
+	// (RefinePasses, RefineMoves, PositiveGainMoves, Projections).
+	trace.Counters
 }
 
 // UncoarsenTime is the paper's UTime: ITime + RTime + PTime.
@@ -181,117 +204,18 @@ func (s *Stats) add(o *Stats) {
 	if o.CoarsestN > s.CoarsestN {
 		s.CoarsestN = o.CoarsestN
 	}
+	s.Counters.Add(&o.Counters)
 }
 
 // Bisect runs the full multilevel bisection of g. target0 is the desired
 // weight of part 0 (0 means half the total). When opts.NCuts > 1, the
 // whole bisection is repeated with independent seeds and the smallest cut
 // wins. It returns the refined bisection of g and per-phase timing
-// statistics (summed over the NCuts runs).
+// statistics (summed over the NCuts runs). If opts.Context is cancelled
+// mid-run, the returned bisection is nil.
 func Bisect(g *graph.Graph, target0 int, opts Options, rng *rand.Rand) (*refine.Bisection, *Stats) {
-	if opts.NCuts > 1 {
-		return bisectNCuts(g, target0, opts, rng)
-	}
-	opts = opts.withDefaults()
-	if target0 <= 0 {
-		target0 = g.TotalVertexWeight() / 2
-	}
-	stats := &Stats{Bisections: 1}
-	// All scratch for this bisection — hierarchy arrays, trial bisections,
-	// gain buckets — comes from one pooled workspace. Nothing backed by it
-	// may escape: the returned Bisection is detached into fresh memory below.
-	ws := workspace.Get()
-	defer workspace.Put(ws)
-	ropts := refine.Options{
-		StopWindow: opts.StopWindow,
-		Ubfactor:   opts.Ubfactor,
-		TargetPwgt: [2]int{target0, g.TotalVertexWeight() - target0},
-		OrigNvtxs:  g.NumVertices(),
-		Workspace:  ws,
-	}
-
-	t0 := time.Now()
-	copts := coarsen.Options{Scheme: opts.Matching, CoarsenTo: opts.CoarsenTo, Workspace: ws}
-	var h *coarsen.Hierarchy
-	if opts.CoarsenWorkers > 1 {
-		h = coarsen.ParallelCoarsen(g, copts, rng, opts.CoarsenWorkers)
-	} else {
-		h = coarsen.Coarsen(g, copts, rng)
-	}
-	stats.CoarsenTime = time.Since(t0)
-	stats.Levels = len(h.Levels)
-	stats.CoarsestN = h.Coarsest().NumVertices()
-
-	t0 = time.Now()
-	b := initpart.Partition(h.Coarsest(), initpart.Options{
-		Method:      opts.InitMethod,
-		Trials:      opts.InitTrials,
-		TargetPwgt0: target0,
-		Workspace:   ws,
-	}, rng)
-	stats.InitTime = time.Since(t0)
-	stats.InitialCut = b.Cut
-
-	// Refine the coarsest partition, then project and refine level by level.
-	t0 = time.Now()
-	refine.ForceBalance(b, ropts)
-	refine.Refine(b, opts.Refinement, ropts)
-	stats.RefineTime += time.Since(t0)
-	for li := len(h.Levels) - 2; li >= 0; li-- {
-		t0 = time.Now()
-		nb := refine.ProjectWS(h.Levels[li].Graph, h.Levels[li].Cmap, b, ws)
-		b.Release(ws)
-		b = nb
-		stats.ProjectTime += time.Since(t0)
-		t0 = time.Now()
-		refine.Refine(b, opts.Refinement, ropts)
-		stats.RefineTime += time.Since(t0)
-	}
-	b = b.Detach(ws)
-	h.Release(ws)
-	return b, stats
-}
-
-// bisectNCuts repeats the full bisection opts.NCuts times with seeds derived
-// from a single draw on rng and keeps the smallest cut (ties to the earliest
-// trial). Because each trial owns a derived-seed RNG rather than sharing
-// rng's stream, the trials are order-independent: with opts.Parallel they run
-// concurrently and still pick the exact bisection the sequential loop picks.
-func bisectNCuts(g *graph.Graph, target0 int, opts Options, rng *rand.Rand) (*refine.Bisection, *Stats) {
-	n := opts.NCuts
-	opts.NCuts = 1
-	base := rng.Int63()
-	bs := make([]*refine.Bisection, n)
-	ss := make([]*Stats, n)
-	trial := func(i int) {
-		trng := rand.New(rand.NewSource(deriveSeed(base, int64(i))))
-		bs[i], ss[i] = Bisect(g, target0, opts, trng)
-	}
-	if opts.Parallel {
-		var wg sync.WaitGroup
-		for i := 0; i < n; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				trial(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := 0; i < n; i++ {
-			trial(i)
-		}
-	}
-	var best *refine.Bisection
-	total := &Stats{}
-	for i := 0; i < n; i++ {
-		total.add(ss[i])
-		if best == nil || bs[i].Cut < best.Cut {
-			best = bs[i]
-		}
-	}
-	total.Bisections = 1
-	return best, total
+	e := newEngine(opts)
+	return e.bisect(g, target0, rng, opts.Seed)
 }
 
 // Result is the outcome of a k-way partition.
@@ -328,28 +252,8 @@ func Partition(g *graph.Graph, k int, opts Options) (*Result, error) {
 	if err := validate(g, k, opts); err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults()
-	res := &Result{
-		Where:       make([]int, g.NumVertices()),
-		PartWeights: make([]int, k),
-	}
-	ids := make([]int, g.NumVertices())
-	for i := range ids {
-		ids[i] = i
-	}
-	var mu sync.Mutex
-	recurse(g, ids, k, 0, opts, opts.Seed, res, &mu, 0)
-	if opts.KWayRefine && k >= 2 {
-		ws := workspace.Get()
-		p := kway.NewPartition(g, k, res.Where)
-		kway.Refine(p, kway.Options{Ubfactor: opts.Ubfactor, Seed: opts.Seed, Workspace: ws})
-		workspace.Put(ws)
-	}
-	for v, p := range res.Where {
-		res.PartWeights[p] += g.Vwgt[v]
-	}
-	res.EdgeCut = refine.ComputeCut(g, res.Where)
-	return res, nil
+	e := newEngine(opts)
+	return e.run(g, uniformSplit(k), e.opts.KWayRefine)
 }
 
 // deriveSeed produces a child RNG seed from the parent seed and the branch
@@ -358,58 +262,4 @@ func deriveSeed(seed int64, branch int64) int64 {
 	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(branch)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
 	x ^= x >> 31
 	return int64(x)
-}
-
-// recurse bisects g into kl+kr leaf parts. ids maps local vertices to
-// original ids; depth tracks the recursion level for parallel fan-out.
-func recurse(g *graph.Graph, ids []int, k, base int, opts Options, seed int64, res *Result, mu *sync.Mutex, depth int) {
-	if k <= 1 || g.NumVertices() == 0 {
-		mu.Lock()
-		for _, id := range ids {
-			res.Where[id] = base
-		}
-		mu.Unlock()
-		return
-	}
-	kl := k / 2
-	kr := k - kl
-	target0 := g.TotalVertexWeight() * kl / k
-	if target0 < 1 {
-		// Degenerate weights (e.g. all-zero subgraph) must still seed part 0,
-		// or the left recursion receives an empty graph forever.
-		target0 = 1
-	}
-	rng := rand.New(rand.NewSource(seed))
-	b, stats := Bisect(g, target0, opts, rng)
-	mu.Lock()
-	res.Stats.add(stats)
-	mu.Unlock()
-
-	left, l2gL := g.PartSubgraph(b.Where, 0)
-	right, l2gR := g.PartSubgraph(b.Where, 1)
-	idsL := make([]int, left.NumVertices())
-	for i, lv := range l2gL {
-		idsL[i] = ids[lv]
-	}
-	idsR := make([]int, right.NumVertices())
-	for i, rv := range l2gR {
-		idsR[i] = ids[rv]
-	}
-	seedL := deriveSeed(seed, 2)
-	seedR := deriveSeed(seed, 3)
-	// Fan out the top few levels of the recursion tree; deeper subproblems
-	// are small enough that goroutine overhead dominates.
-	if opts.Parallel && depth < opts.ParallelDepth && g.NumVertices() > opts.ParallelMinVertices {
-		var wg sync.WaitGroup
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			recurse(left, idsL, kl, base, opts, seedL, res, mu, depth+1)
-		}()
-		recurse(right, idsR, kr, base+kl, opts, seedR, res, mu, depth+1)
-		wg.Wait()
-	} else {
-		recurse(left, idsL, kl, base, opts, seedL, res, mu, depth+1)
-		recurse(right, idsR, kr, base+kl, opts, seedR, res, mu, depth+1)
-	}
 }

@@ -2,11 +2,8 @@ package multilevel
 
 import (
 	"fmt"
-	"math/rand"
-	"sync"
 
 	"mlpart/internal/graph"
-	"mlpart/internal/refine"
 )
 
 // PartitionWeighted divides g into len(fractions) parts where part p
@@ -15,6 +12,11 @@ import (
 // different speeds). Fractions must be positive; they are normalized
 // internally. Each recursive bisection splits the remaining fraction mass
 // between the two half-ranges of parts.
+//
+// It is the weightedSplit parameterization of the shared V-cycle engine,
+// so Parallel, NCuts, Context and Tracer behave exactly as in Partition.
+// KWayRefine is ignored: the direct k-way refinement pass assumes equal
+// part targets.
 func PartitionWeighted(g *graph.Graph, fractions []float64, opts Options) (*Result, error) {
 	k := len(fractions)
 	if k < 1 {
@@ -23,7 +25,6 @@ func PartitionWeighted(g *graph.Graph, fractions []float64, opts Options) (*Resu
 	if err := validate(g, k, opts); err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults()
 	sum := 0.0
 	for p, f := range fractions {
 		if f <= 0 {
@@ -31,67 +32,10 @@ func PartitionWeighted(g *graph.Graph, fractions []float64, opts Options) (*Resu
 		}
 		sum += f
 	}
-	norm := make([]float64, k)
+	norm := make(weightedSplit, k)
 	for p, f := range fractions {
 		norm[p] = f / sum
 	}
-
-	res := &Result{
-		Where:       make([]int, g.NumVertices()),
-		PartWeights: make([]int, k),
-	}
-	ids := make([]int, g.NumVertices())
-	for i := range ids {
-		ids[i] = i
-	}
-	var mu sync.Mutex
-	recurseWeighted(g, ids, norm, 0, opts, opts.Seed, res, &mu)
-	for v, p := range res.Where {
-		res.PartWeights[p] += g.Vwgt[v]
-	}
-	res.EdgeCut = refine.ComputeCut(g, res.Where)
-	return res, nil
-}
-
-func recurseWeighted(g *graph.Graph, ids []int, fractions []float64, base int, opts Options, seed int64, res *Result, mu *sync.Mutex) {
-	k := len(fractions)
-	if k <= 1 || g.NumVertices() == 0 {
-		mu.Lock()
-		for _, id := range ids {
-			res.Where[id] = base
-		}
-		mu.Unlock()
-		return
-	}
-	kl := k / 2
-	fracL := 0.0
-	for _, f := range fractions[:kl] {
-		fracL += f
-	}
-	fracTot := fracL
-	for _, f := range fractions[kl:] {
-		fracTot += f
-	}
-	target0 := int(float64(g.TotalVertexWeight()) * fracL / fracTot)
-	if target0 < 1 {
-		target0 = 1
-	}
-	rng := rand.New(rand.NewSource(seed))
-	b, stats := Bisect(g, target0, opts, rng)
-	mu.Lock()
-	res.Stats.add(stats)
-	mu.Unlock()
-
-	left, l2gL := g.PartSubgraph(b.Where, 0)
-	right, l2gR := g.PartSubgraph(b.Where, 1)
-	idsL := make([]int, left.NumVertices())
-	for i, lv := range l2gL {
-		idsL[i] = ids[lv]
-	}
-	idsR := make([]int, right.NumVertices())
-	for i, rv := range l2gR {
-		idsR[i] = ids[rv]
-	}
-	recurseWeighted(left, idsL, fractions[:kl], base, opts, deriveSeed(seed, 2), res, mu)
-	recurseWeighted(right, idsR, fractions[kl:], base+kl, opts, deriveSeed(seed, 3), res, mu)
+	e := newEngine(opts)
+	return e.run(g, norm, false)
 }

@@ -1,6 +1,7 @@
 package ordering
 
 import (
+	"context"
 	"sort"
 
 	"mlpart/internal/graph"
@@ -169,4 +170,18 @@ func MLNDCompressed(g *graph.Graph, opts Options) []int {
 		return MLND(g, opts)
 	}
 	return ExpandPerm(MLND(cg, opts), members)
+}
+
+// MLNDCompressedCtx is MLNDCompressed with explicit cancellation, mirroring
+// MLNDCtx: a wrapped ctx.Err() (and nil perm) is returned once ctx fires.
+func MLNDCompressedCtx(ctx context.Context, g *graph.Graph, opts Options) ([]int, error) {
+	cg, _, members, ok := Compress(g)
+	if !ok {
+		return MLNDCtx(ctx, g, opts)
+	}
+	cperm, err := MLNDCtx(ctx, cg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ExpandPerm(cperm, members), nil
 }

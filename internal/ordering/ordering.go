@@ -8,6 +8,8 @@
 package ordering
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 
@@ -41,8 +43,15 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// cancelled reports whether the context threaded through ML is done.
+func (o Options) cancelled() bool {
+	return o.ML.Context != nil && o.ML.Context.Err() != nil
+}
+
 // MLND computes a fill-reducing ordering by multilevel nested dissection.
 // The result perm satisfies: perm[i] is the vertex eliminated i-th.
+// A context (and tracer) may be threaded through opts.ML; use MLNDCtx when
+// the caller needs the cancellation error.
 func MLND(g *graph.Graph, opts Options) []int {
 	opts = opts.withDefaults()
 	return dissect(g, opts, func(sub *graph.Graph, seed int64) []int {
@@ -50,8 +59,25 @@ func MLND(g *graph.Graph, opts Options) []int {
 		mlOpts := opts.ML
 		mlOpts.Seed = seed
 		b, _ := multilevel.Bisect(sub, 0, mlOpts, rng)
+		if b == nil {
+			// Context cancelled mid-bisection; the recursion unwinds.
+			return nil
+		}
 		return b.Where
 	})
+}
+
+// MLNDCtx is MLND with explicit cancellation: ctx is checked at every
+// recursion step and level boundary, and a wrapped ctx.Err() is returned
+// (with a nil perm) once it fires. With a never-cancelled ctx the ordering
+// is identical to MLND's.
+func MLNDCtx(ctx context.Context, g *graph.Graph, opts Options) ([]int, error) {
+	opts.ML.Context = ctx
+	perm := MLND(g, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("ordering: %w", err)
+	}
+	return perm, nil
 }
 
 // SND computes a fill-reducing ordering by spectral nested dissection,
@@ -85,7 +111,7 @@ func dissect(g *graph.Graph, opts Options, bisect bisector) []int {
 // last — so separators at every level are numbered after both halves.
 func ndRecurse(g *graph.Graph, ids []int, opts Options, bisect bisector, seed int64, out []int, offset int, mu *sync.Mutex, depth int) {
 	n := g.NumVertices()
-	if n == 0 {
+	if n == 0 || opts.cancelled() {
 		return
 	}
 	if n <= opts.SmallLimit {
@@ -98,6 +124,10 @@ func ndRecurse(g *graph.Graph, ids []int, opts Options, bisect bisector, seed in
 		return
 	}
 	where := bisect(g, seed)
+	if where == nil {
+		// Bisection abandoned (context cancelled); stop recursing.
+		return
+	}
 	_, where3 := vcover.Separator(g, where)
 	// Node-FM refinement shrinks the cover further when profitable.
 	sep := vcover.RefineSeparator(g, where3, 0)

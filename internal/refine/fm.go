@@ -2,7 +2,9 @@ package refine
 
 import (
 	"fmt"
+	"time"
 
+	"mlpart/internal/trace"
 	"mlpart/internal/workspace"
 )
 
@@ -89,6 +91,15 @@ type Options struct {
 	// buckets, lock flags, the move journal) so refinement passes run
 	// allocation-free. Results are identical either way.
 	Workspace *workspace.Workspace
+	// Level is the hierarchy level reported in trace events (engine-set;
+	// purely observational).
+	Level int
+	// Tracer, when non-nil, receives one KindPass event per FM pass.
+	// Results are bit-identical with or without a tracer.
+	Tracer trace.Tracer
+	// Counters, when non-nil, accumulates pass and move totals across
+	// calls (the cheap aggregation path used even when Tracer is nil).
+	Counters *trace.Counters
 }
 
 func (o Options) withDefaults(b *Bisection) Options {
@@ -141,11 +152,11 @@ func Refine(b *Bisection, policy Policy, opts Options) int {
 	switch policy {
 	case NoRefine:
 	case GR:
-		fmPass(b, opts, false)
+		fmPass(b, opts, false, 0)
 	case KLR:
 		iterate(b, opts, false)
 	case BGR:
-		fmPass(b, opts, true)
+		fmPass(b, opts, true, 0)
 	case BKLR:
 		iterate(b, opts, true)
 	case BKLGR:
@@ -155,7 +166,7 @@ func Refine(b *Bisection, policy Policy, opts Options) int {
 		if len(b.Boundary())*50 < opts.OrigNvtxs { // boundary < 2% of original n
 			iterate(b, opts, true)
 		} else {
-			fmPass(b, opts, true)
+			fmPass(b, opts, true, 0)
 		}
 	default:
 		panic(fmt.Sprintf("refine: invalid policy %d", policy))
@@ -166,7 +177,7 @@ func Refine(b *Bisection, policy Policy, opts Options) int {
 // iterate runs passes until one fails to improve the cut, or MaxPasses.
 func iterate(b *Bisection, opts Options, boundaryOnly bool) {
 	for pass := 0; pass < opts.MaxPasses; pass++ {
-		if !fmPass(b, opts, boundaryOnly) {
+		if !fmPass(b, opts, boundaryOnly, pass) {
 			break
 		}
 	}
@@ -176,8 +187,13 @@ func iterate(b *Bisection, opts Options, boundaryOnly bool) {
 // moved one at a time by maximum gain from the side farther above its
 // target weight, the best prefix of the move sequence is kept, and the
 // pass ends after StopWindow consecutive non-improving moves (which are
-// undone). Reports whether the cut improved.
-func fmPass(b *Bisection, opts Options, boundaryOnly bool) bool {
+// undone). pass is the 0-based pass number reported in trace events.
+// Reports whether the cut improved.
+func fmPass(b *Bisection, opts Options, boundaryOnly bool, pass int) bool {
+	var t0 time.Time
+	if opts.Tracer != nil {
+		t0 = time.Now()
+	}
 	ws := opts.Workspace
 	n := b.G.NumVertices()
 	maxGain := b.G.MaxWeightedDegree()
@@ -206,6 +222,7 @@ func fmPass(b *Bisection, opts Options, boundaryOnly bool) bool {
 	// a pooled length-n buffer never reallocates.
 	moved := ws.Int(n)[:0]
 	badMoves := 0
+	posGain := 0
 
 	onGainChange := func(u int) {
 		if locked[u] {
@@ -250,6 +267,9 @@ func fmPass(b *Bisection, opts Options, boundaryOnly bool) bool {
 			continue
 		}
 		locked[v] = true
+		if b.Gain(v) > 0 {
+			posGain++
+		}
 		b.Move(v, onGainChange)
 		moved = append(moved, v)
 
@@ -267,6 +287,7 @@ func fmPass(b *Bisection, opts Options, boundaryOnly bool) bool {
 		}
 	}
 
+	nMoves := len(moved)
 	// Undo the moves past the best prefix.
 	for i := len(moved) - 1; i >= bestIdx; i-- {
 		b.Move(moved[i], nil)
@@ -275,6 +296,23 @@ func fmPass(b *Bisection, opts Options, boundaryOnly bool) bool {
 	bk1.Free(ws)
 	ws.PutBool(locked)
 	ws.PutInt(moved)
+	if opts.Counters != nil {
+		opts.Counters.RefinePasses++
+		opts.Counters.RefineMoves += nMoves
+		opts.Counters.PositiveGainMoves += posGain
+	}
+	if opts.Tracer != nil {
+		opts.Tracer.Event(trace.Event{
+			Kind:              trace.KindPass,
+			Level:             opts.Level,
+			Pass:              pass,
+			Moves:             nMoves,
+			PositiveGainMoves: posGain,
+			Cut:               b.Cut,
+			Algorithm:         "FM",
+			ElapsedNS:         time.Since(t0).Nanoseconds(),
+		})
+	}
 	return bestCut < startCut
 }
 

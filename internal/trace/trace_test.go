@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestJSONTracerRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: KindLevel, Level: 0, Vertices: 1000, Edges: 2900},
+		{Kind: KindLevel, Level: 1, Vertices: 510, Edges: 1400, MatchRate: 0.98, ElapsedNS: 12345},
+		{Kind: KindInitial, Level: 5, Cut: 44, Algorithm: "GGGP", Trials: 5, Seed: 7},
+		{Kind: KindPass, Level: 3, Pass: 1, Moves: 120, PositiveGainMoves: 80, Cut: 61},
+		{Kind: KindProject, Level: 2, Cut: 61, ElapsedNS: 99},
+		{Kind: KindPhase, Level: 0, Phase: "coarsen", ElapsedNS: 1e6},
+	}
+	var buf bytes.Buffer
+	tr := NewJSONTracer(&buf)
+	for _, e := range events {
+		tr.Event(e)
+	}
+	sc := bufio.NewScanner(&buf)
+	var got []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		got = append(got, e)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip changed events:\n got %+v\nwant %+v", got, events)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	var c Collector
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Event(Event{Kind: KindPass, Level: w, Pass: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := len(c.Events()); n != 800 {
+		t.Fatalf("collected %d events, want 800", n)
+	}
+	c.Reset()
+	if n := len(c.Events()); n != 0 {
+		t.Fatalf("reset left %d events", n)
+	}
+}
+
+func TestMultiAndWithSeed(t *testing.T) {
+	var a, b Collector
+	tr := WithSeed(Multi(&a, nil, &b), 42)
+	tr.Event(Event{Kind: KindInitial, Cut: 3})
+	for _, c := range []*Collector{&a, &b} {
+		evs := c.Events()
+		if len(evs) != 1 || evs[0].Seed != 42 || evs[0].Cut != 3 {
+			t.Fatalf("bad events %+v", evs)
+		}
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi of nils should be nil")
+	}
+	if WithSeed(nil, 1) != nil {
+		t.Fatal("WithSeed(nil) should be nil")
+	}
+	if Multi(&a) != Tracer(&a) {
+		t.Fatal("Multi of one tracer should return it unchanged")
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{RefinePasses: 1, RefineMoves: 2, PositiveGainMoves: 3, Projections: 4}
+	b := Counters{RefinePasses: 10, RefineMoves: 20, PositiveGainMoves: 30, Projections: 40}
+	a.Add(&b)
+	want := Counters{RefinePasses: 11, RefineMoves: 22, PositiveGainMoves: 33, Projections: 44}
+	if a != want {
+		t.Fatalf("got %+v, want %+v", a, want)
+	}
+}

@@ -28,6 +28,7 @@
 package mlpart
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -42,6 +43,7 @@ import (
 	"mlpart/internal/ordering"
 	"mlpart/internal/refine"
 	"mlpart/internal/sparse"
+	"mlpart/internal/trace"
 )
 
 // Graph is a weighted undirected graph in CSR form; see NewGraphFromCSR
@@ -173,7 +175,32 @@ type Options struct {
 	// into weighted supervertices, shrinking every later phase. It has no
 	// effect on Partition.
 	CompressGraph bool
+	// Tracer, when non-nil, receives typed per-level events while the
+	// partitioner runs: hierarchy levels as they are built, the initial
+	// cut, every refinement pass, every projection, and per-phase wall
+	// time. Use a TraceCollector to gather events in memory or
+	// NewJSONTracer to stream them as JSON lines. The tracer must be safe
+	// for concurrent use when Parallel is set; results are bit-identical
+	// with or without one.
+	Tracer Tracer
 }
+
+// Tracer receives structured events from the partitioner; see
+// Options.Tracer. It is trace.Tracer re-exported.
+type Tracer = trace.Tracer
+
+// TraceEvent is one structured observation from the partitioner (a level
+// built, an initial cut, a refinement pass, a projection, or a phase
+// timing); see its Kind field.
+type TraceEvent = trace.Event
+
+// TraceCollector is a Tracer that gathers events in memory, safe for
+// concurrent use.
+type TraceCollector = trace.Collector
+
+// NewJSONTracer returns a Tracer that writes each event as one JSON line
+// to w, safe for concurrent use.
+func NewJSONTracer(w io.Writer) Tracer { return trace.NewJSONTracer(w) }
 
 // toML converts public options to the internal configuration.
 func (o *Options) toML() (multilevel.Options, error) {
@@ -190,6 +217,7 @@ func (o *Options) toML() (multilevel.Options, error) {
 	ml.KWayRefine = o.KWayRefine
 	ml.NCuts = o.NCuts
 	ml.CoarsenWorkers = o.CoarsenWorkers
+	ml.Tracer = o.Tracer
 	if o.Matching != "" {
 		s, err := coarsen.ParseScheme(o.Matching)
 		if err != nil {
@@ -244,10 +272,19 @@ func (p *Partitioning) Balance() float64 {
 // minimizing the edge-cut subject to the balance tolerance. opts may be
 // nil for the paper's recommended configuration.
 func Partition(g *Graph, k int, opts *Options) (*Partitioning, error) {
+	return PartitionCtx(context.Background(), g, k, opts)
+}
+
+// PartitionCtx is Partition with cancellation: ctx is checked at every
+// level boundary of each multilevel V-cycle and at every recursion step,
+// and a wrapped ctx.Err() is returned once it fires. With a
+// never-cancelled ctx the result is identical to Partition's.
+func PartitionCtx(ctx context.Context, g *Graph, k int, opts *Options) (*Partitioning, error) {
 	ml, err := optsOrDefault(opts)
 	if err != nil {
 		return nil, err
 	}
+	ml.Context = ctx
 	res, err := multilevel.Partition(g, k, ml)
 	if err != nil {
 		return nil, err
@@ -264,10 +301,17 @@ func Partition(g *Graph, k int, opts *Options) (*Partitioning, error) {
 // heterogeneous targets such as processors of different speeds. Fractions
 // must be positive and are normalized internally.
 func PartitionWeighted(g *Graph, fractions []float64, opts *Options) (*Partitioning, error) {
+	return PartitionWeightedCtx(context.Background(), g, fractions, opts)
+}
+
+// PartitionWeightedCtx is PartitionWeighted with cancellation, mirroring
+// PartitionCtx.
+func PartitionWeightedCtx(ctx context.Context, g *Graph, fractions []float64, opts *Options) (*Partitioning, error) {
 	ml, err := optsOrDefault(opts)
 	if err != nil {
 		return nil, err
 	}
+	ml.Context = ctx
 	res, err := multilevel.PartitionWeighted(g, fractions, ml)
 	if err != nil {
 		return nil, err
@@ -285,10 +329,17 @@ func PartitionWeighted(g *Graph, fractions []float64, opts *Options) (*Partition
 // faster than Partition for large k at comparable quality (the follow-up
 // direction of the paper's authors; provided as an extension).
 func PartitionDirectKWay(g *Graph, k int, opts *Options) (*Partitioning, error) {
+	return PartitionDirectKWayCtx(context.Background(), g, k, opts)
+}
+
+// PartitionDirectKWayCtx is PartitionDirectKWay with cancellation,
+// mirroring PartitionCtx.
+func PartitionDirectKWayCtx(ctx context.Context, g *Graph, k int, opts *Options) (*Partitioning, error) {
 	ml, err := optsOrDefault(opts)
 	if err != nil {
 		return nil, err
 	}
+	ml.Context = ctx
 	res, err := multilevel.PartitionKWay(g, k, ml)
 	if err != nil {
 		return nil, err
@@ -303,12 +354,21 @@ func PartitionDirectKWay(g *Graph, k int, opts *Options) (*Partitioning, error) 
 // Bisect splits g into two parts of equal target weight and returns the
 // 2-way Partitioning.
 func Bisect(g *Graph, opts *Options) (*Partitioning, error) {
+	return BisectCtx(context.Background(), g, opts)
+}
+
+// BisectCtx is Bisect with cancellation, mirroring PartitionCtx.
+func BisectCtx(ctx context.Context, g *Graph, opts *Options) (*Partitioning, error) {
 	ml, err := optsOrDefault(opts)
 	if err != nil {
 		return nil, err
 	}
+	ml.Context = ctx
 	rng := rand.New(rand.NewSource(ml.Seed))
 	b, _ := multilevel.Bisect(g, 0, ml, rng)
+	if b == nil {
+		return nil, fmt.Errorf("mlpart: %w", ctx.Err())
+	}
 	return &Partitioning{
 		Where:       b.Where,
 		EdgeCut:     b.Cut,
@@ -336,15 +396,26 @@ func EvaluatePartition(g *Graph, where []int, k int) (*PartitionReport, error) {
 // (MLND). It returns perm (perm[i] = the vertex eliminated i-th) and iperm
 // (its inverse: iperm[v] = the position of v in the elimination order).
 func NestedDissection(g *Graph, opts *Options) (perm, iperm []int, err error) {
+	return NestedDissectionCtx(context.Background(), g, opts)
+}
+
+// NestedDissectionCtx is NestedDissection with cancellation: ctx is checked
+// at every dissection step and V-cycle level boundary, and a wrapped
+// ctx.Err() is returned once it fires. With a never-cancelled ctx the
+// ordering is identical to NestedDissection's.
+func NestedDissectionCtx(ctx context.Context, g *Graph, opts *Options) (perm, iperm []int, err error) {
 	ml, err := optsOrDefault(opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	o := ordering.Options{ML: ml, Seed: ml.Seed, Parallel: ml.Parallel}
 	if opts != nil && opts.CompressGraph {
-		perm = ordering.MLNDCompressed(g, o)
+		perm, err = ordering.MLNDCompressedCtx(ctx, g, o)
 	} else {
-		perm = ordering.MLND(g, o)
+		perm, err = ordering.MLNDCtx(ctx, g, o)
+	}
+	if err != nil {
+		return nil, nil, err
 	}
 	return perm, sparse.InversePerm(perm), nil
 }

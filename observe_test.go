@@ -1,0 +1,164 @@
+package mlpart_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"mlpart"
+)
+
+// TestTracerPublic checks the public tracing surface: events arrive, cover
+// every kind the engine emits, and attaching a tracer does not change the
+// partition.
+func TestTracerPublic(t *testing.T) {
+	g, err := mlpart.GenerateWorkload("4ELT", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := mlpart.Partition(g, 4, &mlpart.Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var col mlpart.TraceCollector
+	traced, err := mlpart.Partition(g, 4, &mlpart.Options{Seed: 42, Tracer: &col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Where, traced.Where) || plain.EdgeCut != traced.EdgeCut {
+		t.Error("tracer changed the partition")
+	}
+	kinds := map[string]int{}
+	for _, ev := range col.Events() {
+		kinds[string(ev.Kind)]++
+	}
+	for _, k := range []string{"level", "initial", "refine_pass", "project", "phase"} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q events observed (saw %v)", k, kinds)
+		}
+	}
+}
+
+// TestJSONTracerRoundTrip streams events as JSON lines and decodes every
+// line back into a TraceEvent: each must be well-formed with a known kind.
+func TestJSONTracerRoundTrip(t *testing.T) {
+	g, err := mlpart.GenerateWorkload("4ELT", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := mlpart.Partition(g, 4, &mlpart.Options{Seed: 42, Tracer: mlpart.NewJSONTracer(&buf)}); err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{"level": true, "initial": true, "refine_pass": true, "project": true, "phase": true}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev mlpart.TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", lines+1, err)
+		}
+		if !known[string(ev.Kind)] {
+			t.Errorf("line %d has unknown kind %q", lines+1, ev.Kind)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Error("JSON tracer wrote no events")
+	}
+}
+
+// TestCtxVariantsCancel checks all *Ctx entry points surface ctx.Err() once
+// the context is cancelled up front.
+func TestCtxVariantsCancel(t *testing.T) {
+	g, err := mlpart.GenerateWorkload("4ELT", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mlpart.PartitionCtx(ctx, g, 4, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("PartitionCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := mlpart.PartitionWeightedCtx(ctx, g, []float64{1, 2}, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("PartitionWeightedCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := mlpart.PartitionDirectKWayCtx(ctx, g, 4, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("PartitionDirectKWayCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := mlpart.BisectCtx(ctx, g, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("BisectCtx: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := mlpart.NestedDissectionCtx(ctx, g, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("NestedDissectionCtx: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := mlpart.NestedDissectionCtx(ctx, g, &mlpart.Options{CompressGraph: true}); !errors.Is(err, context.Canceled) {
+		t.Errorf("NestedDissectionCtx(compressed): err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCtxVariantsMatchPlain checks the *Ctx entry points with a live
+// context reproduce the plain results exactly.
+func TestCtxVariantsMatchPlain(t *testing.T) {
+	g, err := mlpart.GenerateWorkload("4ELT", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := &mlpart.Options{Seed: 9}
+
+	plain, err := mlpart.Partition(g, 5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := mlpart.PartitionCtx(ctx, g, 5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Where, withCtx.Where) {
+		t.Error("PartitionCtx differs from Partition")
+	}
+
+	p1, _, err := mlpart.NestedDissection(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := mlpart.NestedDissectionCtx(ctx, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Error("NestedDissectionCtx differs from NestedDissection")
+	}
+}
+
+// TestCtxDeadlineMidRun cancels during a run (rather than before it) and
+// checks the deadline error surfaces instead of a partial result.
+func TestCtxDeadlineMidRun(t *testing.T) {
+	g, err := mlpart.GenerateWorkload("4ELT", 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deadline this tight cannot finish 64 parts of a large mesh; the
+	// partitioner must notice at a level boundary and bail out.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	res, err := mlpart.PartitionCtx(ctx, g, 64, &mlpart.Options{Seed: 1, NCuts: 4})
+	if err == nil {
+		t.Skip("machine fast enough to finish before the deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Error("got a partial result alongside the error")
+	}
+}

@@ -24,7 +24,12 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (concurrent packages)"
-go test -race ./internal/coarsen/ ./internal/multilevel/ ./internal/kway/
+echo "== go test -race (concurrent packages, parity + fuzz seeds)"
+go test -race ./internal/coarsen/ ./internal/multilevel/ ./internal/kway/ \
+    ./internal/trace/ ./internal/graph/
+
+echo "== fuzz smoke (graph readers)"
+go test -fuzz '^FuzzRead$' -fuzztime 10s -run '^$' ./internal/graph/
+go test -fuzz '^FuzzReadMatrixMarket$' -fuzztime 10s -run '^$' ./internal/graph/
 
 echo "CI OK"

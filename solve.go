@@ -43,6 +43,10 @@ type CGOptions struct {
 	Workers int
 	// Seed drives the partition when Workers > 1.
 	Seed int64
+	// Tracer, when non-nil, observes the multilevel partition that assigns
+	// matrix rows to workers (see Options.Tracer). It has no effect when
+	// Workers <= 1.
+	Tracer Tracer
 }
 
 // CGResult reports the outcome of SolveCG.
@@ -60,7 +64,7 @@ func SolveCG(m *Matrix, b []float64, opts *CGOptions) (*CGResult, error) {
 	}
 	sopts := solver.Options{Tol: opts.Tol, MaxIter: opts.MaxIter, Jacobi: opts.Jacobi}
 	if opts.Workers > 1 {
-		part, err := Partition(m.G, opts.Workers, &Options{Seed: opts.Seed})
+		part, err := Partition(m.G, opts.Workers, &Options{Seed: opts.Seed, Tracer: opts.Tracer})
 		if err != nil {
 			return nil, err
 		}
