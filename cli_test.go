@@ -110,11 +110,9 @@ func TestCLITraceJSONRoundTrip(t *testing.T) {
 		t.Fatalf("mlpart -trace -json: %v", err)
 	}
 	kinds := map[string]int{}
-	var result struct {
-		Kind    string `json:"kind"`
-		K       int    `json:"k"`
-		EdgeCut int    `json:"edge_cut"`
-	}
+	// The final line is the shared wire schema's PartitionResponse — the
+	// same object POST /v1/partition returns (see wire.go).
+	var result mlpart.PartitionResponse
 	lines := strings.Split(strings.TrimSpace(string(stdout)), "\n")
 	levelsSeen := map[int]bool{}
 	for i, line := range lines {
@@ -148,8 +146,11 @@ func TestCLITraceJSONRoundTrip(t *testing.T) {
 			t.Errorf("missing level event for level %d", l)
 		}
 	}
-	if result.Kind != "result" || result.K != 4 || result.EdgeCut <= 0 {
+	if result.Kind != mlpart.WireKindResult || result.K != 4 || result.EdgeCut <= 0 {
 		t.Errorf("bad final result line: %+v", result)
+	}
+	if result.Vertices <= 0 || len(result.PartWeights) != 4 || result.ElapsedNS <= 0 {
+		t.Errorf("result line missing wire fields: %+v", result)
 	}
 }
 

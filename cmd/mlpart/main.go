@@ -133,18 +133,11 @@ func main() {
 	elapsed := time.Since(t0)
 
 	if *asJSON {
-		summary := struct {
-			Kind        string  `json:"kind"`
-			Graph       string  `json:"graph"`
-			Vertices    int     `json:"vertices"`
-			Edges       int     `json:"edges"`
-			K           int     `json:"k"`
-			EdgeCut     int     `json:"edge_cut"`
-			Balance     float64 `json:"balance"`
-			PartWeights []int   `json:"part_weights"`
-			ElapsedNS   int64   `json:"elapsed_ns"`
-		}{
-			Kind: "result", Graph: name,
+		// The summary is the wire schema's PartitionResponse — the same
+		// object POST /v1/partition returns — so clients can switch
+		// between the CLI and the daemon without remapping fields.
+		summary := mlpart.PartitionResponse{
+			Kind: mlpart.WireKindResult, Graph: name,
 			Vertices: g.NumVertices(), Edges: g.NumEdges(),
 			K: *k, EdgeCut: res.EdgeCut, Balance: res.Balance(),
 			PartWeights: res.PartWeights, ElapsedNS: elapsed.Nanoseconds(),

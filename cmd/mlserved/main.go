@@ -1,0 +1,92 @@
+// Command mlserved runs the multilevel partitioner as a long-lived HTTP
+// daemon: POST a graph in CSR form as JSON and get a deterministic
+// partition, ordering or repartition back, with bounded concurrency,
+// load shedding and a fingerprint-keyed result cache.
+//
+// Usage:
+//
+//	mlserved [-addr :8080] [-workers 0] [-queue 0] [-cache 256]
+//	         [-timeout 60s] [-drain 30s] [-max-body 67108864]
+//
+// Endpoints (see docs/SERVICE.md for the API reference):
+//
+//	POST /v1/partition    k-way / weighted / direct k-way partition
+//	POST /v1/order        nested-dissection fill-reducing ordering
+//	POST /v1/repartition  adaptive repartitioning with minimal migration
+//	GET  /healthz         liveness probe
+//	GET  /varz            counters, queue depth, cache and latency stats
+//
+// On SIGTERM or SIGINT the daemon stops accepting connections, drains
+// in-flight requests for up to -drain, then exits 0; a second signal
+// aborts immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mlpart/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent computations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue beyond running work (0 = 4x workers, -1 = none)")
+	cacheSize := flag.Int("cache", 256, "result cache entries (-1 disables)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request compute ceiling")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight requests")
+	maxBody := flag.Int64("max-body", 64<<20, "request body limit in bytes")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:      *workers,
+		QueueSize:    *queue,
+		CacheSize:    *cacheSize,
+		Timeout:      *timeout,
+		MaxBodyBytes: *maxBody,
+	})
+	cfg := srv.Config()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGTERM/SIGINT triggers a graceful drain; a second signal (the
+	// context is already done, so NotifyContext restores default
+	// handling) kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("mlserved listening on %s (workers=%d queue=%d cache=%d timeout=%s)",
+		*addr, cfg.Workers, cfg.QueueSize, cfg.CacheSize, cfg.Timeout)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("mlserved: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("mlserved: draining in-flight requests (up to %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "mlserved: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("mlserved: %v", err)
+	}
+	log.Printf("mlserved: drained, bye")
+}

@@ -1,0 +1,75 @@
+package graph
+
+import "testing"
+
+// fingerprintFixture is the pinned FNV-1a fingerprint of path(5) with unit
+// weights. The value is part of the cache-key contract of
+// internal/service: it must never change across runs, platforms, or
+// refactors of the hash. TestFingerprintPinnedConstant fails loudly if it
+// does (any intentional change of the hash must bump the service cache's
+// notion of a key, i.e. is a breaking change).
+const fingerprintFixture = 0x01db81f1df45ce85
+
+func TestFingerprintPinnedConstant(t *testing.T) {
+	g := path(5)
+	if got := g.Fingerprint(); got != fingerprintFixture {
+		t.Errorf("Fingerprint(path(5)) = %#x, want %#x", got, fingerprintFixture)
+	}
+	// Stable across repeated calls on the same graph.
+	if a, b := g.Fingerprint(), g.Fingerprint(); a != b {
+		t.Errorf("Fingerprint not stable: %#x vs %#x", a, b)
+	}
+}
+
+func TestFingerprintEqualGraphs(t *testing.T) {
+	a := grid(7, 9)
+	b := grid(7, 9)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("structurally equal graphs hash differently: %#x vs %#x",
+			a.Fingerprint(), b.Fingerprint())
+	}
+	c := a.Clone()
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Errorf("clone hashes differently: %#x vs %#x", a.Fingerprint(), c.Fingerprint())
+	}
+}
+
+// TestFingerprintPerturbations flips one entry of each CSR array in turn
+// and checks that every perturbation moves the hash.
+func TestFingerprintPerturbations(t *testing.T) {
+	base := randomGraph(64, 256, 8, 42)
+	want := base.Fingerprint()
+
+	perturb := []struct {
+		name string
+		mut  func(g *Graph)
+	}{
+		{"vwgt", func(g *Graph) { g.Vwgt[13]++ }},
+		{"adjwgt", func(g *Graph) { g.Adjwgt[0]++ }},
+		{"adjncy", func(g *Graph) { g.Adjncy[1]++ }},
+		{"xadj", func(g *Graph) { g.Xadj[5]++ }},
+	}
+	for _, p := range perturb {
+		g := base.Clone()
+		p.mut(g)
+		if got := g.Fingerprint(); got == want {
+			t.Errorf("perturbing %s left fingerprint unchanged (%#x)", p.name, got)
+		}
+	}
+}
+
+// TestFingerprintShapeConfusion checks that graphs whose concatenated
+// array streams coincide still hash apart because the lengths are mixed
+// in first.
+func TestFingerprintShapeConfusion(t *testing.T) {
+	a := path(4)
+	b := path(5)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Errorf("path(4) and path(5) collide: %#x", a.Fingerprint())
+	}
+	c := cycle(6)
+	d := grid(2, 3)
+	if c.Fingerprint() == d.Fingerprint() {
+		t.Errorf("cycle(6) and grid(2,3) collide: %#x", c.Fingerprint())
+	}
+}

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a mutex-guarded LRU of encoded response bodies keyed by
+// the request's content key (graph fingerprint + canonicalized options;
+// see cacheKey in handlers.go). Every partition the engine computes is
+// deterministic for a fixed seed, so a hit can be replayed byte-for-byte
+// without recomputation.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache returns a cache holding at most max entries; max <= 0
+// disables caching (get always misses, put is a no-op).
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached body for key and refreshes its recency. The
+// returned slice is shared: callers must not modify it.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry when
+// full. The caller must not modify body afterwards.
+func (c *resultCache) put(key string, body []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// A concurrent identical request already stored the (identical)
+		// result; just refresh recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, body: body})
+	c.items[key] = el
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the current number of entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

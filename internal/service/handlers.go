@@ -1,0 +1,467 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"mlpart"
+)
+
+// Endpoint names as they appear in /varz.
+const (
+	epPartition   = "partition"
+	epOrder       = "order"
+	epRepartition = "repartition"
+)
+
+// job is one decoded, validated compute request.
+type job interface {
+	// key returns the result-cache key; ok=false disables caching for
+	// this request.
+	key() (string, bool)
+	// timeoutMS is the client's requested budget (0 = server default).
+	timeoutMS() int64
+	// run computes the response object. tr may be nil; implementations
+	// must honor ctx (directly or via the engine's level-boundary
+	// checks).
+	run(ctx context.Context, tr mlpart.Tracer) (any, error)
+}
+
+type decodeFunc func(dec *json.Decoder) (job, error)
+
+// serveCompute is the shared request path of the three compute
+// endpoints: admission control, decode, cache lookup, worker acquisition
+// under the request deadline, compute, cache fill, reply.
+func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, ep string, decode decodeFunc) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "%s requires POST", r.URL.Path)
+		return
+	}
+	epm := s.met.endpoints[ep]
+	epm.requests.Add(1)
+	start := time.Now()
+
+	// Stage 1: admission. No token, no work — shed immediately so load
+	// beyond workers+queue degrades into fast 429s, not memory growth.
+	if !s.pool.tryAdmit() {
+		s.met.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"saturated: %d computing and up to %d queued; retry later",
+			s.pool.workers(), s.pool.queueCapacity())
+		return
+	}
+	s.met.admitted.Add(1)
+	defer s.pool.releaseAdmit()
+	s.met.queued.Add(1)
+	inQueue := true
+	dequeue := func() {
+		if inQueue {
+			inQueue = false
+			s.met.queued.Add(-1)
+		}
+	}
+	defer dequeue()
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	j, err := decode(json.NewDecoder(r.Body))
+	if err != nil {
+		s.met.badReqs.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	wantTrace := r.URL.Query().Get("trace") == "1"
+
+	// Cache lookup. Tracing bypasses the cache in both directions: its
+	// events describe one particular execution.
+	key, cacheable := j.key()
+	cacheable = cacheable && !wantTrace
+	if cacheable {
+		if body, ok := s.cache.get(key); ok {
+			s.met.cacheHits.Add(1)
+			epm.completed.Add(1)
+			epm.latency.observe(time.Since(start))
+			writeResult(w, body, "hit", 0)
+			return
+		}
+		s.met.cacheMisses.Add(1)
+	}
+
+	// Per-request deadline: the client's budget, clamped by the server
+	// ceiling; the context also fires when the client disconnects.
+	timeout := s.cfg.Timeout
+	if ms := j.timeoutMS(); ms > 0 {
+		if d := time.Duration(ms) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Stage 2: wait for a worker slot. A request whose deadline already
+	// passed (or passes while queued) aborts here without ever entering
+	// the pool.
+	if err := s.pool.acquire(ctx); err != nil {
+		s.finishAborted(w, r, err)
+		return
+	}
+	dequeue()
+	s.met.inFlight.Add(1)
+	defer func() {
+		s.met.inFlight.Add(-1)
+		s.pool.release()
+	}()
+	if s.hookCompute != nil {
+		s.hookCompute(ctx)
+	}
+	s.met.started.Add(1)
+
+	var collector *mlpart.TraceCollector
+	var tracer mlpart.Tracer
+	if wantTrace {
+		collector = &mlpart.TraceCollector{}
+		tracer = collector
+	}
+
+	computeStart := time.Now()
+	resp, err := j.run(ctx, tracer)
+	computeNS := time.Since(computeStart).Nanoseconds()
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.finishAborted(w, r, err)
+			return
+		}
+		s.met.badReqs.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.met.errors.Add(1)
+		writeError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	body = append(body, '\n')
+	if cacheable {
+		s.cache.put(key, body)
+	}
+	epm.completed.Add(1)
+	epm.latency.observe(time.Since(start))
+
+	if wantTrace {
+		env := struct {
+			Result json.RawMessage     `json:"result"`
+			Trace  []mlpart.TraceEvent `json:"trace"`
+		}{
+			Result: json.RawMessage(bytes.TrimRight(body, "\n")),
+			Trace:  collector.Events(),
+		}
+		tb, err := json.Marshal(env)
+		if err != nil {
+			s.met.errors.Add(1)
+			writeError(w, http.StatusInternalServerError, "encode trace: %v", err)
+			return
+		}
+		writeResult(w, append(tb, '\n'), "bypass", computeNS)
+		return
+	}
+	writeResult(w, body, "miss", computeNS)
+}
+
+// finishAborted handles a context-terminated request: a vanished client
+// gets nothing (and a "canceled" count), a live one gets 504.
+func (s *Server) finishAborted(w http.ResponseWriter, r *http.Request, err error) {
+	if r.Context().Err() != nil {
+		s.met.canceled.Add(1)
+		return
+	}
+	s.met.timedOut.Add(1)
+	writeError(w, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
+}
+
+// writeResult writes a 200 with the (already encoded) result body. The
+// cache status and compute time travel as headers so that cached bodies
+// stay byte-identical to cold ones.
+func writeResult(w http.ResponseWriter, body []byte, cacheStatus string, computeNS int64) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheStatus)
+	if computeNS > 0 {
+		w.Header().Set("X-Compute-Ns", strconv.FormatInt(computeNS, 10))
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// cloneOptions returns a private copy of o (nil means defaults) so the
+// server can install a per-request tracer without mutating the client's
+// decoded options.
+func cloneOptions(o *mlpart.Options) *mlpart.Options {
+	c := mlpart.Options{}
+	if o != nil {
+		c = *o
+	}
+	return &c
+}
+
+// canonicalOptions renders the result-affecting options in defaulted
+// form: requests that spell the defaults explicitly share cache entries
+// with requests that omit them, and the scheduling-only knobs (Parallel,
+// ParallelDepth, ParallelMinVertices — parity-tested to not change
+// results) are excluded entirely.
+func canonicalOptions(o *mlpart.Options) string {
+	c := mlpart.Options{}
+	if o != nil {
+		c = *o
+	}
+	if c.Matching == "" {
+		c.Matching = mlpart.MatchHEM
+	}
+	if c.InitPart == "" {
+		c.InitPart = mlpart.InitGGGP
+	}
+	if c.Refinement == "" {
+		c.Refinement = mlpart.RefineBKLGR
+	}
+	if c.CoarsenTo == 0 {
+		c.CoarsenTo = 100
+	}
+	if c.Ubfactor == 0 {
+		c.Ubfactor = 1.05
+	}
+	if c.NCuts <= 1 {
+		c.NCuts = 1
+	}
+	if c.CoarsenWorkers <= 1 {
+		c.CoarsenWorkers = 1
+	}
+	return fmt.Sprintf("m=%s i=%s r=%s ct=%d ub=%.17g s=%d kr=%t nc=%d cw=%d cg=%t",
+		c.Matching, c.InitPart, c.Refinement, c.CoarsenTo, c.Ubfactor,
+		c.Seed, c.KWayRefine, c.NCuts, c.CoarsenWorkers, c.CompressGraph)
+}
+
+// hashInts is FNV-1a over an int slice (for the repartition key's
+// incumbent vector).
+func hashInts(xs []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range xs {
+		x := uint64(v)
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	return h
+}
+
+// --- /v1/partition ---
+
+type partitionJob struct {
+	req mlpart.PartitionRequest
+	g   *mlpart.Graph
+}
+
+func decodePartition(dec *json.Decoder) (job, error) {
+	var req mlpart.PartitionRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad request body: %v", err)
+	}
+	g, err := req.Graph.ToGraph()
+	if err != nil {
+		return nil, fmt.Errorf("bad graph: %v", err)
+	}
+	switch req.Method {
+	case "", mlpart.MethodRecursive, mlpart.MethodKWay:
+	default:
+		return nil, fmt.Errorf("unknown method %q (want %q or %q)",
+			req.Method, mlpart.MethodRecursive, mlpart.MethodKWay)
+	}
+	if len(req.Fractions) > 0 && req.Method == mlpart.MethodKWay {
+		return nil, fmt.Errorf("fractions are incompatible with method %q", mlpart.MethodKWay)
+	}
+	if len(req.Fractions) == 0 && req.K < 1 {
+		return nil, fmt.Errorf("k = %d, want >= 1 (or non-empty fractions)", req.K)
+	}
+	return &partitionJob{req: req, g: g}, nil
+}
+
+func (j *partitionJob) timeoutMS() int64 { return j.req.TimeoutMS }
+
+func (j *partitionJob) key() (string, bool) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s|fp=%016x|%s|", epPartition, j.g.Fingerprint(), canonicalOptions(j.req.Options))
+	if len(j.req.Fractions) > 0 {
+		// Fractions are normalized by the engine; normalize the key the
+		// same way so (2,1) and (4,2) share an entry.
+		sum := 0.0
+		for _, f := range j.req.Fractions {
+			sum += f
+		}
+		sb.WriteString("frac=")
+		for _, f := range j.req.Fractions {
+			fmt.Fprintf(&sb, "%.17g,", f/sum)
+		}
+	} else {
+		method := j.req.Method
+		if method == "" {
+			method = mlpart.MethodRecursive
+		}
+		fmt.Fprintf(&sb, "method=%s k=%d", method, j.req.K)
+	}
+	return sb.String(), true
+}
+
+func (j *partitionJob) run(ctx context.Context, tr mlpart.Tracer) (any, error) {
+	opts := cloneOptions(j.req.Options)
+	opts.Tracer = tr
+	var (
+		res *mlpart.Partitioning
+		err error
+	)
+	k := j.req.K
+	switch {
+	case len(j.req.Fractions) > 0:
+		k = len(j.req.Fractions)
+		res, err = mlpart.PartitionWeightedCtx(ctx, j.g, j.req.Fractions, opts)
+	case j.req.Method == mlpart.MethodKWay:
+		res, err = mlpart.PartitionDirectKWayCtx(ctx, j.g, k, opts)
+	default:
+		res, err = mlpart.PartitionCtx(ctx, j.g, k, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &mlpart.PartitionResponse{
+		Kind:        mlpart.WireKindResult,
+		Vertices:    j.g.NumVertices(),
+		Edges:       j.g.NumEdges(),
+		K:           k,
+		EdgeCut:     res.EdgeCut,
+		Balance:     res.Balance(),
+		PartWeights: res.PartWeights,
+		Where:       res.Where,
+	}, nil
+}
+
+// --- /v1/order ---
+
+type orderJob struct {
+	req mlpart.OrderRequest
+	g   *mlpart.Graph
+}
+
+func decodeOrder(dec *json.Decoder) (job, error) {
+	var req mlpart.OrderRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad request body: %v", err)
+	}
+	g, err := req.Graph.ToGraph()
+	if err != nil {
+		return nil, fmt.Errorf("bad graph: %v", err)
+	}
+	return &orderJob{req: req, g: g}, nil
+}
+
+func (j *orderJob) timeoutMS() int64 { return j.req.TimeoutMS }
+
+func (j *orderJob) key() (string, bool) {
+	return fmt.Sprintf("%s|fp=%016x|%s|analyze=%t",
+		epOrder, j.g.Fingerprint(), canonicalOptions(j.req.Options), j.req.Analyze), true
+}
+
+func (j *orderJob) run(ctx context.Context, tr mlpart.Tracer) (any, error) {
+	opts := cloneOptions(j.req.Options)
+	opts.Tracer = tr
+	perm, iperm, err := mlpart.NestedDissectionCtx(ctx, j.g, opts)
+	if err != nil {
+		return nil, err
+	}
+	resp := &mlpart.OrderResponse{
+		Kind:     mlpart.WireKindOrder,
+		Vertices: j.g.NumVertices(),
+		Edges:    j.g.NumEdges(),
+		Perm:     perm,
+		Iperm:    iperm,
+	}
+	if j.req.Analyze {
+		stats, err := mlpart.AnalyzeOrdering(j.g, perm)
+		if err != nil {
+			return nil, err
+		}
+		resp.Analysis = stats
+	}
+	return resp, nil
+}
+
+// --- /v1/repartition ---
+
+type repartitionJob struct {
+	req mlpart.RepartitionRequest
+	g   *mlpart.Graph
+}
+
+func decodeRepartition(dec *json.Decoder) (job, error) {
+	var req mlpart.RepartitionRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad request body: %v", err)
+	}
+	g, err := req.Graph.ToGraph()
+	if err != nil {
+		return nil, fmt.Errorf("bad graph: %v", err)
+	}
+	return &repartitionJob{req: req, g: g}, nil
+}
+
+func (j *repartitionJob) timeoutMS() int64 { return j.req.TimeoutMS }
+
+func (j *repartitionJob) key() (string, bool) {
+	o := mlpart.RepartitionOptions{}
+	if j.req.Options != nil {
+		o = *j.req.Options
+	}
+	if o.Ubfactor == 0 {
+		o.Ubfactor = 1.05
+	}
+	if o.MigrationWeight == 0 {
+		o.MigrationWeight = 1
+	}
+	return fmt.Sprintf("%s|fp=%016x|k=%d|ub=%.17g mw=%.17g s=%d|wh=%016x",
+		epRepartition, j.g.Fingerprint(), j.req.K,
+		o.Ubfactor, o.MigrationWeight, o.Seed, hashInts(j.req.Where)), true
+}
+
+func (j *repartitionJob) run(ctx context.Context, _ mlpart.Tracer) (any, error) {
+	// Repartition is a single sweep with no level boundaries to poll, so
+	// it only honors the deadline up front; it is the cheapest of the
+	// three computations by a wide margin.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := mlpart.Repartition(j.g, j.req.K, j.req.Where, j.req.Options)
+	if err != nil {
+		return nil, err
+	}
+	return &mlpart.RepartitionResponse{
+		Kind:           mlpart.WireKindRepartition,
+		Vertices:       j.g.NumVertices(),
+		Edges:          j.g.NumEdges(),
+		K:              j.req.K,
+		EdgeCut:        res.EdgeCut,
+		PartWeights:    res.PartWeights,
+		Where:          res.Where,
+		MigratedWeight: res.MigratedWeight,
+	}, nil
+}

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"mlpart"
+)
+
+// TestServiceLoadMixed is the acceptance load test: 8 concurrent clients
+// each fire 51 mixed partition/order/repartition requests at a
+// deliberately small server (2 workers, queue of 2) so that admission
+// control, queueing, cache hits and 429 shedding all happen while the
+// race detector watches. Every request either succeeds or is shed with
+// 429 and retried; nothing may be dropped, panic, or return an
+// inconsistent body — identical requests must produce byte-identical
+// responses whether computed or cached.
+func TestServiceLoadMixed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	s, ts := newTestServer(t, Config{Workers: 2, QueueSize: 2, CacheSize: 64})
+
+	const (
+		clients     = 8
+		perClient   = 51
+		maxAttempts = 200
+	)
+
+	grids := []mlpart.WireGraph{gridGraph(8, 8), gridGraph(12, 12), gridGraph(16, 16)}
+	incumbent := make([]int, 144) // alternating stripes for the 12x12 repartitions
+	for v := range incumbent {
+		incumbent[v] = (v / 12) % 2
+	}
+
+	// makeRequest derives a deterministic (path, body) for request i of
+	// client c; the small parameter space guarantees repeats across
+	// clients, exercising the cache under contention.
+	makeRequest := func(c, i int) (string, []byte) {
+		switch i % 3 {
+		case 0:
+			body, _ := json.Marshal(mlpart.PartitionRequest{
+				Graph: grids[i%len(grids)],
+				K:     2 + (i+c)%3,
+				Options: &mlpart.Options{
+					Seed: int64(i % 4),
+				},
+			})
+			return "/v1/partition", body
+		case 1:
+			body, _ := json.Marshal(mlpart.OrderRequest{
+				Graph:   grids[(i+1)%len(grids)],
+				Analyze: i%2 == 0,
+			})
+			return "/v1/order", body
+		default:
+			body, _ := json.Marshal(mlpart.RepartitionRequest{
+				Graph: grids[1],
+				K:     2,
+				Where: incumbent,
+				Options: &mlpart.RepartitionOptions{
+					Seed: int64(i % 2),
+				},
+			})
+			return "/v1/repartition", body
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		responses = map[string][]byte{} // path+body -> first body seen
+		shed      int
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; i < perClient; i++ {
+				path, body := makeRequest(c, i)
+				var resp *http.Response
+				var data []byte
+				ok := false
+				for attempt := 0; attempt < maxAttempts; attempt++ {
+					resp, data = postJSONNoFatal(client, ts.URL+path, json.RawMessage(body))
+					if resp == nil {
+						errc <- fmt.Errorf("client %d req %d: connection dropped", c, i)
+						return
+					}
+					if resp.StatusCode == http.StatusTooManyRequests {
+						mu.Lock()
+						shed++
+						mu.Unlock()
+						time.Sleep(time.Duration(1+attempt%5) * time.Millisecond)
+						continue
+					}
+					if resp.StatusCode != http.StatusOK {
+						errc <- fmt.Errorf("client %d req %d %s: status %d: %s", c, i, path, resp.StatusCode, data)
+						return
+					}
+					ok = true
+					break
+				}
+				if !ok {
+					errc <- fmt.Errorf("client %d req %d: still shed after %d attempts", c, i, maxAttempts)
+					return
+				}
+				key := path + string(body)
+				mu.Lock()
+				if prev, seen := responses[key]; seen {
+					if !bytes.Equal(prev, data) {
+						mu.Unlock()
+						errc <- fmt.Errorf("client %d req %d %s: response differs from earlier identical request", c, i, path)
+						return
+					}
+				} else {
+					responses[key] = data
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	total := s.met.admitted.Load() + s.met.rejected.Load()
+	if completed := sumCompleted(s); completed != clients*perClient {
+		t.Errorf("completed = %d, want %d (admitted+rejected=%d, shed=%d)",
+			completed, clients*perClient, total, shed)
+	}
+	if s.met.errors.Load() != 0 {
+		t.Errorf("internal errors: %d", s.met.errors.Load())
+	}
+	if int64(shed) != s.met.rejected.Load() {
+		t.Errorf("client-observed 429s (%d) != server rejected counter (%d)", shed, s.met.rejected.Load())
+	}
+	if s.met.cacheHits.Load() == 0 {
+		t.Error("load test produced no cache hits; parameter space too wide?")
+	}
+	t.Logf("load: admitted=%d rejected=%d cache hits=%d misses=%d",
+		s.met.admitted.Load(), s.met.rejected.Load(),
+		s.met.cacheHits.Load(), s.met.cacheMisses.Load())
+}
+
+func sumCompleted(s *Server) int {
+	total := int64(0)
+	for _, ep := range s.met.endpoints {
+		total += ep.completed.Load()
+	}
+	return int(total)
+}

@@ -1,0 +1,126 @@
+package service
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets; bucket i
+// counts requests with latency < 2^i microseconds, the last bucket is a
+// catch-all.
+const histBuckets = 24
+
+// histogram is a fixed-bucket latency histogram maintained with plain
+// atomics — no locks on the request path.
+type histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	idx := bits.Len64(us) // 0 for 0us, grows with log2
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+}
+
+// histogramVarz is the wire form of a histogram: cumulative counts per
+// upper bound, in microseconds.
+type histogramVarz struct {
+	Count  int64   `json:"count"`
+	SumNS  int64   `json:"sum_ns"`
+	MeanNS int64   `json:"mean_ns"`
+	Bucket []int64 `json:"buckets_le_pow2_us"`
+}
+
+func (h *histogram) varz() histogramVarz {
+	v := histogramVarz{Count: h.count.Load(), SumNS: h.sumNS.Load()}
+	if v.Count > 0 {
+		v.MeanNS = v.SumNS / v.Count
+	}
+	cum := int64(0)
+	last := histBuckets - 1
+	for i := histBuckets - 1; i >= 0; i-- {
+		if h.buckets[i].Load() != 0 {
+			last = i
+			break
+		}
+	}
+	for i := 0; i <= last; i++ {
+		cum += h.buckets[i].Load()
+		v.Bucket = append(v.Bucket, cum)
+	}
+	return v
+}
+
+// endpointMetrics aggregates per-endpoint traffic.
+type endpointMetrics struct {
+	requests  atomic.Int64
+	completed atomic.Int64
+	latency   histogram
+}
+
+// metrics is the server's whole observable state, all plain atomics so
+// that /varz never contends with the request path.
+type metrics struct {
+	admitted atomic.Int64 // passed admission control
+	rejected atomic.Int64 // shed with 429 at admission
+	queued   atomic.Int64 // currently admitted but not yet computing
+	inFlight atomic.Int64 // currently computing
+	started  atomic.Int64 // computations actually begun (entered the pool)
+	timedOut atomic.Int64 // deadline exceeded (queued or mid-compute)
+	canceled atomic.Int64 // client went away mid-request
+	badReqs  atomic.Int64 // malformed or invalid requests (4xx)
+	errors   atomic.Int64 // internal failures (5xx)
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	endpoints map[string]*endpointMetrics
+}
+
+func newMetrics(endpoints ...string) *metrics {
+	m := &metrics{endpoints: make(map[string]*endpointMetrics, len(endpoints))}
+	for _, e := range endpoints {
+		m.endpoints[e] = &endpointMetrics{}
+	}
+	return m
+}
+
+// endpointVarz is the wire form of one endpoint's counters.
+type endpointVarz struct {
+	Requests  int64         `json:"requests"`
+	Completed int64         `json:"completed"`
+	Latency   histogramVarz `json:"latency"`
+}
+
+// varz is the wire form of GET /varz.
+type varz struct {
+	Workers       int   `json:"workers"`
+	QueueCapacity int   `json:"queue_capacity"`
+	QueueDepth    int64 `json:"queue_depth"`
+	InFlight      int64 `json:"in_flight"`
+
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	Started  int64 `json:"started"`
+	TimedOut int64 `json:"timed_out"`
+	Canceled int64 `json:"canceled"`
+	BadReqs  int64 `json:"bad_requests"`
+	Errors   int64 `json:"internal_errors"`
+
+	Cache struct {
+		Size     int   `json:"size"`
+		Capacity int   `json:"capacity"`
+		Hits     int64 `json:"hits"`
+		Misses   int64 `json:"misses"`
+	} `json:"cache"`
+
+	Endpoints map[string]endpointVarz `json:"endpoints"`
+}

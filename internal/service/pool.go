@@ -1,0 +1,66 @@
+package service
+
+import "context"
+
+// pool implements the server's two-stage admission control:
+//
+//   - admit has capacity workers+queue. A request that cannot take an
+//     admission token immediately is shed with 429: the server never
+//     buffers unbounded work.
+//   - work has capacity workers. An admitted request waits here (the
+//     "queue") until a worker slot frees or its deadline fires; at most
+//     `workers` computations run concurrently regardless of how many
+//     connections net/http accepts.
+//
+// Both stages are plain buffered channels, so the fast path is one
+// channel send each and the deadline path is a select.
+type pool struct {
+	admit chan struct{}
+	work  chan struct{}
+}
+
+func newPool(workers, queue int) *pool {
+	return &pool{
+		admit: make(chan struct{}, workers+queue),
+		work:  make(chan struct{}, workers),
+	}
+}
+
+// tryAdmit claims an admission token without blocking; false means the
+// server is saturated and the request must be shed.
+func (p *pool) tryAdmit() bool {
+	select {
+	case p.admit <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// releaseAdmit returns an admission token.
+func (p *pool) releaseAdmit() { <-p.admit }
+
+// acquire claims a worker slot, waiting until one frees or ctx fires. An
+// already-expired ctx returns its error without consuming a slot, so a
+// request whose deadline passed while queued never enters the pool.
+func (p *pool) acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case p.work <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a worker slot.
+func (p *pool) release() { <-p.work }
+
+// workers returns the worker-slot capacity.
+func (p *pool) workers() int { return cap(p.work) }
+
+// queueCapacity returns the number of requests that may wait beyond the
+// running ones.
+func (p *pool) queueCapacity() int { return cap(p.admit) - cap(p.work) }

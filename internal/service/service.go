@@ -1,0 +1,189 @@
+// Package service implements partitioning-as-a-service: a stdlib-only
+// HTTP JSON API over the multilevel engine, designed to run as a
+// long-lived daemon (cmd/mlserved) in front of the same deterministic
+// pipeline the CLI tools drive.
+//
+// Endpoints:
+//
+//	POST /v1/partition    k-way / weighted / direct k-way partition
+//	POST /v1/order        multilevel nested-dissection ordering
+//	POST /v1/repartition  adaptive repartitioning (minimal migration)
+//	GET  /healthz         liveness probe
+//	GET  /varz            queue depth, in-flight, cache and latency stats
+//
+// Request and response bodies are the wire schema of the root package
+// (mlpart.PartitionRequest and friends) — the same objects `mlpart -json`
+// emits — so clients can switch between the CLI and the daemon without
+// remapping fields. See docs/SERVICE.md for the full API reference.
+//
+// Three properties make the engine serviceable and the server leans on
+// each:
+//
+//   - Cancellation: every V-cycle checks its context at level boundaries
+//     (PartitionCtx, NestedDissectionCtx), so per-request deadlines and
+//     client disconnects abort computations mid-flight instead of
+//     burning a worker.
+//   - Determinism: a fixed seed fixes the result bit-for-bit, so results
+//     are cacheable; the LRU result cache is keyed by
+//     Graph.Fingerprint() plus the canonicalized options and replays
+//     byte-identical bodies.
+//   - Observability: the internal/trace event layer can be attached per
+//     request (?trace=1) to return the engine's per-level events
+//     alongside the result.
+//
+// Load discipline: at most Config.Workers computations run concurrently
+// and at most Config.QueueSize more may wait; everything beyond that is
+// shed immediately with 429 and a Retry-After hint, so the daemon
+// degrades by refusing work, never by queueing without bound.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"mlpart"
+)
+
+// Config sizes the daemon. The zero value is production-safe: GOMAXPROCS
+// workers, a 4x admission queue, a 256-entry result cache and a 60s
+// compute ceiling.
+type Config struct {
+	// Workers is the number of concurrent computations (0 means
+	// GOMAXPROCS).
+	Workers int
+	// QueueSize is how many admitted requests may wait for a worker
+	// beyond the running ones (0 means 4*Workers, negative means no
+	// queue: shed unless a worker is free).
+	QueueSize int
+	// CacheSize is the result cache capacity in entries (0 means 256,
+	// negative disables caching).
+	CacheSize int
+	// Timeout is the per-request compute ceiling; requests may lower it
+	// with timeout_ms but never raise it (0 means 60s).
+	Timeout time.Duration
+	// MaxBodyBytes bounds request bodies (0 means 64 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.QueueSize == 0:
+		c.QueueSize = 4 * c.Workers
+	case c.QueueSize < 0:
+		c.QueueSize = 0
+	}
+	switch {
+	case c.CacheSize == 0:
+		c.CacheSize = 256
+	case c.CacheSize < 0:
+		c.CacheSize = 0
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the partitioning daemon's HTTP handler set. Create one with
+// New and mount it on an http.Server (it implements http.Handler).
+type Server struct {
+	cfg   Config
+	pool  *pool
+	cache *resultCache
+	met   *metrics
+	mux   *http.ServeMux
+
+	// hookCompute, when non-nil, runs inside the worker slot right
+	// before the computation starts, with the request's compute context.
+	// Tests use it to hold slots open deterministically.
+	hookCompute func(ctx context.Context)
+}
+
+// New returns a Server with cfg (zero value for defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  newPool(cfg.Workers, cfg.QueueSize),
+		cache: newResultCache(cfg.CacheSize),
+		met:   newMetrics(epPartition, epOrder, epRepartition),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/partition", func(w http.ResponseWriter, r *http.Request) {
+		s.serveCompute(w, r, epPartition, decodePartition)
+	})
+	s.mux.HandleFunc("/v1/order", func(w http.ResponseWriter, r *http.Request) {
+		s.serveCompute(w, r, epOrder, decodeOrder)
+	})
+	s.mux.HandleFunc("/v1/repartition", func(w http.ResponseWriter, r *http.Request) {
+		s.serveCompute(w, r, epRepartition, decodeRepartition)
+	})
+	s.mux.HandleFunc("/healthz", s.serveHealthz)
+	s.mux.HandleFunc("/varz", s.serveVarz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) serveVarz(w http.ResponseWriter, r *http.Request) {
+	m := s.met
+	v := varz{
+		Workers:       s.pool.workers(),
+		QueueCapacity: s.pool.queueCapacity(),
+		QueueDepth:    m.queued.Load(),
+		InFlight:      m.inFlight.Load(),
+		Admitted:      m.admitted.Load(),
+		Rejected:      m.rejected.Load(),
+		Started:       m.started.Load(),
+		TimedOut:      m.timedOut.Load(),
+		Canceled:      m.canceled.Load(),
+		BadReqs:       m.badReqs.Load(),
+		Errors:        m.errors.Load(),
+		Endpoints:     make(map[string]endpointVarz, len(m.endpoints)),
+	}
+	v.Cache.Size = s.cache.len()
+	v.Cache.Capacity = s.cfg.CacheSize
+	v.Cache.Hits = m.cacheHits.Load()
+	v.Cache.Misses = m.cacheMisses.Load()
+	for name, ep := range m.endpoints {
+		v.Endpoints[name] = endpointVarz{
+			Requests:  ep.requests.Load(),
+			Completed: ep.completed.Load(),
+			Latency:   ep.latency.varz(),
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError emits the wire schema's error object.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(mlpart.ErrorResponse{
+		Kind:  mlpart.WireKindError,
+		Error: fmt.Sprintf(format, args...),
+	})
+}

@@ -127,62 +127,67 @@ const (
 // *Options) is the configuration the paper recommends: HEM coarsening to
 // 100 vertices, GGGP initial partitioning with 5 trials, BKLGR refinement,
 // 5% imbalance tolerance, seed 0.
+//
+// Options is part of the wire schema shared by `mlpart -json` and the
+// mlserved HTTP daemon (see wire.go and docs/SERVICE.md): every field
+// except Tracer round-trips through JSON under the tags below.
 type Options struct {
 	// Matching is the coarsening scheme: MatchRM, MatchHEM, MatchLEM or
 	// MatchHCM. Empty means MatchHEM.
-	Matching string
+	Matching string `json:"matching,omitempty"`
 	// InitPart is the coarsest-graph partitioner: InitGGGP, InitGGP or
 	// InitSBP. Empty means InitGGGP.
-	InitPart string
+	InitPart string `json:"init_part,omitempty"`
 	// Refinement is the uncoarsening policy: RefineNone, RefineGR,
 	// RefineKLR, RefineBGR, RefineBKLR or RefineBKLGR. Empty means
 	// RefineBKLGR.
-	Refinement string
+	Refinement string `json:"refinement,omitempty"`
 	// CoarsenTo is the coarsest-graph size (0 means 100).
-	CoarsenTo int
+	CoarsenTo int `json:"coarsen_to,omitempty"`
 	// Ubfactor is the allowed imbalance: each part may weigh up to
 	// Ubfactor times its target (0 means 1.05).
-	Ubfactor float64
+	Ubfactor float64 `json:"ubfactor,omitempty"`
 	// Seed drives all randomized choices; equal seeds give identical
 	// results.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 	// Parallel runs independent subproblems of recursive bisection and
 	// nested dissection on separate goroutines, and the NCuts trials of
 	// each bisection concurrently; results are unchanged.
-	Parallel bool
+	Parallel bool `json:"parallel,omitempty"`
 	// ParallelDepth bounds how many recursion levels fan out onto new
 	// goroutines when Parallel is set (0 means 4, i.e. at most 16
 	// concurrent branches). Deeper subproblems run sequentially.
-	ParallelDepth int
+	ParallelDepth int `json:"parallel_depth,omitempty"`
 	// ParallelMinVertices is the smallest subgraph that still fans out
 	// when Parallel is set (0 means 2000).
-	ParallelMinVertices int
+	ParallelMinVertices int `json:"parallel_min_vertices,omitempty"`
 	// KWayRefine runs an extra direct k-way refinement pass over the
 	// assembled partition after recursive bisection (never worsens the
 	// edge-cut; costs one extra sweep over the graph per pass).
-	KWayRefine bool
+	KWayRefine bool `json:"kway_refine,omitempty"`
 	// NCuts runs every bisection this many times with independent seeds
 	// and keeps the best cut, trading time for quality; <=1 means once.
-	NCuts int
+	NCuts int `json:"ncuts,omitempty"`
 	// CoarsenWorkers > 1 computes matchings with the parallel handshake
 	// algorithm on that many workers during coarsening; deterministic for
 	// a fixed seed regardless of worker count, but the matching differs
 	// from the sequential default.
-	CoarsenWorkers int
+	CoarsenWorkers int `json:"coarsen_workers,omitempty"`
 	// CompressGraph enables indistinguishable-vertex compression before
 	// NestedDissection: groups of vertices with identical closed
 	// neighborhoods (multiple degrees of freedom per mesh node) collapse
 	// into weighted supervertices, shrinking every later phase. It has no
 	// effect on Partition.
-	CompressGraph bool
+	CompressGraph bool `json:"compress_graph,omitempty"`
 	// Tracer, when non-nil, receives typed per-level events while the
 	// partitioner runs: hierarchy levels as they are built, the initial
 	// cut, every refinement pass, every projection, and per-phase wall
 	// time. Use a TraceCollector to gather events in memory or
 	// NewJSONTracer to stream them as JSON lines. The tracer must be safe
 	// for concurrent use when Parallel is set; results are bit-identical
-	// with or without one.
-	Tracer Tracer
+	// with or without one. Tracer does not cross the wire; the daemon's
+	// per-request ?trace=1 capture installs one server-side.
+	Tracer Tracer `json:"-"`
 }
 
 // Tracer receives structured events from the partitioner; see
@@ -432,13 +437,13 @@ func MinimumDegree(g *Graph) (perm, iperm []int) {
 // with adjacency structure g under a given elimination order.
 type OrderingStats struct {
 	// FactorNonzeros is nnz(L), counting the diagonal.
-	FactorNonzeros int64
+	FactorNonzeros int64 `json:"factor_nonzeros"`
 	// OperationCount is the factorization flop count (sum of squared
 	// column counts), the measure the paper's Figure 5 compares.
-	OperationCount float64
+	OperationCount float64 `json:"operation_count"`
 	// TreeHeight is the elimination tree height; lower means more
 	// concurrency for parallel factorization.
-	TreeHeight int
+	TreeHeight int `json:"tree_height"`
 }
 
 // AnalyzeOrdering symbolically factors g under perm and reports the cost.

@@ -410,6 +410,66 @@ func TestRepartitionPublic(t *testing.T) {
 	}
 }
 
+// TestRepartitionOptionValidation covers every rejection Repartition
+// promises: fractional Ubfactor, negative MigrationWeight, malformed
+// incumbent vectors and a nonsensical k — each with a descriptive error
+// instead of silent misbehavior.
+func TestRepartitionOptionValidation(t *testing.T) {
+	g := testMesh(t)
+	n := g.NumVertices()
+	where := make([]int, n)
+	for v := range where {
+		where[v] = v % 2
+	}
+
+	cases := []struct {
+		name    string
+		k       int
+		where   []int
+		opts    *RepartitionOptions
+		errWant string
+	}{
+		{"ubfactor in (0,1)", 2, where, &RepartitionOptions{Ubfactor: 0.5}, "Ubfactor"},
+		{"ubfactor just below 1", 2, where, &RepartitionOptions{Ubfactor: 0.999}, "Ubfactor"},
+		{"negative migration weight", 2, where, &RepartitionOptions{MigrationWeight: -1}, "MigrationWeight"},
+		{"short where", 2, where[:n-1], nil, "len(oldWhere)"},
+		{"long where", 2, append(append([]int(nil), where...), 0), nil, "len(oldWhere)"},
+		{"label >= k", 2, func() []int {
+			w := append([]int(nil), where...)
+			w[7] = 2
+			return w
+		}(), nil, "oldWhere[7]"},
+		{"negative label", 2, func() []int {
+			w := append([]int(nil), where...)
+			w[3] = -1
+			return w
+		}(), nil, "oldWhere[3]"},
+		{"k zero", 0, where, nil, "k = 0"},
+	}
+	for _, tc := range cases {
+		_, err := Repartition(g, tc.k, tc.where, tc.opts)
+		if err == nil {
+			t.Errorf("%s: accepted, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errWant) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.errWant)
+		}
+	}
+
+	// The boundary values stay legal: Ubfactor 0 (default), exactly 1
+	// (perfect balance) and MigrationWeight 0 (default).
+	for _, opts := range []*RepartitionOptions{
+		{Ubfactor: 0},
+		{Ubfactor: 1.0},
+		{MigrationWeight: 0},
+	} {
+		if _, err := Repartition(g, 2, where, opts); err != nil {
+			t.Errorf("legal options %+v rejected: %v", opts, err)
+		}
+	}
+}
+
 func TestWriteDOTPublic(t *testing.T) {
 	b := NewGraphBuilder(3)
 	b.AddEdge(0, 1)

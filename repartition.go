@@ -6,15 +6,32 @@ import (
 	"mlpart/internal/kway"
 )
 
-// RepartitionOptions configures Repartition.
+// RepartitionOptions configures Repartition. Like Options it is part of
+// the wire schema shared by the CLI and the mlserved daemon (wire.go).
 type RepartitionOptions struct {
-	// Ubfactor is the balance target per part (0 means 1.05).
-	Ubfactor float64
+	// Ubfactor is the balance target per part (0 means 1.05). Values in
+	// (0, 1) are rejected: a part can never weigh less than its target
+	// times one.
+	Ubfactor float64 `json:"ubfactor,omitempty"`
 	// MigrationWeight trades cut quality against data movement: higher
 	// values keep more vertices in their incumbent part (0 means 1.0).
-	MigrationWeight float64
+	// Negative values are rejected.
+	MigrationWeight float64 `json:"migration_weight,omitempty"`
 	// Seed orders the rebalancing sweeps deterministically.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// validate rejects option values that would silently misbehave inside the
+// rebalancing sweeps (an Ubfactor below 1 makes every part overweight; a
+// negative MigrationWeight rewards churn).
+func (o *RepartitionOptions) validate() error {
+	if o.Ubfactor != 0 && o.Ubfactor < 1 {
+		return fmt.Errorf("mlpart: RepartitionOptions.Ubfactor = %v, want >= 1 (or 0 for the default 1.05)", o.Ubfactor)
+	}
+	if o.MigrationWeight < 0 {
+		return fmt.Errorf("mlpart: RepartitionOptions.MigrationWeight = %v, want >= 0 (0 means the default 1.0)", o.MigrationWeight)
+	}
+	return nil
 }
 
 // RepartitionResult is the outcome of adapting a partition.
@@ -40,16 +57,22 @@ type RepartitionResult struct {
 //
 // oldWhere must assign every vertex a part in [0, k). It is not modified.
 func Repartition(g *Graph, k int, oldWhere []int, opts *RepartitionOptions) (*RepartitionResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("mlpart: k = %d, want >= 1", k)
+	}
 	if len(oldWhere) != g.NumVertices() {
-		return nil, fmt.Errorf("mlpart: len(oldWhere) = %d, want %d", len(oldWhere), g.NumVertices())
+		return nil, fmt.Errorf("mlpart: len(oldWhere) = %d, want n = %d", len(oldWhere), g.NumVertices())
 	}
 	for v, p := range oldWhere {
 		if p < 0 || p >= k {
-			return nil, fmt.Errorf("mlpart: oldWhere[%d] = %d, want [0,%d)", v, p, k)
+			return nil, fmt.Errorf("mlpart: oldWhere[%d] = %d, want a part in [0,%d)", v, p, k)
 		}
 	}
 	if opts == nil {
 		opts = &RepartitionOptions{}
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	where := append([]int(nil), oldWhere...)
 	p := kway.NewPartition(g, k, where)

@@ -26,7 +26,10 @@ go test ./...
 
 echo "== go test -race (concurrent packages, parity + fuzz seeds)"
 go test -race ./internal/coarsen/ ./internal/multilevel/ ./internal/kway/ \
-    ./internal/trace/ ./internal/graph/
+    ./internal/trace/ ./internal/graph/ ./internal/service/
+
+echo "== service smoke (live daemon vs CLI, healthz, cache, SIGTERM drain)"
+go run ./scripts/servicesmoke
 
 echo "== fuzz smoke (graph readers)"
 go test -fuzz '^FuzzRead$' -fuzztime 10s -run '^$' ./internal/graph/

@@ -1,0 +1,208 @@
+// Command servicesmoke is the CI smoke test for the mlserved daemon. It
+// builds the real binaries, starts mlserved on a free port, POSTs a
+// generated workload to /v1/partition, diffs the edge-cut against the
+// mlpart CLI on the same input (both paths are deterministic for a fixed
+// seed, so they must agree exactly), verifies /healthz, /varz and a
+// byte-identical cache hit, then sends SIGTERM and requires a clean
+// drain. It exits non-zero with a diagnostic on any mismatch.
+//
+// Run it from the repository root:
+//
+//	go run ./scripts/servicesmoke
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"mlpart"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "servicesmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("service smoke OK")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "mlsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	mlserved := filepath.Join(tmp, "mlserved")
+	mlpartBin := filepath.Join(tmp, "mlpart")
+	for bin, pkg := range map[string]string{mlserved: "./cmd/mlserved", mlpartBin: "./cmd/mlpart"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("build %s: %v", pkg, err)
+		}
+	}
+
+	// One workload, two routes: the daemon gets it as CSR JSON, the CLI
+	// as a METIS graph file.
+	const (
+		workload = "4ELT"
+		scale    = 0.05
+		k        = 8
+		seed     = 7
+	)
+	g, err := mlpart.GenerateWorkload(workload, scale)
+	if err != nil {
+		return err
+	}
+	graphFile := filepath.Join(tmp, "g.graph")
+	gf, err := os.Create(graphFile)
+	if err != nil {
+		return err
+	}
+	if err := mlpart.WriteGraph(gf, g); err != nil {
+		return err
+	}
+	if err := gf.Close(); err != nil {
+		return err
+	}
+	reqBody, err := json.Marshal(mlpart.PartitionRequest{
+		Graph:   *mlpart.NewWireGraph(g),
+		K:       k,
+		Options: &mlpart.Options{Seed: seed},
+	})
+	if err != nil {
+		return err
+	}
+
+	// A free port from the kernel; the tiny close-to-bind race is
+	// acceptable for a smoke test.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	daemon := exec.Command(mlserved, "-addr", addr, "-workers", "2", "-drain", "10s")
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return err
+	}
+	defer daemon.Process.Kill()
+	base := "http://" + addr
+
+	// Wait for liveness.
+	var healthErr error
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				healthErr = nil
+				break
+			}
+			healthErr = fmt.Errorf("/healthz status %d", resp.StatusCode)
+		} else {
+			healthErr = err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if healthErr != nil {
+		return fmt.Errorf("daemon never became healthy: %v", healthErr)
+	}
+
+	post := func() (*http.Response, []byte, error) {
+		resp, err := http.Post(base+"/v1/partition", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		return resp, data, err
+	}
+	resp, body, err := post()
+	if err != nil {
+		return fmt.Errorf("POST /v1/partition: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/partition: status %d: %s", resp.StatusCode, body)
+	}
+	var served mlpart.PartitionResponse
+	if err := json.Unmarshal(body, &served); err != nil {
+		return fmt.Errorf("decode daemon response: %v", err)
+	}
+
+	// The CLI on the same input must agree on the cut exactly.
+	out, err := exec.Command(mlpartBin, "-json", "-k", fmt.Sprint(k), "-seed", fmt.Sprint(seed), graphFile).Output()
+	if err != nil {
+		return fmt.Errorf("mlpart CLI: %v", err)
+	}
+	var cli mlpart.PartitionResponse
+	if err := json.Unmarshal(out, &cli); err != nil {
+		return fmt.Errorf("decode CLI response: %v\n%s", err, out)
+	}
+	if served.EdgeCut != cli.EdgeCut {
+		return fmt.Errorf("edge-cut disagreement: daemon %d vs CLI %d", served.EdgeCut, cli.EdgeCut)
+	}
+	fmt.Printf("edge-cut agreement: daemon %d == CLI %d (n=%d, k=%d)\n",
+		served.EdgeCut, cli.EdgeCut, served.Vertices, k)
+
+	// A second identical POST must hit the cache byte-for-byte.
+	resp2, body2, err := post()
+	if err != nil {
+		return err
+	}
+	if resp2.Header.Get("X-Cache") != "hit" {
+		return fmt.Errorf("second POST X-Cache = %q, want hit", resp2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body, body2) {
+		return fmt.Errorf("cache hit body differs from cold body")
+	}
+
+	// /varz must be valid JSON reflecting the traffic.
+	vresp, err := http.Get(base + "/varz")
+	if err != nil {
+		return err
+	}
+	vdata, _ := io.ReadAll(vresp.Body)
+	vresp.Body.Close()
+	var v struct {
+		Admitted int64 `json:"admitted"`
+		Cache    struct {
+			Hits int64 `json:"hits"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(vdata, &v); err != nil {
+		return fmt.Errorf("/varz decode: %v\n%s", err, vdata)
+	}
+	if v.Admitted < 2 || v.Cache.Hits < 1 {
+		return fmt.Errorf("/varz counters implausible: %s", vdata)
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit 0.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("daemon did not drain within 15s of SIGTERM")
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package mlpart
+
+// This file is the single source of truth for the JSON wire schema shared
+// by the `mlpart -json` CLI mode and the mlserved HTTP daemon
+// (internal/service, cmd/mlserved): a client that can parse one can parse
+// the other without remapping fields. Options and RepartitionOptions
+// complete the schema; see their declarations for the option tags.
+
+// Wire kind discriminators: every response object carries one in its
+// "kind" field, and the CLI -trace stream uses the trace event kinds
+// alongside them.
+const (
+	// WireKindResult tags a PartitionResponse.
+	WireKindResult = "result"
+	// WireKindOrder tags an OrderResponse.
+	WireKindOrder = "order_result"
+	// WireKindRepartition tags a RepartitionResponse.
+	WireKindRepartition = "repartition_result"
+	// WireKindError tags an ErrorResponse.
+	WireKindError = "error"
+)
+
+// Partition methods accepted by PartitionRequest.Method.
+const (
+	// MethodRecursive is multilevel recursive bisection (the default).
+	MethodRecursive = "recursive"
+	// MethodKWay is the direct multilevel k-way scheme.
+	MethodKWay = "kway"
+)
+
+// WireGraph is a graph in CSR form as it crosses the wire: the same four
+// arrays NewGraphFromCSR accepts. Adjwgt and Vwgt may be omitted for unit
+// weights.
+type WireGraph struct {
+	Xadj   []int `json:"xadj"`
+	Adjncy []int `json:"adjncy"`
+	Adjwgt []int `json:"adjwgt,omitempty"`
+	Vwgt   []int `json:"vwgt,omitempty"`
+}
+
+// NewWireGraph copies g into its wire form.
+func NewWireGraph(g *Graph) *WireGraph {
+	return &WireGraph{
+		Xadj:   append([]int(nil), g.Xadj...),
+		Adjncy: append([]int(nil), g.Adjncy...),
+		Adjwgt: append([]int(nil), g.Adjwgt...),
+		Vwgt:   append([]int(nil), g.Vwgt...),
+	}
+}
+
+// ToGraph validates the CSR arrays and returns the in-memory Graph.
+func (w *WireGraph) ToGraph() (*Graph, error) {
+	return NewGraphFromCSR(w.Xadj, w.Adjncy, w.Adjwgt, w.Vwgt)
+}
+
+// PartitionRequest asks for a k-way partition of Graph. Exactly one of K
+// (with Method "" / MethodRecursive / MethodKWay) or Fractions (weighted
+// parts, implies recursive bisection) selects the scheme.
+type PartitionRequest struct {
+	Graph WireGraph `json:"graph"`
+	// K is the number of parts (ignored when Fractions is set).
+	K int `json:"k,omitempty"`
+	// Fractions are per-part target weight fractions for heterogeneous
+	// parts; when non-empty the partition is len(Fractions)-way.
+	Fractions []float64 `json:"fractions,omitempty"`
+	// Method selects the scheme: "" or MethodRecursive for recursive
+	// bisection, MethodKWay for direct k-way. Incompatible with Fractions.
+	Method  string   `json:"method,omitempty"`
+	Options *Options `json:"options,omitempty"`
+	// TimeoutMS bounds the computation; the server clamps it to its own
+	// per-request ceiling. 0 means the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// OrderRequest asks for a fill-reducing nested-dissection ordering.
+type OrderRequest struct {
+	Graph   WireGraph `json:"graph"`
+	Options *Options  `json:"options,omitempty"`
+	// Analyze additionally runs the symbolic Cholesky analysis of the
+	// ordering (fill, opcount, tree height) and returns it in the
+	// response.
+	Analyze   bool  `json:"analyze,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RepartitionRequest asks to adapt an existing partition Where to the
+// graph's current vertex weights, minimizing migration.
+type RepartitionRequest struct {
+	Graph WireGraph `json:"graph"`
+	K     int       `json:"k"`
+	// Where is the incumbent partition vector, length n, parts in [0, K).
+	Where     []int               `json:"where"`
+	Options   *RepartitionOptions `json:"options,omitempty"`
+	TimeoutMS int64               `json:"timeout_ms,omitempty"`
+}
+
+// PartitionResponse is the result object of a partition, emitted
+// identically by `mlpart -json` and POST /v1/partition. The CLI omits
+// Where (it goes to -o) and the daemon omits Graph and ElapsedNS (timing
+// travels in the X-Compute-Ns header so that cached replies stay
+// byte-identical to cold ones).
+type PartitionResponse struct {
+	Kind        string  `json:"kind"`
+	Graph       string  `json:"graph,omitempty"`
+	Vertices    int     `json:"vertices"`
+	Edges       int     `json:"edges"`
+	K           int     `json:"k"`
+	EdgeCut     int     `json:"edge_cut"`
+	Balance     float64 `json:"balance"`
+	PartWeights []int   `json:"part_weights"`
+	Where       []int   `json:"where,omitempty"`
+	ElapsedNS   int64   `json:"elapsed_ns,omitempty"`
+}
+
+// OrderResponse is the result object of a nested-dissection ordering.
+type OrderResponse struct {
+	Kind     string `json:"kind"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	// Perm[i] is the vertex eliminated i-th; Iperm is its inverse.
+	Perm      []int          `json:"perm"`
+	Iperm     []int          `json:"iperm"`
+	Analysis  *OrderingStats `json:"analysis,omitempty"`
+	ElapsedNS int64          `json:"elapsed_ns,omitempty"`
+}
+
+// RepartitionResponse is the result object of an adaptive repartition.
+type RepartitionResponse struct {
+	Kind           string `json:"kind"`
+	Vertices       int    `json:"vertices"`
+	Edges          int    `json:"edges"`
+	K              int    `json:"k"`
+	EdgeCut        int    `json:"edge_cut"`
+	PartWeights    []int  `json:"part_weights"`
+	Where          []int  `json:"where"`
+	MigratedWeight int    `json:"migrated_weight"`
+	ElapsedNS      int64  `json:"elapsed_ns,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx daemon reply.
+type ErrorResponse struct {
+	Kind  string `json:"kind"`
+	Error string `json:"error"`
+}

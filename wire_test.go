@@ -1,0 +1,111 @@
+package mlpart_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"mlpart"
+)
+
+// TestWireGraphRoundTrip checks that a graph survives the wire form
+// exactly, including its fingerprint (the service cache key).
+func TestWireGraphRoundTrip(t *testing.T) {
+	b := mlpart.NewGraphBuilder(4)
+	b.AddWeightedEdge(0, 1, 3)
+	b.AddWeightedEdge(1, 2, 1)
+	b.AddWeightedEdge(2, 3, 2)
+	b.SetVertexWeight(0, 5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wg := mlpart.NewWireGraph(g)
+	data, err := json.Marshal(wg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back mlpart.WireGraph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := back.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fingerprint() != g2.Fingerprint() {
+		t.Errorf("fingerprint changed across the wire: %#x vs %#x", g.Fingerprint(), g2.Fingerprint())
+	}
+	if !reflect.DeepEqual(g, g2) {
+		t.Errorf("graph changed across the wire:\n%+v\n%+v", g, g2)
+	}
+}
+
+// TestWireRoundTrip pushes every request and response type of the shared
+// wire schema through encode/decode and requires exact recovery — the
+// contract that lets clients switch between `mlpart -json` and the HTTP
+// daemon without remapping fields.
+func TestWireRoundTrip(t *testing.T) {
+	graph := mlpart.WireGraph{
+		Xadj:   []int{0, 1, 2},
+		Adjncy: []int{1, 0},
+		Adjwgt: []int{2, 2},
+		Vwgt:   []int{1, 3},
+	}
+	opts := &mlpart.Options{
+		Matching: mlpart.MatchRM, InitPart: mlpart.InitGGP, Refinement: mlpart.RefineKLR,
+		CoarsenTo: 50, Ubfactor: 1.1, Seed: 42, Parallel: true, ParallelDepth: 2,
+		ParallelMinVertices: 500, KWayRefine: true, NCuts: 3, CoarsenWorkers: 2,
+		CompressGraph: true,
+	}
+	cases := []any{
+		&mlpart.PartitionRequest{Graph: graph, K: 4, Method: mlpart.MethodKWay, Options: opts, TimeoutMS: 1500},
+		&mlpart.PartitionRequest{Graph: graph, Fractions: []float64{2, 1, 1}},
+		&mlpart.OrderRequest{Graph: graph, Options: opts, Analyze: true, TimeoutMS: 10},
+		&mlpart.RepartitionRequest{Graph: graph, K: 2, Where: []int{0, 1},
+			Options: &mlpart.RepartitionOptions{Ubfactor: 1.03, MigrationWeight: 2.5, Seed: 8}},
+		&mlpart.PartitionResponse{Kind: mlpart.WireKindResult, Graph: "g", Vertices: 2, Edges: 1,
+			K: 2, EdgeCut: 2, Balance: 1.5, PartWeights: []int{1, 3}, Where: []int{0, 1}, ElapsedNS: 12345},
+		&mlpart.OrderResponse{Kind: mlpart.WireKindOrder, Vertices: 2, Edges: 1,
+			Perm: []int{1, 0}, Iperm: []int{1, 0},
+			Analysis: &mlpart.OrderingStats{FactorNonzeros: 3, OperationCount: 5, TreeHeight: 2}},
+		&mlpart.RepartitionResponse{Kind: mlpart.WireKindRepartition, Vertices: 2, Edges: 1, K: 2,
+			EdgeCut: 2, PartWeights: []int{1, 3}, Where: []int{0, 1}, MigratedWeight: 1},
+		&mlpart.ErrorResponse{Kind: mlpart.WireKindError, Error: "boom"},
+	}
+	for _, in := range cases {
+		data, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("%T: marshal: %v", in, err)
+		}
+		out := reflect.New(reflect.TypeOf(in).Elem()).Interface()
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%T: unmarshal: %v", in, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("%T does not round-trip:\n in: %+v\nout: %+v\nwire: %s", in, in, out, data)
+		}
+	}
+}
+
+// TestWireOptionsTracerExcluded pins that Tracer never crosses the wire:
+// encoding Options with a live tracer must not leak it, and decoding
+// must leave it nil.
+func TestWireOptionsTracerExcluded(t *testing.T) {
+	o := &mlpart.Options{Seed: 1, Tracer: &mlpart.TraceCollector{}}
+	data, err := json.Marshal(o)
+	if err != nil {
+		t.Fatalf("Options with Tracer must still marshal: %v", err)
+	}
+	var back mlpart.Options
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tracer != nil {
+		t.Error("Tracer crossed the wire")
+	}
+	if back.Seed != 1 {
+		t.Error("Seed lost")
+	}
+}
