@@ -39,6 +39,7 @@ func main() {
 	gen := flag.String("gen", "", "generate the named synthetic workload instead of reading a file")
 	scale := flag.Float64("scale", 0.25, "workload scale when -gen is used")
 	timeout := flag.Duration("timeout", 0, "abandon the MLND ordering after this long (exit status 3)")
+	faultPlan := flag.String("faults", os.Getenv("MLPART_FAULTS"), "deterministic fault-injection plan (see docs/RELIABILITY.md)")
 	flag.Parse()
 
 	g, name, err := loadGraph(*gen, *scale)
@@ -55,7 +56,7 @@ func main() {
 		defer cancel()
 	}
 	t0 := time.Now()
-	perm, _, err := mlpart.NestedDissectionCtx(ctx, g, &mlpart.Options{Seed: *seed, Parallel: *parallel})
+	perm, _, err := mlpart.NestedDissectionCtx(ctx, g, &mlpart.Options{Seed: *seed, Parallel: *parallel, FaultPlan: *faultPlan})
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "mlorder:", err)

@@ -62,6 +62,7 @@ func main() {
 	doTrace := flag.Bool("trace", false, "emit per-level trace events as JSON lines while partitioning")
 	asJSON := flag.Bool("json", false, "write the summary (and -trace events) as JSON on stdout")
 	timeout := flag.Duration("timeout", 0, "abandon the run after this long (exit status 3)")
+	faultPlan := flag.String("faults", os.Getenv("MLPART_FAULTS"), "deterministic fault-injection plan (see docs/RELIABILITY.md)")
 	flag.Parse()
 
 	g, name, err := loadGraph(*gen, *scale)
@@ -82,6 +83,7 @@ func main() {
 		CoarsenWorkers:      *coarsenWorkers,
 		ParallelDepth:       *parallelDepth,
 		ParallelMinVertices: *parallelMinVerts,
+		FaultPlan:           *faultPlan,
 	}
 	// Trace events go to stdout when the whole run is JSON (one uniform
 	// stream), to stderr otherwise (keeping stdout for the prose summary).

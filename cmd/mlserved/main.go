@@ -6,19 +6,26 @@
 // Usage:
 //
 //	mlserved [-addr :8080] [-workers 0] [-queue 0] [-cache 256]
-//	         [-timeout 60s] [-drain 30s] [-max-body 67108864]
+//	         [-timeout 60s] [-drain 30s] [-ready-grace 0s] [-max-body 67108864]
+//	         [-faults ""]
 //
-// Endpoints (see docs/SERVICE.md for the API reference):
+// Endpoints (see docs/SERVICE.md and docs/RELIABILITY.md):
 //
 //	POST /v1/partition    k-way / weighted / direct k-way partition
 //	POST /v1/order        nested-dissection fill-reducing ordering
 //	POST /v1/repartition  adaptive repartitioning with minimal migration
-//	GET  /healthz         liveness probe
+//	GET  /healthz         liveness probe (200 for the process lifetime)
+//	GET  /readyz          readiness probe (503 while draining)
 //	GET  /varz            counters, queue depth, cache and latency stats
 //
-// On SIGTERM or SIGINT the daemon stops accepting connections, drains
-// in-flight requests for up to -drain, then exits 0; a second signal
-// aborts immediately.
+// On SIGTERM or SIGINT the daemon flips /readyz to 503, waits -ready-grace
+// for load balancers to observe the flip, stops accepting connections,
+// drains in-flight requests for up to -drain, then exits 0; a second
+// signal aborts immediately.
+//
+// -faults installs a deterministic fault-injection plan (defaults to the
+// MLPART_FAULTS environment variable) for chaos drills; see
+// docs/RELIABILITY.md for the grammar.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"mlpart/internal/faults"
 	"mlpart/internal/service"
 )
 
@@ -43,15 +51,25 @@ func main() {
 	cacheSize := flag.Int("cache", 256, "result cache entries (-1 disables)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request compute ceiling")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight requests")
+	readyGrace := flag.Duration("ready-grace", 0, "wait after flipping /readyz to 503 before closing the listener")
 	maxBody := flag.Int64("max-body", 64<<20, "request body limit in bytes")
+	faultPlan := flag.String("faults", os.Getenv("MLPART_FAULTS"), "deterministic fault-injection plan (chaos drills; see docs/RELIABILITY.md)")
 	flag.Parse()
 
+	inj, err := faults.Parse(*faultPlan)
+	if err != nil {
+		log.Fatalf("mlserved: -faults: %v", err)
+	}
+	if inj != nil {
+		log.Printf("mlserved: fault injection active: %q", *faultPlan)
+	}
 	srv := service.New(service.Config{
-		Workers:      *workers,
-		QueueSize:    *queue,
-		CacheSize:    *cacheSize,
-		Timeout:      *timeout,
-		MaxBodyBytes: *maxBody,
+		Workers:       *workers,
+		QueueSize:     *queue,
+		CacheSize:     *cacheSize,
+		Timeout:       *timeout,
+		MaxBodyBytes:  *maxBody,
+		FaultInjector: inj,
 	})
 	cfg := srv.Config()
 
@@ -78,6 +96,13 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
+	// Flip readiness first so load balancers stop routing here, give them
+	// the grace window to notice, then close the listener and drain.
+	srv.BeginDrain()
+	if *readyGrace > 0 {
+		log.Printf("mlserved: /readyz now 503, waiting %s for traffic to move", *readyGrace)
+		time.Sleep(*readyGrace)
+	}
 	log.Printf("mlserved: draining in-flight requests (up to %s)", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"time"
 
+	"mlpart/internal/faults"
 	"mlpart/internal/graph"
 	"mlpart/internal/trace"
 	"mlpart/internal/workspace"
@@ -54,6 +55,10 @@ func (s Scheme) String() string {
 	}
 	return fmt.Sprintf("Scheme(%d)", int(s))
 }
+
+// Valid reports whether s is one of the defined schemes; Match panics on
+// anything else, so user-reachable entry points must gate on this.
+func (s Scheme) Valid() bool { return s >= RM && s <= HCM }
 
 // ParseScheme converts an abbreviation ("RM", "HEM", "LEM", "HCM",
 // case-sensitive) to a Scheme.
@@ -349,6 +354,15 @@ type Options struct {
 	// graph and one per contraction (vertices, edges, matching rate, wall
 	// time). Results are bit-identical with or without a tracer.
 	Tracer trace.Tracer
+	// Injector, when non-nil, is consulted at the coarsening fault sites:
+	// faults.SiteCoarsenLevel at each level boundary (an injected error
+	// stops coarsening early, leaving a valid but shallower hierarchy)
+	// and faults.SiteCoarsenMatch after each matching (an injected error
+	// forces the stall path). A nil Injector costs one nil check.
+	Injector *faults.Injector
+	// Degradations, when non-nil, receives a record for every graceful
+	// fallback taken — currently a stalled HCM matching retried as HEM.
+	Degradations *[]trace.Degradation
 }
 
 // emitLevel reports a new hierarchy level to tr. fine is the level the
@@ -371,8 +385,23 @@ func emitLevel(tr trace.Tracer, level int, fine, cur *graph.Graph, elapsed time.
 // Coarsen builds the full hierarchy for g. Coarsening stops when the graph
 // has at most opts.CoarsenTo vertices, when a level shrinks the graph by
 // less than 10% (matchings have become ineffective, e.g. star graphs), or
-// when the graph has no edges left.
+// when the graph has no edges left. A stalled HCM matching is retried once
+// per level with HEM (recorded in opts.Degradations); only if HEM stalls
+// too does coarsening stop early.
 func Coarsen(g *graph.Graph, opts Options, rng *rand.Rand) *Hierarchy {
+	return buildHierarchy(g, opts, func(cur *graph.Graph, scheme Scheme, cew []int) []int {
+		return MatchWS(cur, scheme, cew, rng, opts.Workspace)
+	})
+}
+
+// matchFunc computes one level's matching under a scheme; Coarsen and
+// ParallelCoarsen differ only in which matcher they plug in.
+type matchFunc func(cur *graph.Graph, scheme Scheme, cew []int) []int
+
+// buildHierarchy is the shared coarsening loop behind Coarsen and
+// ParallelCoarsen: match, contract, check for stalls (with the HCM->HEM
+// fallback), consult the fault injector at each level boundary.
+func buildHierarchy(g *graph.Graph, opts Options, matchLevel matchFunc) *Hierarchy {
 	if opts.CoarsenTo <= 0 {
 		opts.CoarsenTo = 100
 	}
@@ -382,6 +411,7 @@ func Coarsen(g *graph.Graph, opts Options, rng *rand.Rand) *Hierarchy {
 	if opts.Tracer != nil {
 		emitLevel(opts.Tracer, 0, nil, g, 0)
 	}
+	scheme := opts.Scheme
 	var cew []int // zero at the finest level
 	for {
 		h.Levels = append(h.Levels, Level{Graph: cur})
@@ -391,14 +421,51 @@ func Coarsen(g *graph.Graph, opts Options, rng *rand.Rand) *Hierarchy {
 		if opts.MaxLevels > 0 && len(h.Levels) > opts.MaxLevels {
 			break
 		}
+		if opts.Injector.Fire(faults.SiteCoarsenLevel) != nil {
+			// An injected error at the level boundary stops coarsening
+			// early: the hierarchy so far is valid, just shallower.
+			break
+		}
 		var t0 time.Time
 		if opts.Tracer != nil {
 			t0 = time.Now()
 		}
-		match := MatchWS(cur, opts.Scheme, cew, rng, ws)
+		stallErr := opts.Injector.Fire(faults.SiteCoarsenMatch)
+		match := matchLevel(cur, scheme, cew)
 		next, cmap, ccew := ContractWS(cur, match, cew, ws)
 		ws.PutInt(match)
-		if next.NumVertices() > cur.NumVertices()*9/10 {
+		stalled := stallErr != nil || next.NumVertices() > cur.NumVertices()*9/10
+		if stalled && scheme == HCM {
+			// HCM's density criterion can stop matching on graphs HEM
+			// still coarsens (dense multinodes make every merge look
+			// bad). Fall back to HEM for this and all deeper levels
+			// rather than abandoning the hierarchy at a coarse size the
+			// initial partitioner handles poorly.
+			if ws != nil {
+				releaseGraph(ws, next)
+				ws.PutInt(cmap)
+			}
+			ws.PutInt(ccew)
+			reason := "matching stalled"
+			if stallErr != nil {
+				reason = stallErr.Error()
+			}
+			if opts.Degradations != nil {
+				*opts.Degradations = append(*opts.Degradations, trace.Degradation{
+					Phase:  "coarsen",
+					From:   HCM.String(),
+					To:     HEM.String(),
+					Level:  len(h.Levels) - 1,
+					Reason: reason,
+				})
+			}
+			scheme = HEM
+			match = matchLevel(cur, scheme, cew)
+			next, cmap, ccew = ContractWS(cur, match, cew, ws)
+			ws.PutInt(match)
+			stalled = next.NumVertices() > cur.NumVertices()*9/10
+		}
+		if stalled {
 			// Matching stalled; further levels would waste time.
 			if ws != nil {
 				releaseGraph(ws, next)

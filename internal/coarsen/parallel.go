@@ -4,8 +4,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
-	"time"
 
+	"mlpart/internal/faults"
 	"mlpart/internal/graph"
 	"mlpart/internal/workspace"
 )
@@ -98,6 +98,14 @@ func ParallelMatchWS(g *graph.Graph, scheme Scheme, cew []int, rnd *rand.Rand, w
 		return pick
 	}
 
+	// A panic in a worker goroutine would kill the process (no recover
+	// runs on foreign goroutines), so each worker captures its panic and
+	// parallelFor re-raises the first one on the calling goroutine, where
+	// the engine's recovery boundary can turn it into an error.
+	var (
+		panicMu  sync.Mutex
+		panicked *faults.PanicError
+	)
 	parallelFor := func(f func(lo, hi int)) {
 		var wg sync.WaitGroup
 		chunk := (n + workers - 1) / workers
@@ -113,10 +121,23 @@ func ParallelMatchWS(g *graph.Graph, scheme Scheme, cew []int, rnd *rand.Rand, w
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						pe := faults.AsPanic("coarsen/parallel-match", r)
+						panicMu.Lock()
+						if panicked == nil {
+							panicked = pe
+						}
+						panicMu.Unlock()
+					}
+				}()
 				f(lo, hi)
 			}(lo, hi)
 		}
 		wg.Wait()
+		if panicked != nil {
+			panic(panicked)
+		}
 	}
 
 	// Handshake rounds. Each round reads only the previous round's match
@@ -168,48 +189,9 @@ func ParallelMatchWS(g *graph.Graph, scheme Scheme, cew []int, rnd *rand.Rand, w
 // ParallelCoarsen builds the hierarchy like Coarsen but computes each
 // level's matching with ParallelMatch. The result is identical for any
 // worker count (but differs from Coarsen's sequential matching order).
+// Stall handling (including the HCM->HEM fallback) matches Coarsen's.
 func ParallelCoarsen(g *graph.Graph, opts Options, rnd *rand.Rand, workers int) *Hierarchy {
-	if opts.CoarsenTo <= 0 {
-		opts.CoarsenTo = 100
-	}
-	ws := opts.Workspace
-	h := &Hierarchy{pooled: ws != nil}
-	cur := g
-	if opts.Tracer != nil {
-		emitLevel(opts.Tracer, 0, nil, g, 0)
-	}
-	var cew []int
-	for {
-		h.Levels = append(h.Levels, Level{Graph: cur})
-		if cur.NumVertices() <= opts.CoarsenTo || cur.NumEdges() == 0 {
-			break
-		}
-		if opts.MaxLevels > 0 && len(h.Levels) > opts.MaxLevels {
-			break
-		}
-		var t0 time.Time
-		if opts.Tracer != nil {
-			t0 = time.Now()
-		}
-		match := ParallelMatchWS(cur, opts.Scheme, cew, rnd, workers, ws)
-		next, cmap, ccew := ContractWS(cur, match, cew, ws)
-		ws.PutInt(match)
-		if next.NumVertices() > cur.NumVertices()*9/10 {
-			if ws != nil {
-				releaseGraph(ws, next)
-				ws.PutInt(cmap)
-			}
-			ws.PutInt(ccew)
-			break
-		}
-		if opts.Tracer != nil {
-			emitLevel(opts.Tracer, len(h.Levels), cur, next, time.Since(t0))
-		}
-		h.Levels[len(h.Levels)-1].Cmap = cmap
-		ws.PutInt(cew)
-		cur = next
-		cew = ccew
-	}
-	ws.PutInt(cew)
-	return h
+	return buildHierarchy(g, opts, func(cur *graph.Graph, scheme Scheme, cew []int) []int {
+		return ParallelMatchWS(cur, scheme, cew, rnd, workers, opts.Workspace)
+	})
 }

@@ -1,0 +1,237 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseNilForEmptyPlans(t *testing.T) {
+	for _, plan := range []string{"", "   ", ";;", " ; ; "} {
+		in, err := Parse(plan)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", plan, err)
+		}
+		if in != nil {
+			t.Fatalf("Parse(%q) = %v, want nil", plan, in)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, plan := range []string{
+		"nonsense",
+		"=panic",
+		"site=explode",
+		"site=panic@0",
+		"site=panic@-1",
+		"site=panic@p2",
+		"site=panic@p0",
+		"site=delay:xyz",
+		"site=delay:-1s",
+		"seed=abc",
+	} {
+		if _, err := Parse(plan); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", plan)
+		}
+	}
+}
+
+func TestNilInjectorFireIsNoop(t *testing.T) {
+	var in *Injector
+	if err := in.Fire("anything"); err != nil {
+		t.Fatalf("nil.Fire = %v", err)
+	}
+	if in.HitCount("anything") != 0 {
+		t.Fatal("nil.HitCount != 0")
+	}
+}
+
+func TestErrorRuleFiresExactlyOnNthHit(t *testing.T) {
+	in := MustParse("s=error@3")
+	for n := 1; n <= 5; n++ {
+		err := in.Fire("s")
+		if n == 3 {
+			var ie *InjectedError
+			if !errors.As(err, &ie) {
+				t.Fatalf("hit %d: err = %v, want *InjectedError", n, err)
+			}
+			if ie.Site != "s" || ie.Hit != 3 {
+				t.Fatalf("injected error = %+v", ie)
+			}
+		} else if err != nil {
+			t.Fatalf("hit %d: err = %v, want nil", n, err)
+		}
+	}
+	if got := in.HitCount("s"); got != 5 {
+		t.Fatalf("HitCount = %d, want 5", got)
+	}
+}
+
+func TestFromTriggerFiresOnward(t *testing.T) {
+	in := MustParse("s=error@2+")
+	fired := 0
+	for n := 1; n <= 4; n++ {
+		if in.Fire("s") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3 (hits 2,3,4)", fired)
+	}
+}
+
+func TestStarTriggerFiresAlways(t *testing.T) {
+	in := MustParse("s=error@*")
+	for n := 1; n <= 3; n++ {
+		if in.Fire("s") == nil {
+			t.Fatalf("hit %d did not fire", n)
+		}
+	}
+}
+
+func TestPanicRuleRecoveredByBoundary(t *testing.T) {
+	in := MustParse("s=panic")
+	err := Boundary("outer", func() error {
+		_ = in.Fire("s")
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Site != "outer" {
+		t.Fatalf("site = %q, want outer", pe.Site)
+	}
+	if !strings.Contains(fmt.Sprint(pe.Value), "injected panic at s") {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+}
+
+func TestBoundaryPassesErrorsAndResultsThrough(t *testing.T) {
+	if err := Boundary("b", func() error { return nil }); err != nil {
+		t.Fatalf("clean fn: %v", err)
+	}
+	want := errors.New("boom")
+	if err := Boundary("b", func() error { return want }); err != want {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+func TestNestedBoundariesKeepInnermostSite(t *testing.T) {
+	err := Boundary("outer", func() error {
+		return Boundary("inner", func() error {
+			panic("ouch")
+		})
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Site != "inner" {
+		t.Fatalf("site = %q, want inner", pe.Site)
+	}
+	// Re-panicking a *PanicError through another boundary must not
+	// re-wrap it.
+	err2 := Boundary("outer2", func() error { panic(pe) })
+	var pe2 *PanicError
+	if !errors.As(err2, &pe2) || pe2 != pe {
+		t.Fatalf("re-wrapped: %v", err2)
+	}
+}
+
+func TestDelayRuleSleeps(t *testing.T) {
+	in := MustParse("s=delay:30ms")
+	t0 := time.Now()
+	if err := in.Fire("s"); err != nil {
+		t.Fatalf("Fire = %v", err)
+	}
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Fatalf("delay rule slept %v, want >= 30ms", d)
+	}
+}
+
+func TestProbabilisticTriggerIsSeededAndDeterministic(t *testing.T) {
+	run := func() []bool {
+		in := MustParse("seed=99; s=error@p0.5")
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fire("s") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs between identical plans", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestConcurrentFireIsRaceFree(t *testing.T) {
+	in := MustParse("s=error@100")
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if in.Fire("s") != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 1 {
+		t.Fatalf("exact-hit rule fired %d times across 400 concurrent hits, want 1", fired)
+	}
+	if got := in.HitCount("s"); got != 400 {
+		t.Fatalf("HitCount = %d, want 400", got)
+	}
+}
+
+func TestMultipleSitesAndRules(t *testing.T) {
+	in := MustParse("a=error@1; a=error@3; b=error@2")
+	wantErr := []bool{true, false, true}
+	for i, want := range wantErr {
+		if got := in.Fire("a") != nil; got != want {
+			t.Fatalf("site a hit %d: fired=%t, want %t", i+1, got, want)
+		}
+	}
+	if in.Fire("b") != nil {
+		t.Fatal("site b fired on hit 1")
+	}
+	if in.Fire("b") == nil {
+		t.Fatal("site b did not fire on hit 2")
+	}
+}
+
+func TestSitesSortedAndNonEmpty(t *testing.T) {
+	s := Sites()
+	if len(s) == 0 {
+		t.Fatal("no sites")
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			t.Fatalf("sites not sorted: %q >= %q", s[i-1], s[i])
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"time"
 
+	"mlpart/internal/faults"
 	"mlpart/internal/graph"
 	"mlpart/internal/refine"
 	"mlpart/internal/spectral"
@@ -52,6 +53,10 @@ func (m Method) String() string {
 	return fmt.Sprintf("Method(%d)", int(m))
 }
 
+// Valid reports whether m is one of the defined methods; Partition panics
+// on anything else, so user-reachable entry points must gate on this.
+func (m Method) Valid() bool { return m >= GGGP && m <= RandomPart }
+
 // ParseMethod converts an abbreviation to a Method.
 func ParseMethod(s string) (Method, error) {
 	switch s {
@@ -85,6 +90,14 @@ type Options struct {
 	// Tracer, when non-nil, receives one KindInitial event with the
 	// winning trial's cut. Results are bit-identical with or without.
 	Tracer trace.Tracer
+	// Injector, when non-nil, is consulted at faults.SiteInitSBP inside
+	// every SBP trial; an injected error forces the Lanczos
+	// non-convergence path, i.e. the GGGP fallback. A nil Injector costs
+	// one nil check.
+	Injector *faults.Injector
+	// Degradations, when non-nil, receives a record for every SBP trial
+	// that fell back to GGGP.
+	Degradations *[]trace.Degradation
 }
 
 func (o Options) withDefaults(g *graph.Graph) Options {
@@ -126,8 +139,30 @@ func Partition(g *graph.Graph, opts Options, rng *rand.Rand) *refine.Bisection {
 		case GGGP:
 			b = growGreedy(g, opts.TargetPwgt0, rng, ws)
 		case SBP:
-			vec := spectral.Fiedler(g, n-1, nil, rng)
-			b = refine.NewBisectionWS(g, spectral.SplitAtMedian(g, vec, opts.TargetPwgt0), ws)
+			vec, converged := spectral.FiedlerChecked(g, n-1, nil, rng)
+			reason := "Lanczos did not converge"
+			if ierr := opts.Injector.Fire(faults.SiteInitSBP); ierr != nil {
+				converged = false
+				reason = ierr.Error()
+			}
+			if !converged {
+				// Spectral bisection has nothing usable; GGGP is the
+				// paper's recommended partitioner anyway (§3.2: same
+				// quality as SBP at far lower cost), so it is the natural
+				// degraded-mode substitute.
+				if opts.Degradations != nil {
+					*opts.Degradations = append(*opts.Degradations, trace.Degradation{
+						Phase:  "initpart",
+						From:   SBP.String(),
+						To:     GGGP.String(),
+						Level:  opts.Level,
+						Reason: reason,
+					})
+				}
+				b = growGreedy(g, opts.TargetPwgt0, rng, ws)
+			} else {
+				b = refine.NewBisectionWS(g, spectral.SplitAtMedian(g, vec, opts.TargetPwgt0), ws)
+			}
 		case RandomPart:
 			b = randomSplit(g, opts.TargetPwgt0, rng, ws)
 		default:

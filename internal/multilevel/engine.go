@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mlpart/internal/coarsen"
+	"mlpart/internal/faults"
 	"mlpart/internal/graph"
 	"mlpart/internal/initpart"
 	"mlpart/internal/kway"
@@ -81,9 +82,10 @@ type engine struct {
 	opts   Options // defaults already applied
 	ctx    context.Context
 	tracer trace.Tracer
+	inj    *faults.Injector // never consulted when nil beyond a nil check
 
 	mu  sync.Mutex // guards Result fields and err during parallel recursion
-	err error      // first cancellation error observed
+	err error      // first cancellation or failure error observed
 }
 
 func newEngine(opts Options) *engine {
@@ -92,7 +94,7 @@ func newEngine(opts Options) *engine {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &engine{opts: opts, ctx: ctx, tracer: opts.Tracer}
+	return &engine{opts: opts, ctx: ctx, tracer: opts.Tracer, inj: opts.Injector}
 }
 
 // fail records the first error; later calls keep the original.
@@ -102,6 +104,14 @@ func (e *engine) fail(err error) {
 		e.err = err
 	}
 	e.mu.Unlock()
+}
+
+// failed reports whether any branch of the run has already failed; the
+// recursion stops descending once it has.
+func (e *engine) failed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err != nil
 }
 
 // cancelled reports (and records) whether the engine's context is done.
@@ -119,9 +129,17 @@ func (e *engine) cancelled() bool {
 // sp, optionally finishing with a direct k-way refinement pass (uniform
 // targets only; weighted targets would violate kway.Refine's equal-target
 // balance model).
-func (e *engine) run(g *graph.Graph, sp splitSpec, kwayRefine bool) (*Result, error) {
+func (e *engine) run(g *graph.Graph, sp splitSpec, kwayRefine bool) (res *Result, err error) {
+	// A panic escaping the sequential recursion (the parallel branches
+	// recover on their own goroutines) surfaces as an error, never as a
+	// crashed caller: the engine is the outermost in-process boundary.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("multilevel: %w", faults.AsPanic("engine/run", r))
+		}
+	}()
 	k := sp.parts()
-	res := &Result{
+	res = &Result{
 		Where:       make([]int, g.NumVertices()),
 		PartWeights: make([]int, k),
 	}
@@ -137,13 +155,13 @@ func (e *engine) run(g *graph.Graph, sp splitSpec, kwayRefine bool) (*Result, er
 		ws := workspace.Get()
 		t0 := time.Now()
 		p := kway.NewPartition(g, k, res.Where)
-		kway.Refine(p, kway.Options{
+		e.guardedKWayRefine(p, kway.Options{
 			Ubfactor:  e.opts.Ubfactor,
 			Seed:      e.opts.Seed,
 			Workspace: ws,
 			Tracer:    trace.WithSeed(e.tracer, e.opts.Seed),
 			Counters:  &res.Stats.Counters,
-		})
+		}, &res.Stats, trace.WithSeed(e.tracer, e.opts.Seed))
 		res.Stats.RefineTime += time.Since(t0)
 		workspace.Put(ws)
 	}
@@ -157,7 +175,7 @@ func (e *engine) run(g *graph.Graph, sp splitSpec, kwayRefine bool) (*Result, er
 // recurse bisects g into sp.parts() leaf parts. ids maps local vertices to
 // original ids; depth tracks the recursion level for parallel fan-out.
 func (e *engine) recurse(g *graph.Graph, ids []int, sp splitSpec, base int, seed int64, depth int, res *Result) {
-	if e.cancelled() {
+	if e.cancelled() || e.failed() {
 		return
 	}
 	if sp.parts() <= 1 || g.NumVertices() == 0 {
@@ -201,18 +219,33 @@ func (e *engine) recurse(g *graph.Graph, ids []int, sp splitSpec, base int, seed
 	// Fan out the top few levels of the recursion tree; deeper subproblems
 	// are small enough that goroutine overhead dominates.
 	if e.opts.Parallel && depth < e.opts.ParallelDepth && g.NumVertices() > e.opts.ParallelMinVertices {
+		// Both branches run guarded: a panic on either one is captured
+		// into e.err rather than unwinding past wg.Wait, which would
+		// leak the sibling goroutine (and, on the spawned side, kill the
+		// process — recover never runs on a foreign goroutine's stack).
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e.recurse(left, idsL, spL, base, seedL, depth+1, res)
+			e.recurseGuarded(left, idsL, spL, base, seedL, depth+1, res)
 		}()
-		e.recurse(right, idsR, spR, base+kl, seedR, depth+1, res)
+		e.recurseGuarded(right, idsR, spR, base+kl, seedR, depth+1, res)
 		wg.Wait()
 	} else {
 		e.recurse(left, idsL, spL, base, seedL, depth+1, res)
 		e.recurse(right, idsR, spR, base+kl, seedR, depth+1, res)
 	}
+}
+
+// recurseGuarded is recurse with a panic boundary: any panic in the
+// branch is recorded as the engine's failure and the branch abandoned.
+func (e *engine) recurseGuarded(g *graph.Graph, ids []int, sp splitSpec, base int, seed int64, depth int, res *Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.fail(faults.AsPanic(faults.SiteEngineBisect, r))
+		}
+	}()
+	e.recurse(g, ids, sp, base, seed, depth, res)
 }
 
 // bisect dispatches between the single V-cycle and the NCuts best-of-N
@@ -245,6 +278,13 @@ func (e *engine) bisectNCuts(g *graph.Graph, target0 int, rng *rand.Rand) (*refi
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				// Capture trial panics here, on the panicking goroutine:
+				// a worker panic must fail this bisection, not the process.
+				defer func() {
+					if r := recover(); r != nil {
+						e.fail(faults.AsPanic(faults.SiteEngineBisect, r))
+					}
+				}()
 				trial(i)
 			}(i)
 		}
@@ -257,12 +297,20 @@ func (e *engine) bisectNCuts(g *graph.Graph, target0 int, rng *rand.Rand) (*refi
 	var best *refine.Bisection
 	total := &Stats{}
 	for i := 0; i < n; i++ {
-		total.add(ss[i])
+		if ss[i] != nil {
+			total.add(ss[i])
+		}
 		if bs[i] != nil && (best == nil || bs[i].Cut < best.Cut) {
 			best = bs[i]
 		}
 	}
 	total.Bisections = 1
+	if e.failed() {
+		// A trial panicked (or hit an injected fault). Sibling trials may
+		// have finished, but a poisoned bisection must fail as a whole:
+		// the panic marks an invariant violation, not a quality trade.
+		return nil, total
+	}
 	return best, total
 }
 
@@ -282,8 +330,15 @@ func (e *engine) bisectOnce(g *graph.Graph, target0 int, rng *rand.Rand, seed in
 	// All scratch for this bisection — hierarchy arrays, trial bisections,
 	// gain buckets — comes from one pooled workspace. Nothing backed by it
 	// may escape: the returned Bisection is detached into fresh memory below.
+	// On a panic anywhere below, the deferred Put runs during unwinding;
+	// buffers still checked out of ws at that moment are simply not
+	// re-pooled, which is safe (the pool reallocates on demand).
 	ws := workspace.Get()
 	defer workspace.Put(ws)
+	if ierr := e.inj.Fire(faults.SiteEngineBisect); ierr != nil {
+		e.fail(ierr)
+		return nil, stats
+	}
 	ropts := refine.Options{
 		StopWindow: opts.StopWindow,
 		Ubfactor:   opts.Ubfactor,
@@ -295,7 +350,14 @@ func (e *engine) bisectOnce(g *graph.Graph, target0 int, rng *rand.Rand, seed in
 	}
 
 	t0 := time.Now()
-	copts := coarsen.Options{Scheme: opts.Matching, CoarsenTo: opts.CoarsenTo, Workspace: ws, Tracer: tr}
+	copts := coarsen.Options{
+		Scheme:       opts.Matching,
+		CoarsenTo:    opts.CoarsenTo,
+		Workspace:    ws,
+		Tracer:       tr,
+		Injector:     e.inj,
+		Degradations: &stats.Degradations,
+	}
 	var h *coarsen.Hierarchy
 	if opts.CoarsenWorkers > 1 {
 		h = coarsen.ParallelCoarsen(g, copts, rng, opts.CoarsenWorkers)
@@ -305,28 +367,38 @@ func (e *engine) bisectOnce(g *graph.Graph, target0 int, rng *rand.Rand, seed in
 	stats.CoarsenTime = time.Since(t0)
 	stats.Levels = len(h.Levels)
 	stats.CoarsestN = h.Coarsest().NumVertices()
+	emitDegraded(tr, stats.Degradations, 0)
 	if e.cancelled() {
 		h.Release(ws)
 		return nil, stats
 	}
 
+	if ierr := e.inj.Fire(faults.SiteInitPart); ierr != nil {
+		h.Release(ws)
+		e.fail(ierr)
+		return nil, stats
+	}
+	degBase := len(stats.Degradations)
 	t0 = time.Now()
 	b := initpart.Partition(h.Coarsest(), initpart.Options{
-		Method:      opts.InitMethod,
-		Trials:      opts.InitTrials,
-		TargetPwgt0: target0,
-		Workspace:   ws,
-		Level:       len(h.Levels) - 1,
-		Tracer:      tr,
+		Method:       opts.InitMethod,
+		Trials:       opts.InitTrials,
+		TargetPwgt0:  target0,
+		Workspace:    ws,
+		Level:        len(h.Levels) - 1,
+		Tracer:       tr,
+		Injector:     e.inj,
+		Degradations: &stats.Degradations,
 	}, rng)
 	stats.InitTime = time.Since(t0)
 	stats.InitialCut = b.Cut
+	emitDegraded(tr, stats.Degradations, degBase)
 
 	// Refine the coarsest partition, then project and refine level by level.
 	t0 = time.Now()
 	ropts.Level = len(h.Levels) - 1
 	refine.ForceBalance(b, ropts)
-	refine.Refine(b, opts.Refinement, ropts)
+	e.guardedRefine(b, opts.Refinement, ropts, stats, tr)
 	stats.RefineTime += time.Since(t0)
 	ok := e.uncoarsen(h, stats, tr, func(li int) int {
 		nb := refine.ProjectWS(h.Levels[li].Graph, h.Levels[li].Cmap, b, ws)
@@ -335,7 +407,7 @@ func (e *engine) bisectOnce(g *graph.Graph, target0 int, rng *rand.Rand, seed in
 		return b.Cut
 	}, func(li int) {
 		ropts.Level = li
-		refine.Refine(b, opts.Refinement, ropts)
+		e.guardedRefine(b, opts.Refinement, ropts, stats, tr)
 	})
 	if !ok {
 		b.Release(ws)
@@ -393,4 +465,97 @@ func emitPhases(tr trace.Tracer, stats *Stats) {
 	} {
 		tr.Event(trace.Event{Kind: trace.KindPhase, Phase: p.name, ElapsedNS: p.d.Nanoseconds()})
 	}
+}
+
+// noteDegradation records a fallback in the run's stats and, when tracing,
+// emits the matching KindDegraded event.
+func (e *engine) noteDegradation(stats *Stats, tr trace.Tracer, d trace.Degradation) {
+	stats.Degradations = append(stats.Degradations, d)
+	if tr != nil {
+		tr.Event(trace.Event{
+			Kind:       trace.KindDegraded,
+			Level:      d.Level,
+			Phase:      d.Phase,
+			Algorithm:  d.From,
+			FallbackTo: d.To,
+			Reason:     d.Reason,
+		})
+	}
+}
+
+// emitDegraded emits KindDegraded events for ds[from:] — degradations the
+// coarsening and initial-partitioning phases recorded without a tracer in
+// scope.
+func emitDegraded(tr trace.Tracer, ds []trace.Degradation, from int) {
+	if tr == nil {
+		return
+	}
+	for _, d := range ds[from:] {
+		tr.Event(trace.Event{
+			Kind:       trace.KindDegraded,
+			Level:      d.Level,
+			Phase:      d.Phase,
+			Algorithm:  d.From,
+			FallbackTo: d.To,
+			Reason:     d.Reason,
+		})
+	}
+}
+
+// guardedRefine runs one level's refinement behind a fault boundary: an
+// injected error skips the pass, and a panic (injected or organic) abandons
+// it. Either way the level keeps its projected partition — refinement is an
+// improvement step, never a correctness requirement — with the balance
+// invariant restored if the abandoned pass had moved vertices.
+func (e *engine) guardedRefine(b *refine.Bisection, policy refine.Policy, ropts refine.Options, stats *Stats, tr trace.Tracer) {
+	if ierr := e.inj.Fire(faults.SiteRefineLevel); ierr != nil {
+		e.noteDegradation(stats, tr, trace.Degradation{
+			Phase: "refine", From: policy.String(), To: "projected",
+			Level: ropts.Level, Reason: ierr.Error(),
+		})
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			pe := faults.AsPanic(faults.SiteRefineLevel, r)
+			e.noteDegradation(stats, tr, trace.Degradation{
+				Phase: "refine", From: policy.String(), To: "projected",
+				Level: ropts.Level, Reason: pe.Error(),
+			})
+			rebalance(b, ropts)
+		}
+	}()
+	refine.Refine(b, policy, ropts)
+}
+
+// rebalance restores the part-weight tolerance after an abandoned
+// refinement pass (a mid-pass panic can leave moves half-applied). It runs
+// behind its own recover so a bisection corrupted badly enough to break
+// ForceBalance degrades to "imbalanced but structurally valid" instead of
+// cascading the panic.
+func rebalance(b *refine.Bisection, ropts refine.Options) {
+	defer func() { _ = recover() }()
+	refine.ForceBalance(b, ropts)
+}
+
+// guardedKWayRefine is guardedRefine's direct k-way counterpart: a faulted
+// or panicking k-way pass leaves the level's projected partition in place.
+func (e *engine) guardedKWayRefine(p *kway.Partition, kopts kway.Options, stats *Stats, tr trace.Tracer) {
+	if ierr := e.inj.Fire(faults.SiteKWayLevel); ierr != nil {
+		e.noteDegradation(stats, tr, trace.Degradation{
+			Phase: "kway", From: "KWAY", To: "projected",
+			Level: kopts.Level, Reason: ierr.Error(),
+		})
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			pe := faults.AsPanic(faults.SiteKWayLevel, r)
+			e.noteDegradation(stats, tr, trace.Degradation{
+				Phase: "kway", From: "KWAY", To: "projected",
+				Level: kopts.Level, Reason: pe.Error(),
+			})
+		}
+	}()
+	kway.Refine(p, kopts)
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mlpart/internal/coarsen"
+	"mlpart/internal/faults"
 	"mlpart/internal/graph"
 	"mlpart/internal/kway"
 	"mlpart/internal/refine"
@@ -33,9 +34,16 @@ func PartitionKWay(g *graph.Graph, k int, opts Options) (*Result, error) {
 // runKWay is the direct k-way parameterization of the V-cycle: one
 // hierarchy, a recursive-bisection initial partition on the coarsest
 // graph, and kway.Refine at every level of the shared uncoarsening walk.
-func (e *engine) runKWay(g *graph.Graph, k int) (*Result, error) {
+func (e *engine) runKWay(g *graph.Graph, k int) (res *Result, err error) {
+	// Same outermost panic boundary as run: a poisoned k-way cycle returns
+	// an error instead of crashing the caller.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("multilevel: %w", faults.AsPanic("engine/run", r))
+		}
+	}()
 	opts := e.opts
-	res := &Result{
+	res = &Result{
 		Where:       make([]int, g.NumVertices()),
 		PartWeights: make([]int, k),
 	}
@@ -55,10 +63,18 @@ func (e *engine) runKWay(g *graph.Graph, k int) (*Result, error) {
 		coarsenTo = min
 	}
 	t0 := time.Now()
-	h := coarsen.Coarsen(g, coarsen.Options{Scheme: opts.Matching, CoarsenTo: coarsenTo, Workspace: ws, Tracer: tr}, rng)
+	h := coarsen.Coarsen(g, coarsen.Options{
+		Scheme:       opts.Matching,
+		CoarsenTo:    coarsenTo,
+		Workspace:    ws,
+		Tracer:       tr,
+		Injector:     e.inj,
+		Degradations: &res.Stats.Degradations,
+	}, rng)
 	res.Stats.CoarsenTime = time.Since(t0)
 	res.Stats.Levels = len(h.Levels)
 	res.Stats.CoarsestN = h.Coarsest().NumVertices()
+	emitDegraded(tr, res.Stats.Degradations, 0)
 	if e.cancelled() {
 		h.Release(ws)
 		return nil, fmt.Errorf("multilevel: %w", e.err)
@@ -99,7 +115,7 @@ func (e *engine) runKWay(g *graph.Graph, k int) (*Result, error) {
 	t0 = time.Now()
 	p := kway.NewPartition(coarse, k, where)
 	kopts.Level = len(h.Levels) - 1
-	kway.Refine(p, kopts)
+	e.guardedKWayRefine(p, kopts, &res.Stats, tr)
 	res.Stats.RefineTime += time.Since(t0)
 	ok := e.uncoarsen(h, &res.Stats, tr, func(li int) int {
 		fine := h.Levels[li].Graph
@@ -114,7 +130,7 @@ func (e *engine) runKWay(g *graph.Graph, k int) (*Result, error) {
 		return p.Cut
 	}, func(li int) {
 		kopts.Level = li
-		kway.Refine(p, kopts)
+		e.guardedKWayRefine(p, kopts, &res.Stats, tr)
 	})
 	if !ok {
 		ws.PutInt(where)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mlpart/internal/coarsen"
+	"mlpart/internal/faults"
 	"mlpart/internal/graph"
 	"mlpart/internal/initpart"
 	"mlpart/internal/refine"
@@ -95,6 +96,12 @@ type Options struct {
 	// be safe for concurrent use when Parallel is set. Partition results
 	// are bit-identical with or without a tracer.
 	Tracer trace.Tracer
+	// Injector, when non-nil, is the deterministic fault injector consulted
+	// at the engine's named sites (see internal/faults). Nil falls back to
+	// faults.Default() — the MLPART_FAULTS plan, normally nil — and a nil
+	// injector costs one nil check per site, keeping fault-free runs
+	// bit-identical and allocation-identical.
+	Injector *faults.Injector
 }
 
 // WithMatching returns o with the matching scheme set explicitly, allowing
@@ -133,6 +140,9 @@ func (o Options) withDefaults() Options {
 	if o.ParallelMinVertices <= 0 {
 		o.ParallelMinVertices = 2000
 	}
+	if o.Injector == nil {
+		o.Injector = faults.Default()
+	}
 	return o
 }
 
@@ -149,6 +159,15 @@ func validate(g *graph.Graph, k int, o Options) error {
 	}
 	if o.NCuts < 0 {
 		return fmt.Errorf("multilevel: NCuts = %d, want >= 0", o.NCuts)
+	}
+	if !o.Matching.Valid() {
+		return fmt.Errorf("multilevel: invalid matching scheme %d", int(o.Matching))
+	}
+	if !o.InitMethod.Valid() {
+		return fmt.Errorf("multilevel: invalid initial-partitioning method %d", int(o.InitMethod))
+	}
+	if !o.Refinement.Valid() {
+		return fmt.Errorf("multilevel: invalid refinement policy %d", int(o.Refinement))
 	}
 	if o.InitTrials < 0 {
 		return fmt.Errorf("multilevel: InitTrials = %d, want >= 0", o.InitTrials)
@@ -186,6 +205,12 @@ type Stats struct {
 	// Counters aggregates the refinement and projection event totals
 	// (RefinePasses, RefineMoves, PositiveGainMoves, Projections).
 	trace.Counters
+
+	// Degradations records every graceful-degradation fallback taken during
+	// the run — HCM matching stalls falling back to HEM, SBP Lanczos
+	// non-convergence falling back to GGGP, abandoned refinement passes
+	// leaving a level's projected partition — in the order they occurred.
+	Degradations []trace.Degradation
 }
 
 // UncoarsenTime is the paper's UTime: ITime + RTime + PTime.
@@ -205,6 +230,7 @@ func (s *Stats) add(o *Stats) {
 		s.CoarsestN = o.CoarsestN
 	}
 	s.Counters.Add(&o.Counters)
+	s.Degradations = append(s.Degradations, o.Degradations...)
 }
 
 // Bisect runs the full multilevel bisection of g. target0 is the desired
@@ -215,7 +241,16 @@ func (s *Stats) add(o *Stats) {
 // mid-run, the returned bisection is nil.
 func Bisect(g *graph.Graph, target0 int, opts Options, rng *rand.Rand) (*refine.Bisection, *Stats) {
 	e := newEngine(opts)
-	return e.bisect(g, target0, rng, opts.Seed)
+	b, stats := e.bisect(g, target0, rng, opts.Seed)
+	if b == nil && e.err != nil && e.ctx.Err() == nil {
+		// Bisect's contract is "nil means cancelled" (nested dissection
+		// stops recursing on nil and leaves a valid partial ordering). A
+		// worker panic or injected fault is not cancellation, so escalate
+		// it to the caller's recovery boundary rather than returning a nil
+		// that would be silently misread as a clean stop.
+		panic(e.err)
+	}
+	return b, stats
 }
 
 // Result is the outcome of a k-way partition.

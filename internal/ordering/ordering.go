@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"mlpart/internal/faults"
 	"mlpart/internal/graph"
 	"mlpart/internal/mmd"
 	"mlpart/internal/multilevel"
@@ -34,6 +35,10 @@ type Options struct {
 	// Parallel orders independent subgraphs on separate goroutines. The
 	// result is identical to the sequential run.
 	Parallel bool
+
+	// pbox captures panics raised on dissection goroutines so dissect can
+	// re-raise them on the caller's goroutine (set by dissect).
+	pbox *panicBox
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +98,38 @@ func SND(g *graph.Graph, opts Options) []int {
 // bisector produces a two-way partition vector of sub using seed.
 type bisector func(sub *graph.Graph, seed int64) []int
 
+// panicBox holds the first panic captured on a dissection goroutine. A
+// panic cannot be recovered across goroutines, so each parallel branch
+// stores it here and dissect re-raises it on the caller's goroutine, where
+// the public API's recovery boundary converts it into an error.
+type panicBox struct {
+	mu sync.Mutex
+	pe *faults.PanicError
+}
+
+// capture is deferred on every guarded branch.
+func (pb *panicBox) capture() {
+	if r := recover(); r != nil {
+		pe := faults.AsPanic("ordering/dissect", r)
+		pb.mu.Lock()
+		if pb.pe == nil {
+			pb.pe = pe
+		}
+		pb.mu.Unlock()
+	}
+}
+
+// panicked reports whether any branch has panicked; recursion stops
+// descending once one has.
+func (pb *panicBox) panicked() bool {
+	if pb == nil {
+		return false
+	}
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	return pb.pe != nil
+}
+
 // dissect runs the shared nested-dissection recursion.
 func dissect(g *graph.Graph, opts Options, bisect bisector) []int {
 	n := g.NumVertices()
@@ -102,7 +139,13 @@ func dissect(g *graph.Graph, opts Options, bisect bisector) []int {
 	}
 	var mu sync.Mutex
 	out := make([]int, n)
+	opts.pbox = &panicBox{}
 	ndRecurse(g, ids, opts, bisect, opts.Seed, out, 0, &mu, 0)
+	if opts.pbox.pe != nil {
+		// All branches have joined; re-raise the captured panic where the
+		// caller's recover can see it.
+		panic(opts.pbox.pe)
+	}
 	return out
 }
 
@@ -111,7 +154,7 @@ func dissect(g *graph.Graph, opts Options, bisect bisector) []int {
 // last — so separators at every level are numbered after both halves.
 func ndRecurse(g *graph.Graph, ids []int, opts Options, bisect bisector, seed int64, out []int, offset int, mu *sync.Mutex, depth int) {
 	n := g.NumVertices()
-	if n == 0 || opts.cancelled() {
+	if n == 0 || opts.cancelled() || opts.pbox.panicked() {
 		return
 	}
 	if n <= opts.SmallLimit {
@@ -175,13 +218,20 @@ func ndRecurse(g *graph.Graph, ids []int, opts Options, bisect bisector, seed in
 	seedA := deriveSeed(seed, 2)
 	seedB := deriveSeed(seed, 3)
 	if opts.Parallel && depth < 4 && n > 2000 {
+		// Both branches run guarded so a panic on either side reaches the
+		// box instead of unwinding past wg.Wait (which would leak the
+		// sibling goroutine, or kill the process on the spawned side).
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer opts.pbox.capture()
 			ndRecurse(subA, idsA, opts, bisect, seedA, out, offset, mu, depth+1)
 		}()
-		ndRecurse(subB, idsB, opts, bisect, seedB, out, offset+subA.NumVertices(), mu, depth+1)
+		func() {
+			defer opts.pbox.capture()
+			ndRecurse(subB, idsB, opts, bisect, seedB, out, offset+subA.NumVertices(), mu, depth+1)
+		}()
 		wg.Wait()
 	} else {
 		ndRecurse(subA, idsA, opts, bisect, seedA, out, offset, mu, depth+1)

@@ -51,6 +51,10 @@ func (p Policy) String() string {
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
 
+// Valid reports whether p is one of the defined policies; Refine panics
+// on anything else, so user-reachable entry points must gate on this.
+func (p Policy) Valid() bool { return p >= NoRefine && p <= BKLGR }
+
 // ParsePolicy converts an abbreviation to a Policy.
 func ParsePolicy(s string) (Policy, error) {
 	switch s {

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCacheConcurrentEviction hammers one small LRU with many writers and
+// readers over a key space far larger than the capacity, so evictions
+// happen constantly under contention (run with -race in CI). Invariants:
+// the capacity is never exceeded, and any body a reader observes is
+// byte-identical to what was stored for that key — never torn, never
+// cross-wired to another key's body.
+func TestCacheConcurrentEviction(t *testing.T) {
+	const (
+		capacity = 8
+		keys     = 64
+		writers  = 8
+		readers  = 8
+		rounds   = 500
+	)
+	c := newResultCache(capacity)
+	body := func(k int) []byte { return []byte(fmt.Sprintf("body-for-key-%03d", k)) }
+	key := func(k int) string { return fmt.Sprintf("key-%03d", k) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := (w*31 + i) % keys
+				c.put(key(k), body(k))
+				if got := c.len(); got > capacity {
+					t.Errorf("cache len %d exceeds capacity %d", got, capacity)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := (r*17 + i) % keys
+				if b, ok := c.get(key(k)); ok && !bytes.Equal(b, body(k)) {
+					t.Errorf("key %d replayed wrong body %q", k, b)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	if got := c.len(); got > capacity {
+		t.Fatalf("final cache len %d exceeds capacity %d", got, capacity)
+	}
+	// Whatever survived must still replay byte-identically.
+	hits := 0
+	for k := 0; k < keys; k++ {
+		if b, ok := c.get(key(k)); ok {
+			hits++
+			if !bytes.Equal(b, body(k)) {
+				t.Errorf("surviving key %d has wrong body %q", k, b)
+			}
+		}
+	}
+	if hits == 0 || hits > capacity {
+		t.Errorf("surviving entries = %d, want in [1, %d]", hits, capacity)
+	}
+}

@@ -1,0 +1,176 @@
+package service
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RetryClient wraps an http.Client with bounded retries for talking to
+// this daemon (or any service with the same shedding discipline):
+// transport errors and the transient statuses 429, 502, 503 and 504 are
+// retried with full-jitter exponential backoff, honoring a Retry-After
+// header as the floor of the next delay; every other response returns
+// immediately. Full jitter (a uniform draw from [0, ceiling) rather than
+// the ceiling itself) keeps a fleet of shed clients from re-arriving in
+// lockstep and re-saturating the queue they were just shed from.
+//
+// The daemon's endpoints are deterministic and idempotent, so replaying a
+// request is always safe; do not use this client against services where a
+// POST has side effects that must happen at most once.
+//
+// The zero value is usable. Retrying a request with a body requires
+// req.GetBody, which http.NewRequest sets for the common in-memory body
+// types (bytes.Reader, bytes.Buffer, strings.Reader).
+type RetryClient struct {
+	// Client performs the individual attempts; nil means
+	// http.DefaultClient.
+	Client *http.Client
+	// MaxAttempts is the total number of tries including the first
+	// (0 means 4).
+	MaxAttempts int
+	// BaseDelay is the backoff ceiling before the first retry; it doubles
+	// per retry up to MaxDelay (0 means 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling (0 means 2s).
+	MaxDelay time.Duration
+	// Rand supplies the jitter; nil seeds one from the clock on first
+	// use. Fix it for deterministic tests.
+	Rand *rand.Rand
+	// Sleep waits between attempts; nil means time.Sleep. Tests stub it
+	// to run instantly and record the chosen delays.
+	Sleep func(time.Duration)
+
+	mu sync.Mutex // guards Rand
+}
+
+// retryableStatus reports whether a status code signals a transient
+// condition worth retrying: shed (429), or a dying/restarting backend
+// behind a proxy (502, 503, 504).
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Do performs req with retries. It returns the first non-retryable
+// response, or — once attempts are exhausted — the last response (body
+// unread) or transport error as-is, so callers inspect the final outcome
+// exactly as they would an http.Client's.
+func (c *RetryClient) Do(req *http.Request) (*http.Response, error) {
+	hc := c.Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	sleep := c.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	for attempt := 1; ; attempt++ {
+		if attempt > 1 && req.Body != nil {
+			if req.GetBody == nil {
+				// Cannot replay the body; the previous outcome stands.
+				return hc.Do(req)
+			}
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, err
+			}
+			req.Body = body
+		}
+		resp, err := hc.Do(req)
+		if err == nil && !retryableStatus(resp.StatusCode) {
+			return resp, nil
+		}
+		if attempt >= attempts {
+			return resp, err
+		}
+		delay := c.jitter(attempt)
+		if err == nil {
+			if ra := retryAfter(resp.Header.Get("Retry-After")); ra > delay {
+				delay = ra
+			}
+			// Drain a bounded amount so the connection can be reused.
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		}
+		sleep(delay)
+	}
+}
+
+// Get issues a GET with retries.
+func (c *RetryClient) Get(url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(req)
+}
+
+// Post issues a POST with retries; body is held in memory so every
+// attempt replays it identically.
+func (c *RetryClient) Post(url, contentType string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	return c.Do(req)
+}
+
+// jitter draws a full-jitter delay: uniform in [0, ceiling) where the
+// ceiling is BaseDelay doubled per completed attempt, capped at MaxDelay.
+func (c *RetryClient) jitter(attempt int) time.Duration {
+	base := c.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxd := c.MaxDelay
+	if maxd <= 0 {
+		maxd = 2 * time.Second
+	}
+	ceiling := base
+	for i := 1; i < attempt && ceiling < maxd; i++ {
+		ceiling *= 2
+	}
+	if ceiling > maxd {
+		ceiling = maxd
+	}
+	c.mu.Lock()
+	if c.Rand == nil {
+		c.Rand = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	d := time.Duration(c.Rand.Float64() * float64(ceiling))
+	c.mu.Unlock()
+	return d
+}
+
+// retryAfter parses a Retry-After header: delay-seconds or an HTTP date.
+func retryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}

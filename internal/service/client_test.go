@@ -1,0 +1,199 @@
+package service
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newRetryClient returns a client with instant, recorded sleeps and a
+// fixed jitter source so tests are deterministic and fast.
+func newRetryClient(attempts int) (*RetryClient, *[]time.Duration) {
+	var slept []time.Duration
+	c := &RetryClient{
+		MaxAttempts: attempts,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Rand:        rand.New(rand.NewSource(1)),
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	return c, &slept
+}
+
+func TestRetryClientRetriesTransientStatus(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	c, slept := newRetryClient(4)
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server hits = %d, want 3", got)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("sleeps = %d, want 2", len(*slept))
+	}
+	// Full jitter: each delay is below its ceiling (100ms then 200ms).
+	for i, max := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond} {
+		if d := (*slept)[i]; d < 0 || d >= max {
+			t.Errorf("sleep %d = %v, want in [0, %v)", i, d, max)
+		}
+	}
+}
+
+func TestRetryClientHonorsRetryAfterAsFloor(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	c, slept := newRetryClient(4)
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	resp.Body.Close()
+	if len(*slept) != 1 {
+		t.Fatalf("sleeps = %d, want 1", len(*slept))
+	}
+	// The jitter ceiling (100ms) is far below Retry-After (3s), so the
+	// header must win as the floor.
+	if d := (*slept)[0]; d != 3*time.Second {
+		t.Errorf("sleep = %v, want 3s (Retry-After floor)", d)
+	}
+}
+
+func TestRetryClientReplaysPostBody(t *testing.T) {
+	var hits atomic.Int64
+	var bodies []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, string(b))
+		if hits.Add(1) == 1 {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	c, _ := newRetryClient(3)
+	resp, err := c.Post(srv.URL, "application/json", []byte(`{"k":8}`))
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if len(bodies) != 2 || bodies[0] != `{"k":8}` || bodies[1] != `{"k":8}` {
+		t.Errorf("bodies = %q, want the same payload twice", bodies)
+	}
+}
+
+func TestRetryClientReturnsLastResponseWhenExhausted(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "still down")
+	}))
+	defer srv.Close()
+
+	c, slept := newRetryClient(3)
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	// The final response's body must still be readable.
+	b, _ := io.ReadAll(resp.Body)
+	if string(b) != "still down" {
+		t.Errorf("body = %q, want %q", b, "still down")
+	}
+	if len(*slept) != 2 {
+		t.Errorf("sleeps = %d, want 2 (between 3 attempts)", len(*slept))
+	}
+}
+
+func TestRetryClientDoesNotRetryClientError(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c, slept := newRetryClient(4)
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if hits.Load() != 1 || len(*slept) != 0 {
+		t.Errorf("hits = %d sleeps = %d, want 1 and 0 (400 is not retryable)", hits.Load(), len(*slept))
+	}
+}
+
+func TestRetryClientRetriesTransportError(t *testing.T) {
+	// A listener that is already closed: every attempt fails at dial time.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close()
+
+	c, slept := newRetryClient(3)
+	resp, err := c.Get(url)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("Get succeeded against a closed listener")
+	}
+	if len(*slept) != 2 {
+		t.Errorf("sleeps = %d, want 2 (between 3 attempts)", len(*slept))
+	}
+}
+
+func TestRetryAfterParsing(t *testing.T) {
+	if d := retryAfter("2"); d != 2*time.Second {
+		t.Errorf("retryAfter(2) = %v, want 2s", d)
+	}
+	if d := retryAfter("-1"); d != 0 {
+		t.Errorf("retryAfter(-1) = %v, want 0", d)
+	}
+	if d := retryAfter(""); d != 0 {
+		t.Errorf("retryAfter(empty) = %v, want 0", d)
+	}
+	future := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+	if d := retryAfter(future); d <= 0 || d > 10*time.Second {
+		t.Errorf("retryAfter(date) = %v, want in (0, 10s]", d)
+	}
+	if d := retryAfter("garbage"); d != 0 {
+		t.Errorf("retryAfter(garbage) = %v, want 0", d)
+	}
+}

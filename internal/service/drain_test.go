@@ -1,0 +1,73 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"mlpart"
+)
+
+// TestReadyzDrain verifies the liveness/readiness split: BeginDrain flips
+// /readyz to 503 while /healthz stays 200 (a draining process is alive —
+// restarting it would abort its in-flight work), and a request already in
+// the pool still completes.
+func TestReadyzDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, strings.TrimSpace(string(data))
+	}
+
+	if code, body := get("/readyz"); code != http.StatusOK || body != "ok" {
+		t.Fatalf("before drain: /readyz = %d %q, want 200 ok", code, body)
+	}
+
+	// Park a request inside the worker pool, then start draining.
+	block := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	s.hookCompute = func(context.Context) {
+		entered <- struct{}{}
+		<-block
+	}
+	inflight := make(chan *http.Response, 1)
+	go func() {
+		resp, _ := postJSONNoFatal(ts.Client(), ts.URL+"/v1/partition", mlpart.PartitionRequest{
+			Graph: gridGraph(8, 8), K: 2,
+		})
+		inflight <- resp
+	}()
+	<-entered
+
+	s.BeginDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() = false after BeginDrain")
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || body != "draining" {
+		t.Errorf("during drain: /readyz = %d %q, want 503 draining", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("during drain: /healthz = %d, want 200 (liveness must outlive readiness)", code)
+	}
+
+	// The in-flight request is unaffected by the readiness flip.
+	close(block)
+	if resp := <-inflight; resp == nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight request during drain: %+v, want 200", resp)
+	}
+
+	// BeginDrain is idempotent and sticky.
+	s.BeginDrain()
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("after second BeginDrain: /readyz = %d, want 503", code)
+	}
+}

@@ -6,12 +6,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
 	"mlpart"
+	"mlpart/internal/faults"
 )
 
 // Endpoint names as they appear in /varz.
@@ -28,10 +30,10 @@ type job interface {
 	key() (string, bool)
 	// timeoutMS is the client's requested budget (0 = server default).
 	timeoutMS() int64
-	// run computes the response object. tr may be nil; implementations
-	// must honor ctx (directly or via the engine's level-boundary
-	// checks).
-	run(ctx context.Context, tr mlpart.Tracer) (any, error)
+	// run computes the response object. tr and inj may be nil;
+	// implementations must honor ctx (directly or via the engine's
+	// level-boundary checks) and thread inj into the computation.
+	run(ctx context.Context, tr mlpart.Tracer, inj *mlpart.FaultInjector) (any, error)
 }
 
 type decodeFunc func(dec *json.Decoder) (job, error)
@@ -132,16 +134,47 @@ func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, ep string,
 	}
 
 	computeStart := time.Now()
-	resp, err := j.run(ctx, tracer)
+	resp, err := s.runGuarded(ctx, j, tracer)
 	computeNS := time.Since(computeStart).Nanoseconds()
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.finishAborted(w, r, err)
 			return
 		}
+		// A recovered panic or an injected infrastructure fault is the
+		// server's failure, not the client's: reply 500 with an incident
+		// id, log the detail server-side, and keep serving — the poisoned
+		// request must not take the daemon (or its siblings) down.
+		var pe *faults.PanicError
+		if errors.As(err, &pe) {
+			s.met.panicsRecovered.Add(1)
+			s.met.errors.Add(1)
+			id := s.nextIncident()
+			log.Printf("mlserved: incident %s: recovered panic at %s: %v\n%s", id, pe.Site, pe.Value, pe.Stack)
+			w.Header().Set("X-Incident-Id", id)
+			writeError(w, http.StatusInternalServerError,
+				"internal error (incident %s): the request could not be completed", id)
+			return
+		}
+		var ie *faults.InjectedError
+		if errors.As(err, &ie) {
+			s.met.errors.Add(1)
+			id := s.nextIncident()
+			log.Printf("mlserved: incident %s: %v", id, err)
+			w.Header().Set("X-Incident-Id", id)
+			writeError(w, http.StatusInternalServerError, "internal error (incident %s): %v", id, err)
+			return
+		}
 		s.met.badReqs.Add(1)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if degradedResponse(resp) {
+		// A degraded result is valid but execution-specific (it reflects
+		// transient fault state); count it and keep it out of the cache so
+		// a later identical request gets a clean run.
+		s.met.degraded.Add(1)
+		cacheable = false
 	}
 
 	body, err := json.Marshal(resp)
@@ -175,6 +208,33 @@ func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, ep string,
 		return
 	}
 	writeResult(w, body, "miss", computeNS)
+}
+
+// runGuarded is the worker-path panic boundary: the injector's
+// service/worker site fires first (so operators can poison the worker path
+// itself), then the job runs with any panic — injected or organic —
+// recovered into a typed *faults.PanicError instead of unwinding into
+// net/http, whose own recover would kill the connection without a reply.
+func (s *Server) runGuarded(ctx context.Context, j job, tr mlpart.Tracer) (resp any, err error) {
+	err = faults.Boundary(faults.SiteServiceWorker, func() error {
+		if ierr := s.inj.Fire(faults.SiteServiceWorker); ierr != nil {
+			return ierr
+		}
+		var rerr error
+		resp, rerr = j.run(ctx, tr, s.inj)
+		return rerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// degradedResponse reports whether a computed response took a
+// graceful-degradation fallback.
+func degradedResponse(resp any) bool {
+	pr, ok := resp.(*mlpart.PartitionResponse)
+	return ok && len(pr.Degradations) > 0
 }
 
 // finishAborted handles a context-terminated request: a vanished client
@@ -324,9 +384,10 @@ func (j *partitionJob) key() (string, bool) {
 	return sb.String(), true
 }
 
-func (j *partitionJob) run(ctx context.Context, tr mlpart.Tracer) (any, error) {
+func (j *partitionJob) run(ctx context.Context, tr mlpart.Tracer, inj *mlpart.FaultInjector) (any, error) {
 	opts := cloneOptions(j.req.Options)
 	opts.Tracer = tr
+	opts.FaultInjector = inj
 	var (
 		res *mlpart.Partitioning
 		err error
@@ -345,14 +406,15 @@ func (j *partitionJob) run(ctx context.Context, tr mlpart.Tracer) (any, error) {
 		return nil, err
 	}
 	return &mlpart.PartitionResponse{
-		Kind:        mlpart.WireKindResult,
-		Vertices:    j.g.NumVertices(),
-		Edges:       j.g.NumEdges(),
-		K:           k,
-		EdgeCut:     res.EdgeCut,
-		Balance:     res.Balance(),
-		PartWeights: res.PartWeights,
-		Where:       res.Where,
+		Kind:         mlpart.WireKindResult,
+		Vertices:     j.g.NumVertices(),
+		Edges:        j.g.NumEdges(),
+		K:            k,
+		EdgeCut:      res.EdgeCut,
+		Balance:      res.Balance(),
+		PartWeights:  res.PartWeights,
+		Where:        res.Where,
+		Degradations: res.Degradations,
 	}, nil
 }
 
@@ -382,9 +444,10 @@ func (j *orderJob) key() (string, bool) {
 		epOrder, j.g.Fingerprint(), canonicalOptions(j.req.Options), j.req.Analyze), true
 }
 
-func (j *orderJob) run(ctx context.Context, tr mlpart.Tracer) (any, error) {
+func (j *orderJob) run(ctx context.Context, tr mlpart.Tracer, inj *mlpart.FaultInjector) (any, error) {
 	opts := cloneOptions(j.req.Options)
 	opts.Tracer = tr
+	opts.FaultInjector = inj
 	perm, iperm, err := mlpart.NestedDissectionCtx(ctx, j.g, opts)
 	if err != nil {
 		return nil, err
@@ -443,7 +506,7 @@ func (j *repartitionJob) key() (string, bool) {
 		o.Ubfactor, o.MigrationWeight, o.Seed, hashInts(j.req.Where)), true
 }
 
-func (j *repartitionJob) run(ctx context.Context, _ mlpart.Tracer) (any, error) {
+func (j *repartitionJob) run(ctx context.Context, _ mlpart.Tracer, _ *mlpart.FaultInjector) (any, error) {
 	// Repartition is a single sweep with no level boundaries to poll, so
 	// it only honors the deadline up front; it is the cheapest of the
 	// three computations by a wide margin.

@@ -79,6 +79,9 @@ type metrics struct {
 	badReqs  atomic.Int64 // malformed or invalid requests (4xx)
 	errors   atomic.Int64 // internal failures (5xx)
 
+	panicsRecovered atomic.Int64 // worker panics converted to 500s
+	degraded        atomic.Int64 // results produced via a degradation fallback
+
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
@@ -114,6 +117,10 @@ type varz struct {
 	Canceled int64 `json:"canceled"`
 	BadReqs  int64 `json:"bad_requests"`
 	Errors   int64 `json:"internal_errors"`
+
+	PanicsRecovered int64 `json:"panics_recovered"`
+	DegradedResults int64 `json:"degraded_results"`
+	Draining        bool  `json:"draining"`
 
 	Cache struct {
 		Size     int   `json:"size"`

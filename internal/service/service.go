@@ -8,7 +8,8 @@
 //	POST /v1/partition    k-way / weighted / direct k-way partition
 //	POST /v1/order        multilevel nested-dissection ordering
 //	POST /v1/repartition  adaptive repartitioning (minimal migration)
-//	GET  /healthz         liveness probe
+//	GET  /healthz         liveness probe (200 for the process lifetime)
+//	GET  /readyz          readiness probe (503 once draining begins)
 //	GET  /varz            queue depth, in-flight, cache and latency stats
 //
 // Request and response bodies are the wire schema of the root package
@@ -43,9 +44,11 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"mlpart"
+	"mlpart/internal/faults"
 )
 
 // Config sizes the daemon. The zero value is production-safe: GOMAXPROCS
@@ -67,6 +70,12 @@ type Config struct {
 	Timeout time.Duration
 	// MaxBodyBytes bounds request bodies (0 means 64 MiB).
 	MaxBodyBytes int64
+	// FaultInjector, when non-nil, is threaded into every computation and
+	// consulted at the engine's named sites plus the service worker path.
+	// It is server-level (one injector, shared hit counters) so plans like
+	// "panic on the 3rd computation" span requests; it is never taken from
+	// request bodies — fault injection is an operator capability.
+	FaultInjector *faults.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -97,11 +106,16 @@ func (c Config) withDefaults() Config {
 // Server is the partitioning daemon's HTTP handler set. Create one with
 // New and mount it on an http.Server (it implements http.Handler).
 type Server struct {
-	cfg   Config
-	pool  *pool
-	cache *resultCache
-	met   *metrics
-	mux   *http.ServeMux
+	cfg    Config
+	pool   *pool
+	cache  *resultCache
+	met    *metrics
+	mux    *http.ServeMux
+	inj    *faults.Injector
+	bootID string
+
+	draining    atomic.Bool
+	incidentSeq atomic.Int64
 
 	// hookCompute, when non-nil, runs inside the worker slot right
 	// before the computation starts, with the request's compute context.
@@ -113,10 +127,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		pool:  newPool(cfg.Workers, cfg.QueueSize),
-		cache: newResultCache(cfg.CacheSize),
-		met:   newMetrics(epPartition, epOrder, epRepartition),
+		cfg:    cfg,
+		pool:   newPool(cfg.Workers, cfg.QueueSize),
+		cache:  newResultCache(cfg.CacheSize),
+		met:    newMetrics(epPartition, epOrder, epRepartition),
+		inj:    cfg.FaultInjector,
+		bootID: fmt.Sprintf("%08x", time.Now().UnixNano()&0xffffffff),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/partition", func(w http.ResponseWriter, r *http.Request) {
@@ -129,6 +145,7 @@ func New(cfg Config) *Server {
 		s.serveCompute(w, r, epRepartition, decodeRepartition)
 	})
 	s.mux.HandleFunc("/healthz", s.serveHealthz)
+	s.mux.HandleFunc("/readyz", s.serveReadyz)
 	s.mux.HandleFunc("/varz", s.serveVarz)
 	return s
 }
@@ -139,27 +156,62 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Config returns the effective (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
 
+// serveHealthz is the liveness probe: 200 for the whole process lifetime,
+// including the drain window — a draining daemon is alive, just not
+// accepting new traffic. Restart-on-liveness-failure orchestrators must
+// never kill a cleanly draining process.
 func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
 }
 
+// serveReadyz is the readiness probe: 503 once BeginDrain has been called,
+// so load balancers stop routing new requests while in-flight ones finish.
+func (s *Server) serveReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// BeginDrain flips the readiness probe to 503. Call it on SIGTERM, before
+// http.Server.Shutdown, and give load balancers a grace window to observe
+// the flip; /healthz and in-flight requests are unaffected.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// nextIncident returns a process-unique incident id for a 500 reply; the
+// same id goes to the client (X-Incident-Id) and the server log, so one
+// grep connects a user report to the recovered stack.
+func (s *Server) nextIncident() string {
+	return fmt.Sprintf("%s-%06d", s.bootID, s.incidentSeq.Add(1))
+}
+
 func (s *Server) serveVarz(w http.ResponseWriter, r *http.Request) {
 	m := s.met
 	v := varz{
-		Workers:       s.pool.workers(),
-		QueueCapacity: s.pool.queueCapacity(),
-		QueueDepth:    m.queued.Load(),
-		InFlight:      m.inFlight.Load(),
-		Admitted:      m.admitted.Load(),
-		Rejected:      m.rejected.Load(),
-		Started:       m.started.Load(),
-		TimedOut:      m.timedOut.Load(),
-		Canceled:      m.canceled.Load(),
-		BadReqs:       m.badReqs.Load(),
-		Errors:        m.errors.Load(),
-		Endpoints:     make(map[string]endpointVarz, len(m.endpoints)),
+		Workers:         s.pool.workers(),
+		QueueCapacity:   s.pool.queueCapacity(),
+		QueueDepth:      m.queued.Load(),
+		InFlight:        m.inFlight.Load(),
+		Admitted:        m.admitted.Load(),
+		Rejected:        m.rejected.Load(),
+		Started:         m.started.Load(),
+		TimedOut:        m.timedOut.Load(),
+		Canceled:        m.canceled.Load(),
+		BadReqs:         m.badReqs.Load(),
+		Errors:          m.errors.Load(),
+		PanicsRecovered: m.panicsRecovered.Load(),
+		DegradedResults: m.degraded.Load(),
+		Draining:        s.draining.Load(),
+		Endpoints:       make(map[string]endpointVarz, len(m.endpoints)),
 	}
 	v.Cache.Size = s.cache.len()
 	v.Cache.Capacity = s.cfg.CacheSize

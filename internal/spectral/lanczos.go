@@ -22,10 +22,23 @@ import (
 // coarse graphs (hundreds of vertices) and short polish runs this package
 // performs. For n < 2 a zero vector is returned.
 func Fiedler(g *graph.Graph, maxIter int, seed []float64, rng *rand.Rand) []float64 {
+	out, _ := FiedlerChecked(g, maxIter, seed, rng)
+	return out
+}
+
+// FiedlerChecked is Fiedler reporting whether the iteration produced a
+// usable vector: converged is false when the Lanczos recurrence failed
+// to produce a finite, nonzero embedding (a breakdown the caller should
+// treat as non-convergence and handle by falling back to a combinatorial
+// partitioner). The returned vector is bit-identical to Fiedler's, and
+// for the well-conditioned coarse graphs this package targets, converged
+// is true in practice — the check exists so degraded-mode callers never
+// round a garbage vector into a partition.
+func FiedlerChecked(g *graph.Graph, maxIter int, seed []float64, rng *rand.Rand) (vec []float64, converged bool) {
 	n := g.NumVertices()
 	out := make([]float64, n)
 	if n < 2 {
-		return out
+		return out, true
 	}
 	if maxIter > n-1 {
 		maxIter = n - 1
@@ -96,7 +109,7 @@ func Fiedler(g *graph.Graph, maxIter int, seed []float64, rng *rand.Rand) []floa
 
 	m := len(alpha)
 	if m == 0 {
-		return out
+		return out, false
 	}
 	evals, evecs := tql2(alpha, beta[:m-1])
 	// Smallest Ritz value of the deflated operator is the Fiedler value.
@@ -112,7 +125,16 @@ func Fiedler(g *graph.Graph, maxIter int, seed []float64, rng *rand.Rand) []floa
 			out[v] += c * basis[i][v]
 		}
 	}
-	return out
+	nonzero := false
+	for _, x := range out {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return out, false
+		}
+		if x != 0 {
+			nonzero = true
+		}
+	}
+	return out, nonzero
 }
 
 // applyLaplacian computes y = (D - W) x.

@@ -39,7 +39,34 @@ const (
 	// KindPhase reports the total wall time of one phase ("coarsen",
 	// "initial", "refine", "project") at the end of a V-cycle.
 	KindPhase Kind = "phase"
+	// KindDegraded reports a graceful-degradation fallback: a phase
+	// algorithm failed (or was failed by the fault injector) and a
+	// cheaper substitute produced the result instead — SBP falling back
+	// to GGGP, HCM matching retried as HEM, a refinement failure keeping
+	// the projected partition. The event carries the same fields as the
+	// Degradation record surfaced in Stats.Degradations.
+	KindDegraded Kind = "degraded"
 )
+
+// Degradation records one graceful fallback taken during a run: which
+// phase degraded, what it fell back from and to, at which hierarchy
+// level, and why. The engine surfaces these in Stats.Degradations (and
+// the wire schema forwards them) so callers can tell a degraded answer
+// from a clean one.
+type Degradation struct {
+	// Phase is the V-cycle phase that degraded: "coarsen", "initpart",
+	// "refine" or "kway".
+	Phase string `json:"phase"`
+	// From is the algorithm that failed ("SBP", "HCM", "BKLGR", ...).
+	From string `json:"from"`
+	// To is the substitute that produced the result ("GGGP", "HEM",
+	// "projected", ...).
+	To string `json:"to"`
+	// Level is the hierarchy level at which the fallback happened.
+	Level int `json:"level"`
+	// Reason is the failure that forced the fallback.
+	Reason string `json:"reason,omitempty"`
+}
 
 // Event is one observation from the engine. Which fields are meaningful
 // depends on Kind (see docs/OBSERVABILITY.md for the schema); zero-valued
@@ -78,8 +105,13 @@ type Event struct {
 	Trials int `json:"trials,omitempty"`
 
 	// Phase names the phase of a KindPhase event: "coarsen", "initial",
-	// "refine" or "project".
+	// "refine" or "project". KindDegraded events reuse it for the
+	// degraded phase.
 	Phase string `json:"phase,omitempty"`
+	// FallbackTo names the substitute algorithm of a KindDegraded event.
+	FallbackTo string `json:"fallback_to,omitempty"`
+	// Reason is the failure behind a KindDegraded event.
+	Reason string `json:"reason,omitempty"`
 	// ElapsedNS is the wall time of the step in nanoseconds.
 	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
 }

@@ -34,6 +34,7 @@ import (
 	"math/rand"
 
 	"mlpart/internal/coarsen"
+	"mlpart/internal/faults"
 	"mlpart/internal/graph"
 	"mlpart/internal/initpart"
 	"mlpart/internal/matgen"
@@ -188,7 +189,37 @@ type Options struct {
 	// with or without one. Tracer does not cross the wire; the daemon's
 	// per-request ?trace=1 capture installs one server-side.
 	Tracer Tracer `json:"-"`
+	// FaultPlan is a deterministic fault-injection plan (see ParseFaultPlan
+	// for the grammar) applied to this run's named sites; empty means the
+	// MLPART_FAULTS environment plan (normally none). Like Tracer it does
+	// not cross the wire: fault injection is an operator capability, not a
+	// client one.
+	FaultPlan string `json:"-"`
+	// FaultInjector, when non-nil, takes precedence over FaultPlan. Sharing
+	// one injector across runs shares its per-site hit counters, which is
+	// how "fire on the Nth call" plans span multiple requests.
+	FaultInjector *FaultInjector `json:"-"`
 }
+
+// FaultInjector fires deterministic faults (panics, errors, delays) at the
+// partitioner's named sites; see ParseFaultPlan. It is faults.Injector
+// re-exported. A nil injector is valid and costs one nil check per site.
+type FaultInjector = faults.Injector
+
+// ParseFaultPlan compiles a fault-injection plan: semicolon-separated
+// directives, each `seed=N` or `site=kind[@trigger]` with kind one of
+// `panic`, `error`, `delay:<duration>` and trigger `N` (the Nth hit, the
+// default 1), `N+` (the Nth hit onward), `pF` (probability F per hit) or
+// `*` (every hit). An empty plan returns a nil injector. Site names are
+// listed by FaultSites.
+func ParseFaultPlan(plan string) (*FaultInjector, error) { return faults.Parse(plan) }
+
+// FaultSites lists the named injection sites, sorted.
+func FaultSites() []string { return faults.Sites() }
+
+// Degradation records one graceful-degradation fallback taken during a
+// run; see Partitioning.Degradations. It is trace.Degradation re-exported.
+type Degradation = trace.Degradation
 
 // Tracer receives structured events from the partitioner; see
 // Options.Tracer. It is trace.Tracer re-exported.
@@ -223,6 +254,15 @@ func (o *Options) toML() (multilevel.Options, error) {
 	ml.NCuts = o.NCuts
 	ml.CoarsenWorkers = o.CoarsenWorkers
 	ml.Tracer = o.Tracer
+	if o.FaultInjector != nil {
+		ml.Injector = o.FaultInjector
+	} else if o.FaultPlan != "" {
+		inj, err := faults.Parse(o.FaultPlan)
+		if err != nil {
+			return ml, err
+		}
+		ml.Injector = inj
+	}
 	if o.Matching != "" {
 		s, err := coarsen.ParseScheme(o.Matching)
 		if err != nil {
@@ -256,6 +296,12 @@ type Partitioning struct {
 	EdgeCut int
 	// PartWeights[p] is the total vertex weight of part p.
 	PartWeights []int
+	// Degradations lists every graceful-degradation fallback the run took
+	// (HCM matching stall -> HEM, SBP non-convergence -> GGGP, abandoned
+	// refinement pass -> projected partition), in order. Empty on a clean
+	// run; a non-empty list means the partition is valid and balanced but
+	// may have a worse cut than a clean run would produce.
+	Degradations []Degradation
 }
 
 // Balance returns k*max(PartWeights)/total; 1.0 is a perfect balance.
@@ -295,9 +341,10 @@ func PartitionCtx(ctx context.Context, g *Graph, k int, opts *Options) (*Partiti
 		return nil, err
 	}
 	return &Partitioning{
-		Where:       res.Where,
-		EdgeCut:     res.EdgeCut,
-		PartWeights: res.PartWeights,
+		Where:        res.Where,
+		EdgeCut:      res.EdgeCut,
+		PartWeights:  res.PartWeights,
+		Degradations: res.Stats.Degradations,
 	}, nil
 }
 
@@ -322,9 +369,10 @@ func PartitionWeightedCtx(ctx context.Context, g *Graph, fractions []float64, op
 		return nil, err
 	}
 	return &Partitioning{
-		Where:       res.Where,
-		EdgeCut:     res.EdgeCut,
-		PartWeights: res.PartWeights,
+		Where:        res.Where,
+		EdgeCut:      res.EdgeCut,
+		PartWeights:  res.PartWeights,
+		Degradations: res.Stats.Degradations,
 	}, nil
 }
 
@@ -350,9 +398,10 @@ func PartitionDirectKWayCtx(ctx context.Context, g *Graph, k int, opts *Options)
 		return nil, err
 	}
 	return &Partitioning{
-		Where:       res.Where,
-		EdgeCut:     res.EdgeCut,
-		PartWeights: res.PartWeights,
+		Where:        res.Where,
+		EdgeCut:      res.EdgeCut,
+		PartWeights:  res.PartWeights,
+		Degradations: res.Stats.Degradations,
 	}, nil
 }
 
@@ -363,21 +412,30 @@ func Bisect(g *Graph, opts *Options) (*Partitioning, error) {
 }
 
 // BisectCtx is Bisect with cancellation, mirroring PartitionCtx.
-func BisectCtx(ctx context.Context, g *Graph, opts *Options) (*Partitioning, error) {
+func BisectCtx(ctx context.Context, g *Graph, opts *Options) (p *Partitioning, err error) {
 	ml, err := optsOrDefault(opts)
 	if err != nil {
 		return nil, err
 	}
 	ml.Context = ctx
+	// multilevel.Bisect escalates non-cancellation failures (worker panics,
+	// injected faults) as panics; this is the recovery boundary that turns
+	// them into errors for library callers.
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, fmt.Errorf("mlpart: %w", faults.AsPanic("mlpart/bisect", r))
+		}
+	}()
 	rng := rand.New(rand.NewSource(ml.Seed))
-	b, _ := multilevel.Bisect(g, 0, ml, rng)
+	b, stats := multilevel.Bisect(g, 0, ml, rng)
 	if b == nil {
 		return nil, fmt.Errorf("mlpart: %w", ctx.Err())
 	}
 	return &Partitioning{
-		Where:       b.Where,
-		EdgeCut:     b.Cut,
-		PartWeights: []int{b.Pwgt[0], b.Pwgt[1]},
+		Where:        b.Where,
+		EdgeCut:      b.Cut,
+		PartWeights:  []int{b.Pwgt[0], b.Pwgt[1]},
+		Degradations: stats.Degradations,
 	}, nil
 }
 
@@ -413,6 +471,14 @@ func NestedDissectionCtx(ctx context.Context, g *Graph, opts *Options) (perm, ip
 	if err != nil {
 		return nil, nil, err
 	}
+	// The dissection re-raises panics captured on its worker goroutines
+	// (and a failed bisection escalates as a panic); recover here so
+	// library callers always see an error, never a crash.
+	defer func() {
+		if r := recover(); r != nil {
+			perm, iperm, err = nil, nil, fmt.Errorf("mlpart: %w", faults.AsPanic("mlpart/ordering", r))
+		}
+	}()
 	o := ordering.Options{ML: ml, Seed: ml.Seed, Parallel: ml.Parallel}
 	if opts != nil && opts.CompressGraph {
 		perm, err = ordering.MLNDCompressedCtx(ctx, g, o)

@@ -28,7 +28,14 @@ echo "== go test -race (concurrent packages, parity + fuzz seeds)"
 go test -race ./internal/coarsen/ ./internal/multilevel/ ./internal/kway/ \
     ./internal/trace/ ./internal/graph/ ./internal/service/
 
-echo "== service smoke (live daemon vs CLI, healthz, cache, SIGTERM drain)"
+echo "== chaos (fault-injection suite under -race, multiple seeds)"
+for seed in 1 7 42; do
+    echo "-- CHAOS_SEED=$seed"
+    CHAOS_SEED=$seed go test -race -run 'Chaos' -count=1 \
+        ./internal/service/ ./internal/multilevel/
+done
+
+echo "== service smoke (live daemon vs CLI, healthz, readyz drain, cache, SIGTERM)"
 go run ./scripts/servicesmoke
 
 echo "== fuzz smoke (graph readers)"

@@ -3,8 +3,13 @@
 // generated workload to /v1/partition, diffs the edge-cut against the
 // mlpart CLI on the same input (both paths are deterministic for a fixed
 // seed, so they must agree exactly), verifies /healthz, /varz and a
-// byte-identical cache hit, then sends SIGTERM and requires a clean
-// drain. It exits non-zero with a diagnostic on any mismatch.
+// byte-identical cache hit, then sends SIGTERM and requires the drain
+// choreography: /readyz flips to 503 while /healthz stays 200 for the
+// -ready-grace window, then the daemon exits 0. It exits non-zero with a
+// diagnostic on any mismatch.
+//
+// All traffic goes through service.RetryClient, so the startup wait and
+// the POSTs double as an exercise of the backoff path.
 //
 // Run it from the repository root:
 //
@@ -25,6 +30,7 @@ import (
 	"time"
 
 	"mlpart"
+	"mlpart/internal/service"
 )
 
 func main() {
@@ -93,7 +99,9 @@ func run() error {
 	addr := l.Addr().String()
 	l.Close()
 
-	daemon := exec.Command(mlserved, "-addr", addr, "-workers", "2", "-drain", "10s")
+	const readyGrace = 2 * time.Second
+	daemon := exec.Command(mlserved, "-addr", addr, "-workers", "2", "-drain", "10s",
+		"-ready-grace", readyGrace.String())
 	daemon.Stderr = os.Stderr
 	if err := daemon.Start(); err != nil {
 		return err
@@ -101,29 +109,26 @@ func run() error {
 	defer daemon.Process.Kill()
 	base := "http://" + addr
 
-	// Wait for liveness.
-	var healthErr error
-	for i := 0; i < 100; i++ {
-		resp, err := http.Get(base + "/healthz")
-		if err == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				healthErr = nil
-				break
-			}
-			healthErr = fmt.Errorf("/healthz status %d", resp.StatusCode)
-		} else {
-			healthErr = err
-		}
-		time.Sleep(100 * time.Millisecond)
+	// All traffic through the retry client: the startup wait is just
+	// retried transport errors until the listener is up, and any 429 shed
+	// by the admission queue backs off instead of failing the smoke.
+	rc := &service.RetryClient{
+		MaxAttempts: 40,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    400 * time.Millisecond,
 	}
-	if healthErr != nil {
-		return fmt.Errorf("daemon never became healthy: %v", healthErr)
+	resp, err := rc.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("daemon never became healthy: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("daemon never became healthy: /healthz status %d", resp.StatusCode)
 	}
 
 	post := func() (*http.Response, []byte, error) {
-		resp, err := http.Post(base+"/v1/partition", "application/json", bytes.NewReader(reqBody))
+		resp, err := rc.Post(base+"/v1/partition", "application/json", reqBody)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -190,10 +195,48 @@ func run() error {
 		return fmt.Errorf("/varz counters implausible: %s", vdata)
 	}
 
-	// Graceful shutdown: SIGTERM must drain and exit 0.
+	// Graceful shutdown choreography: after SIGTERM the daemon must flip
+	// /readyz to 503 (traffic should move elsewhere) while /healthz stays
+	// 200 (the process is alive, don't restart it), hold the listener open
+	// for -ready-grace, then drain and exit 0. The probes below use the
+	// plain http client: a 503 here is the expected answer, not something
+	// to retry.
 	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
 		return err
 	}
+	probe := func(path string) (int, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+	var readyCode int
+	deadline := time.Now().Add(readyGrace)
+	for time.Now().Before(deadline) {
+		readyCode, err = probe("/readyz")
+		if err != nil {
+			return fmt.Errorf("/readyz during drain window: %v", err)
+		}
+		if readyCode == http.StatusServiceUnavailable {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if readyCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("/readyz = %d during drain window, want 503", readyCode)
+	}
+	liveCode, err := probe("/healthz")
+	if err != nil {
+		return fmt.Errorf("/healthz during drain window: %v", err)
+	}
+	if liveCode != http.StatusOK {
+		return fmt.Errorf("/healthz = %d during drain window, want 200 (liveness must outlive readiness)", liveCode)
+	}
+	fmt.Printf("drain window: /readyz 503, /healthz 200\n")
+
 	done := make(chan error, 1)
 	go func() { done <- daemon.Wait() }()
 	select {
@@ -201,8 +244,8 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("daemon exited non-zero after SIGTERM: %v", err)
 		}
-	case <-time.After(15 * time.Second):
-		return fmt.Errorf("daemon did not drain within 15s of SIGTERM")
+	case <-time.After(15*time.Second + readyGrace):
+		return fmt.Errorf("daemon did not drain within %s of SIGTERM", 15*time.Second+readyGrace)
 	}
 	return nil
 }

@@ -109,7 +109,11 @@ type PartitionResponse struct {
 	Balance     float64 `json:"balance"`
 	PartWeights []int   `json:"part_weights"`
 	Where       []int   `json:"where,omitempty"`
-	ElapsedNS   int64   `json:"elapsed_ns,omitempty"`
+	// Degradations lists the graceful-degradation fallbacks the run took;
+	// empty (and omitted) on a clean run. A degraded result is valid and
+	// balanced but may have a worse cut than a clean run would produce.
+	Degradations []Degradation `json:"degradations,omitempty"`
+	ElapsedNS    int64         `json:"elapsed_ns,omitempty"`
 }
 
 // OrderResponse is the result object of a nested-dissection ordering.
