@@ -8,6 +8,7 @@ package mlpart_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"mlpart/internal/chaco"
@@ -388,6 +389,49 @@ func BenchmarkAblationParallelKway(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkBoundaryKWay is the boundary-refinement acceptance benchmark:
+// a 32-way partition of a ~125k-vertex 3D FE mesh, comparing the recursive
+// KLR baseline against the direct k-way scheme with the boundary BKWAY
+// engine, serial and with parallel propose passes. The parallel and serial
+// BKWAY rows produce identical partitions (identical edgecut metric); the
+// ns/op ratio between RecursiveKLR and DirectBKWAYParallel is the headline
+// speedup in docs/PERFORMANCE.md.
+func BenchmarkBoundaryKWay(b *testing.B) {
+	g := matgen.FE3DTetra(50, 50, 50, 3)
+	const k = 32
+	run := func(b *testing.B, f func() (*multilevel.Result, error)) {
+		b.ReportAllocs()
+		var cut int
+		for i := 0; i < b.N; i++ {
+			res, err := f()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cut = res.EdgeCut
+		}
+		b.ReportMetric(float64(cut), "edgecut")
+	}
+	b.Run("RecursiveKLR", func(b *testing.B) {
+		run(b, func() (*multilevel.Result, error) {
+			return multilevel.Partition(g, k,
+				multilevel.Options{Seed: 1}.WithRefinement(refine.KLR))
+		})
+	})
+	b.Run("DirectBKWAYSerial", func(b *testing.B) {
+		run(b, func() (*multilevel.Result, error) {
+			return multilevel.PartitionKWay(g, k,
+				multilevel.Options{Seed: 1}.WithRefinement(refine.BKWAY))
+		})
+	})
+	b.Run("DirectBKWAYParallel", func(b *testing.B) {
+		run(b, func() (*multilevel.Result, error) {
+			return multilevel.PartitionKWay(g, k,
+				multilevel.Options{Seed: 1, RefineWorkers: runtime.NumCPU()}.
+					WithRefinement(refine.BKWAY))
+		})
+	})
 }
 
 // BenchmarkAblationDirectKWay compares recursive bisection with the direct

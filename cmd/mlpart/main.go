@@ -6,7 +6,7 @@
 // Usage:
 //
 //	mlpart -k 32 [-match HEM] [-init GGGP] [-refine BKLGR] [-seed 0]
-//	       [-parallel] [-ncuts 4] [-coarsen-workers 4] [-direct]
+//	       [-parallel] [-ncuts 4] [-coarsen-workers 4] [-refine-workers 4] [-direct]
 //	       [-weighted 4,2,1,1] [-stats] [-trace] [-json] [-timeout 30s]
 //	       [-o out.part] graph.file(.graph or .mtx)
 //
@@ -46,11 +46,12 @@ func main() {
 	k := flag.Int("k", 2, "number of parts")
 	match := flag.String("match", "HEM", "matching scheme: RM, HEM, LEM, HCM")
 	init := flag.String("init", "GGGP", "initial partitioner: GGGP, GGP, SBP")
-	ref := flag.String("refine", "BKLGR", "refinement: NONE, GR, KLR, BGR, BKLR, BKLGR")
+	ref := flag.String("refine", "BKLGR", "refinement: NONE, GR, KLR, BGR, BKLR, BKLGR, BKWAY")
 	seed := flag.Int64("seed", 0, "random seed (fixed seed => fixed result)")
 	parallel := flag.Bool("parallel", false, "partition independent subgraphs (and NCuts trials) concurrently")
 	ncuts := flag.Int("ncuts", 0, "run each bisection this many times with independent seeds, keep the best cut")
 	coarsenWorkers := flag.Int("coarsen-workers", 0, "compute matchings with this many parallel workers (>1 enables)")
+	refineWorkers := flag.Int("refine-workers", 0, "parallel propose workers for -refine BKWAY (result is identical for any count)")
 	parallelDepth := flag.Int("parallel-depth", 0, "recursion levels that fan out when -parallel (0 = default 4)")
 	parallelMinVerts := flag.Int("parallel-minverts", 0, "smallest subgraph that fans out when -parallel (0 = default 2000)")
 	out := flag.String("o", "", "write the partition vector to this file")
@@ -81,6 +82,7 @@ func main() {
 		Parallel:            *parallel,
 		NCuts:               *ncuts,
 		CoarsenWorkers:      *coarsenWorkers,
+		RefineWorkers:       *refineWorkers,
 		ParallelDepth:       *parallelDepth,
 		ParallelMinVertices: *parallelMinVerts,
 		FaultPlan:           *faultPlan,
@@ -139,7 +141,7 @@ func main() {
 		// object POST /v1/partition returns — so clients can switch
 		// between the CLI and the daemon without remapping fields.
 		summary := mlpart.PartitionResponse{
-			Kind: mlpart.WireKindResult, Graph: name,
+			Kind: mlpart.WireKindResult, SchemaVersion: mlpart.SchemaVersion, Graph: name,
 			Vertices: g.NumVertices(), Edges: g.NumEdges(),
 			K: *k, EdgeCut: res.EdgeCut, Balance: res.Balance(),
 			PartWeights: res.PartWeights, ElapsedNS: elapsed.Nanoseconds(),

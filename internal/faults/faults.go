@@ -60,6 +60,11 @@ const (
 	SiteRefineLevel = "refine/level"
 	// SiteKWayLevel fires before each level's k-way refinement pass.
 	SiteKWayLevel = "kway/level"
+	// SiteKWayPass fires at every pass boundary inside boundary k-way
+	// refinement (BKWAY); an injected error abandons the remaining passes
+	// of the level, keeping the moves committed so far (always a valid,
+	// balanced partition).
+	SiteKWayPass = "kway/pass"
 	// SiteServiceWorker fires inside the service worker slot right before
 	// the computation starts.
 	SiteServiceWorker = "service/worker"
@@ -75,6 +80,7 @@ func Sites() []string {
 		SiteInitSBP,
 		SiteRefineLevel,
 		SiteKWayLevel,
+		SiteKWayPass,
 		SiteServiceWorker,
 	}
 	sort.Strings(s)

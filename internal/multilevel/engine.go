@@ -540,10 +540,17 @@ func rebalance(b *refine.Bisection, ropts refine.Options) {
 
 // guardedKWayRefine is guardedRefine's direct k-way counterpart: a faulted
 // or panicking k-way pass leaves the level's projected partition in place.
+// The Refinement policy selects the kernel — BKWAY runs the boundary
+// engine of refine.RefineKWay (with RefineWorkers propose-phase fan-out),
+// every other policy keeps the classic full-sweep kway.Refine.
 func (e *engine) guardedKWayRefine(p *kway.Partition, kopts kway.Options, stats *Stats, tr trace.Tracer) {
+	algo := "KWAY"
+	if e.opts.Refinement == refine.BKWAY {
+		algo = "BKWAY"
+	}
 	if ierr := e.inj.Fire(faults.SiteKWayLevel); ierr != nil {
 		e.noteDegradation(stats, tr, trace.Degradation{
-			Phase: "kway", From: "KWAY", To: "projected",
+			Phase: "kway", From: algo, To: "projected",
 			Level: kopts.Level, Reason: ierr.Error(),
 		})
 		return
@@ -552,10 +559,23 @@ func (e *engine) guardedKWayRefine(p *kway.Partition, kopts kway.Options, stats 
 		if r := recover(); r != nil {
 			pe := faults.AsPanic(faults.SiteKWayLevel, r)
 			e.noteDegradation(stats, tr, trace.Degradation{
-				Phase: "kway", From: "KWAY", To: "projected",
+				Phase: "kway", From: algo, To: "projected",
 				Level: kopts.Level, Reason: pe.Error(),
 			})
 		}
 	}()
+	if e.opts.Refinement == refine.BKWAY {
+		refine.RefineKWay(p, refine.KWayOptions{
+			Ubfactor:  kopts.Ubfactor,
+			Seed:      kopts.Seed,
+			Workers:   e.opts.RefineWorkers,
+			Workspace: kopts.Workspace,
+			Level:     kopts.Level,
+			Tracer:    kopts.Tracer,
+			Counters:  kopts.Counters,
+			Injector:  e.inj,
+		})
+		return
+	}
 	kway.Refine(p, kopts)
 }

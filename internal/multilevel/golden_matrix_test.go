@@ -1,0 +1,102 @@
+package multilevel
+
+import (
+	"reflect"
+	"testing"
+
+	"mlpart/internal/coarsen"
+	"mlpart/internal/matgen"
+	"mlpart/internal/refine"
+)
+
+// TestGoldenMatrix pins the fixed-seed edge-cut of every refinement policy
+// crossed with both matching schemes on two Table-2 workloads. Any engine
+// change that shifts a single cut shows up as a one-cell diff here. BKWAY
+// rows must equal their BKLGR counterparts on this recursive path: the
+// boundary k-way engine only engages on direct k-way partitions and falls
+// back to BKLGR inside bisections by design.
+func TestGoldenMatrix(t *testing.T) {
+	graphs := map[string]*matgen.Named{}
+	for _, name := range []string{"BRCK", "WAVE"} {
+		w, err := matgen.Generate(name, 0.04)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs[name] = &w
+	}
+	cases := []struct {
+		workload string
+		matching coarsen.Scheme
+		policy   refine.Policy
+		wantCut  int
+	}{
+		{"BRCK", coarsen.RM, refine.GR, 461},
+		{"BRCK", coarsen.RM, refine.KLR, 466},
+		{"BRCK", coarsen.RM, refine.BGR, 461},
+		{"BRCK", coarsen.RM, refine.BKLR, 469},
+		{"BRCK", coarsen.RM, refine.BKLGR, 461},
+		{"BRCK", coarsen.RM, refine.BKWAY, 461},
+		{"BRCK", coarsen.HEM, refine.GR, 464},
+		{"BRCK", coarsen.HEM, refine.KLR, 464},
+		{"BRCK", coarsen.HEM, refine.BGR, 472},
+		{"BRCK", coarsen.HEM, refine.BKLR, 473},
+		{"BRCK", coarsen.HEM, refine.BKLGR, 472},
+		{"BRCK", coarsen.HEM, refine.BKWAY, 472},
+		{"WAVE", coarsen.RM, refine.GR, 894},
+		{"WAVE", coarsen.RM, refine.KLR, 887},
+		{"WAVE", coarsen.RM, refine.BGR, 894},
+		{"WAVE", coarsen.RM, refine.BKLR, 925},
+		{"WAVE", coarsen.RM, refine.BKLGR, 894},
+		{"WAVE", coarsen.RM, refine.BKWAY, 894},
+		{"WAVE", coarsen.HEM, refine.GR, 934},
+		{"WAVE", coarsen.HEM, refine.KLR, 884},
+		{"WAVE", coarsen.HEM, refine.BGR, 904},
+		{"WAVE", coarsen.HEM, refine.BKLR, 890},
+		{"WAVE", coarsen.HEM, refine.BKLGR, 934},
+		{"WAVE", coarsen.HEM, refine.BKWAY, 934},
+	}
+	for _, tc := range cases {
+		res, err := Partition(graphs[tc.workload].Graph, 8,
+			Options{Seed: 3}.WithMatching(tc.matching).WithRefinement(tc.policy))
+		if err != nil {
+			t.Fatalf("%s/%s/%s: %v", tc.workload, tc.matching, tc.policy, err)
+		}
+		if res.EdgeCut != tc.wantCut {
+			t.Errorf("%s/%s/%s: cut=%d, want %d",
+				tc.workload, tc.matching, tc.policy, res.EdgeCut, tc.wantCut)
+		}
+	}
+}
+
+// TestGoldenBKWAYDirectParity pins the direct k-way BKWAY result and
+// asserts the engine's parity contract end-to-end: RefineWorkers changes
+// scheduling only, never the partition.
+func TestGoldenBKWAYDirectParity(t *testing.T) {
+	w, err := matgen.Generate("BRCK", 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := PartitionKWay(w.Graph, 16,
+		Options{Seed: 3}.WithRefinement(refine.BKWAY))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPW := []int{37, 37, 36, 38, 37, 35, 38, 37, 37, 37, 38, 37, 38, 38, 37, 37}
+	if serial.EdgeCut != 675 || !reflect.DeepEqual(serial.PartWeights, wantPW) {
+		t.Errorf("serial BKWAY: cut=%d pw=%v, want cut=675 pw=%v",
+			serial.EdgeCut, serial.PartWeights, wantPW)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		par, err := PartitionKWay(w.Graph, 16,
+			Options{Seed: 3, RefineWorkers: workers}.WithRefinement(refine.BKWAY))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.EdgeCut != serial.EdgeCut {
+			t.Errorf("RefineWorkers=%d: cut=%d, serial %d", workers, par.EdgeCut, serial.EdgeCut)
+		}
+		if !reflect.DeepEqual(par.Where, serial.Where) {
+			t.Errorf("RefineWorkers=%d: partition vector diverges from serial", workers)
+		}
+	}
+}

@@ -84,6 +84,12 @@ type Options struct {
 	// of the worker count. The paper observes that coarsening is the easy
 	// phase to parallelize; this is that observation for shared memory.
 	CoarsenWorkers int
+	// RefineWorkers > 1 fans the propose phase of boundary k-way refinement
+	// (the BKWAY policy on the direct k-way path) out over that many
+	// workers. Unlike CoarsenWorkers it never changes the result: proposals
+	// are chunk-independent and commits are serial, so the partition is
+	// bit-identical for every worker count. <= 1 refines serially.
+	RefineWorkers int
 
 	// Context, when non-nil, is checked at every level boundary of the
 	// V-cycle and at every recursion step: once it is cancelled or past
@@ -146,17 +152,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// validate rejects option/argument combinations that would otherwise
-// recurse silently into nonsense: non-positive or oversized k, negative
-// trial counts, and imbalance factors below 1 (every part may always hold
-// at least its target weight).
-func validate(g *graph.Graph, k int, o Options) error {
-	if k < 1 {
-		return fmt.Errorf("multilevel: k = %d, want >= 1", k)
-	}
-	if k > g.NumVertices() && g.NumVertices() > 0 {
-		return fmt.Errorf("multilevel: k = %d exceeds vertex count %d", k, g.NumVertices())
-	}
+// Validate rejects option values that would otherwise recurse silently
+// into nonsense: unknown phase algorithms, negative trial/worker counts,
+// and imbalance factors below 1 (every part may always hold at least its
+// target weight). It checks the options alone — constraints that also
+// involve the graph or k (k in range, k vs vertex count) live in validate,
+// which every entry point runs — so callers like the service can reject a
+// malformed request before any graph work happens.
+func (o Options) Validate() error {
 	if o.NCuts < 0 {
 		return fmt.Errorf("multilevel: NCuts = %d, want >= 0", o.NCuts)
 	}
@@ -175,6 +178,9 @@ func validate(g *graph.Graph, k int, o Options) error {
 	if o.CoarsenWorkers < 0 {
 		return fmt.Errorf("multilevel: CoarsenWorkers = %d, want >= 0", o.CoarsenWorkers)
 	}
+	if o.RefineWorkers < 0 {
+		return fmt.Errorf("multilevel: RefineWorkers = %d, want >= 0", o.RefineWorkers)
+	}
 	if o.Ubfactor != 0 && o.Ubfactor < 1 {
 		return fmt.Errorf("multilevel: Ubfactor = %v, want >= 1 (or 0 for the default)", o.Ubfactor)
 	}
@@ -185,6 +191,18 @@ func validate(g *graph.Graph, k int, o Options) error {
 		return fmt.Errorf("multilevel: ParallelMinVertices = %d, want >= 0", o.ParallelMinVertices)
 	}
 	return nil
+}
+
+// validate is the full entry-point check: the option checks of Validate
+// plus the constraints that need the graph and k.
+func validate(g *graph.Graph, k int, o Options) error {
+	if k < 1 {
+		return fmt.Errorf("multilevel: k = %d, want >= 1", k)
+	}
+	if k > g.NumVertices() && g.NumVertices() > 0 {
+		return fmt.Errorf("multilevel: k = %d exceeds vertex count %d", k, g.NumVertices())
+	}
+	return o.Validate()
 }
 
 // Stats reports where the time went, matching the columns of the paper's

@@ -30,6 +30,14 @@ const (
 	// BKLGR combines BKLR and BGR: BKLR while the boundary of the current
 	// graph is small (< 2% of the original vertex count), BGR afterwards.
 	BKLGR
+	// BKWAY — boundary k-way refinement — is the direct k-way engine of
+	// kwayfm.go: greedy moves restricted to an explicitly maintained
+	// boundary set, with optionally parallel propose phases. On the 2-way
+	// bisection path it behaves exactly like BKLGR (the boundary engine
+	// needs a k-way partition object, which recursive bisection does not
+	// build); the policy changes behavior only where a direct k-way
+	// uncoarsening runs (Options.KWayRefine / PartitionDirectKWay).
+	BKWAY
 )
 
 // String returns the policy's abbreviation as used in the paper.
@@ -47,13 +55,15 @@ func (p Policy) String() string {
 		return "BKLR"
 	case BKLGR:
 		return "BKLGR"
+	case BKWAY:
+		return "BKWAY"
 	}
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
 
 // Valid reports whether p is one of the defined policies; Refine panics
 // on anything else, so user-reachable entry points must gate on this.
-func (p Policy) Valid() bool { return p >= NoRefine && p <= BKLGR }
+func (p Policy) Valid() bool { return p >= NoRefine && p <= BKWAY }
 
 // ParsePolicy converts an abbreviation to a Policy.
 func ParsePolicy(s string) (Policy, error) {
@@ -70,6 +80,8 @@ func ParsePolicy(s string) (Policy, error) {
 		return BKLR, nil
 	case "BKLGR":
 		return BKLGR, nil
+	case "BKWAY":
+		return BKWAY, nil
 	}
 	return 0, fmt.Errorf("refine: unknown refinement policy %q", s)
 }
@@ -168,6 +180,15 @@ func Refine(b *Bisection, policy Policy, opts Options) int {
 		// while the boundary is small relative to the original graph,
 		// single-pass boundary refinement once it is large.
 		if len(b.Boundary())*50 < opts.OrigNvtxs { // boundary < 2% of original n
+			iterate(b, opts, true)
+		} else {
+			fmPass(b, opts, true, 0)
+		}
+	case BKWAY:
+		// The boundary k-way engine (kwayfm.go) only exists on the direct
+		// k-way path; on a 2-way bisection BKWAY means BKLGR, so recursive
+		// bisections inside a BKWAY run still refine at full quality.
+		if len(b.Boundary())*50 < opts.OrigNvtxs {
 			iterate(b, opts, true)
 		} else {
 			fmPass(b, opts, true, 0)

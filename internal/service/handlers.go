@@ -275,8 +275,8 @@ func cloneOptions(o *mlpart.Options) *mlpart.Options {
 // canonicalOptions renders the result-affecting options in defaulted
 // form: requests that spell the defaults explicitly share cache entries
 // with requests that omit them, and the scheduling-only knobs (Parallel,
-// ParallelDepth, ParallelMinVertices — parity-tested to not change
-// results) are excluded entirely.
+// ParallelDepth, ParallelMinVertices, RefineWorkers — parity-tested to
+// not change results) are excluded entirely.
 func canonicalOptions(o *mlpart.Options) string {
 	c := mlpart.Options{}
 	if o != nil {
@@ -343,6 +343,9 @@ func decodePartition(dec *json.Decoder) (job, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bad graph: %v", err)
 	}
+	if err := req.Options.Validate(); err != nil {
+		return nil, fmt.Errorf("bad options: %v", err)
+	}
 	switch req.Method {
 	case "", mlpart.MethodRecursive, mlpart.MethodKWay:
 	default:
@@ -406,15 +409,16 @@ func (j *partitionJob) run(ctx context.Context, tr mlpart.Tracer, inj *mlpart.Fa
 		return nil, err
 	}
 	return &mlpart.PartitionResponse{
-		Kind:         mlpart.WireKindResult,
-		Vertices:     j.g.NumVertices(),
-		Edges:        j.g.NumEdges(),
-		K:            k,
-		EdgeCut:      res.EdgeCut,
-		Balance:      res.Balance(),
-		PartWeights:  res.PartWeights,
-		Where:        res.Where,
-		Degradations: res.Degradations,
+		Kind:          mlpart.WireKindResult,
+		SchemaVersion: mlpart.SchemaVersion,
+		Vertices:      j.g.NumVertices(),
+		Edges:         j.g.NumEdges(),
+		K:             k,
+		EdgeCut:       res.EdgeCut,
+		Balance:       res.Balance(),
+		PartWeights:   res.PartWeights,
+		Where:         res.Where,
+		Degradations:  res.Degradations,
 	}, nil
 }
 
@@ -433,6 +437,9 @@ func decodeOrder(dec *json.Decoder) (job, error) {
 	g, err := req.Graph.ToGraph()
 	if err != nil {
 		return nil, fmt.Errorf("bad graph: %v", err)
+	}
+	if err := req.Options.Validate(); err != nil {
+		return nil, fmt.Errorf("bad options: %v", err)
 	}
 	return &orderJob{req: req, g: g}, nil
 }
@@ -453,11 +460,12 @@ func (j *orderJob) run(ctx context.Context, tr mlpart.Tracer, inj *mlpart.FaultI
 		return nil, err
 	}
 	resp := &mlpart.OrderResponse{
-		Kind:     mlpart.WireKindOrder,
-		Vertices: j.g.NumVertices(),
-		Edges:    j.g.NumEdges(),
-		Perm:     perm,
-		Iperm:    iperm,
+		Kind:          mlpart.WireKindOrder,
+		SchemaVersion: mlpart.SchemaVersion,
+		Vertices:      j.g.NumVertices(),
+		Edges:         j.g.NumEdges(),
+		Perm:          perm,
+		Iperm:         iperm,
 	}
 	if j.req.Analyze {
 		stats, err := mlpart.AnalyzeOrdering(j.g, perm)
@@ -484,6 +492,9 @@ func decodeRepartition(dec *json.Decoder) (job, error) {
 	g, err := req.Graph.ToGraph()
 	if err != nil {
 		return nil, fmt.Errorf("bad graph: %v", err)
+	}
+	if err := req.Options.Validate(); err != nil {
+		return nil, fmt.Errorf("bad options: %v", err)
 	}
 	return &repartitionJob{req: req, g: g}, nil
 }
@@ -519,6 +530,7 @@ func (j *repartitionJob) run(ctx context.Context, _ mlpart.Tracer, _ *mlpart.Fau
 	}
 	return &mlpart.RepartitionResponse{
 		Kind:           mlpart.WireKindRepartition,
+		SchemaVersion:  mlpart.SchemaVersion,
 		Vertices:       j.g.NumVertices(),
 		Edges:          j.g.NumEdges(),
 		K:              j.req.K,

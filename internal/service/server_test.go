@@ -211,6 +211,15 @@ func TestBadRequests(t *testing.T) {
 		{"k zero", "/v1/partition", `{"graph":{"xadj":[0,0],"adjncy":[]}}`},
 		{"fractions with kway", "/v1/partition", `{"graph":{"xadj":[0,0],"adjncy":[]},"fractions":[1,1],"method":"kway"}`},
 		{"bad repartition ubfactor", "/v1/repartition", `{"graph":{"xadj":[0,0],"adjncy":[]},"k":1,"where":[0],"options":{"ubfactor":0.5}}`},
+		// Malformed Options must be classified at decode time — a 400, not
+		// a 500 from deep inside the engine (Options.Validate up front).
+		{"unknown matching scheme", "/v1/partition", `{"graph":{"xadj":[0,0],"adjncy":[]},"k":1,"options":{"matching":"XYZ"}}`},
+		{"unknown refinement policy", "/v1/partition", `{"graph":{"xadj":[0,0],"adjncy":[]},"k":1,"options":{"refinement":"FMPP"}}`},
+		{"ubfactor below one", "/v1/partition", `{"graph":{"xadj":[0,0],"adjncy":[]},"k":1,"options":{"ubfactor":0.5}}`},
+		{"negative ncuts", "/v1/partition", `{"graph":{"xadj":[0,0],"adjncy":[]},"k":1,"options":{"ncuts":-1}}`},
+		{"negative refine workers", "/v1/partition", `{"graph":{"xadj":[0,0],"adjncy":[]},"k":1,"options":{"refine_workers":-2}}`},
+		{"bad order options", "/v1/order", `{"graph":{"xadj":[0,0],"adjncy":[]},"options":{"init_part":"QQQ"}}`},
+		{"negative migration weight", "/v1/repartition", `{"graph":{"xadj":[0,0],"adjncy":[]},"k":1,"where":[0],"options":{"migration_weight":-1}}`},
 	}
 	for _, tc := range cases {
 		resp, err := ts.Client().Post(ts.URL+tc.url, "application/json", strings.NewReader(tc.body))
@@ -226,6 +235,9 @@ func TestBadRequests(t *testing.T) {
 		if err := json.Unmarshal(data, &er); err != nil || er.Kind != mlpart.WireKindError || er.Error == "" {
 			t.Errorf("%s: not an error object: %s", tc.name, data)
 		}
+		if er.SchemaVersion != mlpart.SchemaVersion {
+			t.Errorf("%s: schema_version = %d, want %d", tc.name, er.SchemaVersion, mlpart.SchemaVersion)
+		}
 	}
 	if got := s.met.badReqs.Load(); got != int64(len(cases)) {
 		t.Errorf("bad_requests = %d, want %d", got, len(cases))
@@ -240,6 +252,44 @@ func TestBadRequests(t *testing.T) {
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET on compute endpoint: status %d, want 405", resp.StatusCode)
 	}
+}
+
+// TestResponsesCarrySchemaVersion pins that every /v1 result object — all
+// three endpoints — reports the wire schema version.
+func TestResponsesCarrySchemaVersion(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	wg := gridGraph(8, 8)
+
+	check := func(name string, data []byte) {
+		t.Helper()
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if v, ok := m["schema_version"]; !ok || v != float64(mlpart.SchemaVersion) {
+			t.Errorf("%s: schema_version = %v, want %d (%s)", name, v, mlpart.SchemaVersion, data)
+		}
+	}
+
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/partition", mlpart.PartitionRequest{Graph: wg, K: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partition: status %d: %s", resp.StatusCode, data)
+	}
+	check("partition", data)
+
+	resp, data = postJSON(t, ts.Client(), ts.URL+"/v1/order", mlpart.OrderRequest{Graph: wg})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("order: status %d: %s", resp.StatusCode, data)
+	}
+	check("order", data)
+
+	resp, data = postJSON(t, ts.Client(), ts.URL+"/v1/repartition", mlpart.RepartitionRequest{
+		Graph: wg, K: 2, Where: make([]int, 64),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repartition: status %d: %s", resp.StatusCode, data)
+	}
+	check("repartition", data)
 }
 
 func TestHealthz(t *testing.T) {

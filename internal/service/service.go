@@ -235,7 +235,8 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(mlpart.ErrorResponse{
-		Kind:  mlpart.WireKindError,
-		Error: fmt.Sprintf(format, args...),
+		Kind:          mlpart.WireKindError,
+		SchemaVersion: mlpart.SchemaVersion,
+		Error:         fmt.Sprintf(format, args...),
 	})
 }

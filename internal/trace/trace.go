@@ -97,6 +97,10 @@ type Event struct {
 	Moves int `json:"moves,omitempty"`
 	// PositiveGainMoves counts the moves whose gain was positive when made.
 	PositiveGainMoves int `json:"positive_gain_moves,omitempty"`
+	// Boundary is the size of the boundary vertex set at the start of a
+	// boundary-restricted refinement pass (BKWAY); 0 for passes that do
+	// not track it.
+	Boundary int `json:"boundary,omitempty"`
 
 	// Algorithm names the algorithm behind the event ("GGGP", "BKLGR",
 	// "KWAY", ...).

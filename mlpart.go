@@ -31,7 +31,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"math/rand"
 
 	"mlpart/internal/coarsen"
 	"mlpart/internal/faults"
@@ -122,6 +121,7 @@ const (
 	RefineBGR   = "BGR"   // boundary greedy
 	RefineBKLR  = "BKLR"  // boundary Kernighan-Lin
 	RefineBKLGR = "BKLGR" // hybrid (default; the paper's choice)
+	RefineBKWAY = "BKWAY" // boundary k-way engine on the direct k-way path
 )
 
 // Options configures partitioning and ordering. The zero value (and a nil
@@ -140,8 +140,10 @@ type Options struct {
 	// InitSBP. Empty means InitGGGP.
 	InitPart string `json:"init_part,omitempty"`
 	// Refinement is the uncoarsening policy: RefineNone, RefineGR,
-	// RefineKLR, RefineBGR, RefineBKLR or RefineBKLGR. Empty means
-	// RefineBKLGR.
+	// RefineKLR, RefineBGR, RefineBKLR, RefineBKLGR or RefineBKWAY. Empty
+	// means RefineBKLGR. RefineBKWAY selects the boundary k-way engine on
+	// the direct k-way path (PartitionDirectKWay and the KWayRefine
+	// post-pass) and behaves like RefineBKLGR during recursive bisection.
 	Refinement string `json:"refinement,omitempty"`
 	// CoarsenTo is the coarsest-graph size (0 means 100).
 	CoarsenTo int `json:"coarsen_to,omitempty"`
@@ -174,6 +176,11 @@ type Options struct {
 	// a fixed seed regardless of worker count, but the matching differs
 	// from the sequential default.
 	CoarsenWorkers int `json:"coarsen_workers,omitempty"`
+	// RefineWorkers > 1 fans the propose phase of RefineBKWAY boundary
+	// k-way refinement out over that many workers. Pure scheduling: the
+	// partition is bit-identical for every worker count (proposals are
+	// chunk-independent, commits serial). <= 1 refines serially.
+	RefineWorkers int `json:"refine_workers,omitempty"`
 	// CompressGraph enables indistinguishable-vertex compression before
 	// NestedDissection: groups of vertices with identical closed
 	// neighborhoods (multiple degrees of freedom per mesh node) collapse
@@ -253,6 +260,7 @@ func (o *Options) toML() (multilevel.Options, error) {
 	ml.KWayRefine = o.KWayRefine
 	ml.NCuts = o.NCuts
 	ml.CoarsenWorkers = o.CoarsenWorkers
+	ml.RefineWorkers = o.RefineWorkers
 	ml.Tracer = o.Tracer
 	if o.FaultInjector != nil {
 		ml.Injector = o.FaultInjector
@@ -285,6 +293,27 @@ func (o *Options) toML() (multilevel.Options, error) {
 		ml = ml.WithRefinement(p)
 	}
 	return ml, nil
+}
+
+// Validate reports whether the options are well-formed without running
+// anything: unknown algorithm names, negative counts, imbalance factors
+// below 1 and invalid FaultPlan strings are rejected with the same error
+// the entry points would return. A nil receiver (the default
+// configuration) is always valid. Servers should call it before accepting
+// a request so a malformed configuration is a client error, never an
+// internal one.
+func (o *Options) Validate() error {
+	if o == nil {
+		return nil
+	}
+	ml, err := o.toML()
+	if err != nil {
+		return fmt.Errorf("mlpart: %w", err)
+	}
+	if err := ml.Validate(); err != nil {
+		return fmt.Errorf("mlpart: %w", err)
+	}
+	return nil
 }
 
 // Partitioning is the result of a k-way partition.
@@ -411,32 +440,11 @@ func Bisect(g *Graph, opts *Options) (*Partitioning, error) {
 	return BisectCtx(context.Background(), g, opts)
 }
 
-// BisectCtx is Bisect with cancellation, mirroring PartitionCtx.
-func BisectCtx(ctx context.Context, g *Graph, opts *Options) (p *Partitioning, err error) {
-	ml, err := optsOrDefault(opts)
-	if err != nil {
-		return nil, err
-	}
-	ml.Context = ctx
-	// multilevel.Bisect escalates non-cancellation failures (worker panics,
-	// injected faults) as panics; this is the recovery boundary that turns
-	// them into errors for library callers.
-	defer func() {
-		if r := recover(); r != nil {
-			p, err = nil, fmt.Errorf("mlpart: %w", faults.AsPanic("mlpart/bisect", r))
-		}
-	}()
-	rng := rand.New(rand.NewSource(ml.Seed))
-	b, stats := multilevel.Bisect(g, 0, ml, rng)
-	if b == nil {
-		return nil, fmt.Errorf("mlpart: %w", ctx.Err())
-	}
-	return &Partitioning{
-		Where:        b.Where,
-		EdgeCut:      b.Cut,
-		PartWeights:  []int{b.Pwgt[0], b.Pwgt[1]},
-		Degradations: stats.Degradations,
-	}, nil
+// BisectCtx is Bisect with cancellation, mirroring PartitionCtx. It is the
+// k = 2 case of PartitionCtx — one engine path, one set of recovery and
+// cancellation semantics — and produces the identical partition.
+func BisectCtx(ctx context.Context, g *Graph, opts *Options) (*Partitioning, error) {
+	return PartitionCtx(ctx, g, 2, opts)
 }
 
 // EdgeCut returns the edge-cut of an arbitrary partition vector of g; use

@@ -21,10 +21,15 @@ type RepartitionOptions struct {
 	Seed int64 `json:"seed,omitempty"`
 }
 
-// validate rejects option values that would silently misbehave inside the
+// Validate rejects option values that would silently misbehave inside the
 // rebalancing sweeps (an Ubfactor below 1 makes every part overweight; a
-// negative MigrationWeight rewards churn).
-func (o *RepartitionOptions) validate() error {
+// negative MigrationWeight rewards churn). A nil receiver (the default
+// configuration) is always valid; like (*Options).Validate it lets servers
+// classify a malformed configuration as a client error up front.
+func (o *RepartitionOptions) Validate() error {
+	if o == nil {
+		return nil
+	}
 	if o.Ubfactor != 0 && o.Ubfactor < 1 {
 		return fmt.Errorf("mlpart: RepartitionOptions.Ubfactor = %v, want >= 1 (or 0 for the default 1.05)", o.Ubfactor)
 	}
@@ -68,11 +73,11 @@ func Repartition(g *Graph, k int, oldWhere []int, opts *RepartitionOptions) (*Re
 			return nil, fmt.Errorf("mlpart: oldWhere[%d] = %d, want a part in [0,%d)", v, p, k)
 		}
 	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if opts == nil {
 		opts = &RepartitionOptions{}
-	}
-	if err := opts.validate(); err != nil {
-		return nil, err
 	}
 	where := append([]int(nil), oldWhere...)
 	p := kway.NewPartition(g, k, where)

@@ -5,16 +5,26 @@
 # of the paper-table benchmarks.
 #
 # Usage:
-#   scripts/bench.sh                 # full suite, 1 iteration per benchmark
-#   BENCHTIME=5x scripts/bench.sh    # more iterations
-#   BENCH=Table4 scripts/bench.sh    # subset by regexp
+#   scripts/bench.sh                          # full suite, 1 iteration each
+#   BENCHTIME=5x scripts/bench.sh             # more iterations
+#   BENCH=Table4 scripts/bench.sh             # subset by regexp
+#   OUT=BENCH_5.json scripts/bench.sh         # snapshot filename override
+#   scripts/bench.sh --compare old.json       # also print the delta table
+#                                             # (ns/op, allocs/op) vs old.json
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1x}"
 BENCH="${BENCH:-.}"
-OUT="BENCH_$(date +%Y%m%d).json"
+OUT="${OUT:-BENCH_$(date +%Y%m%d).json}"
+
+BASELINE=""
+if [ "${1:-}" = "--compare" ]; then
+    [ $# -ge 2 ] || { echo "bench.sh: --compare needs a baseline snapshot" >&2; exit 2; }
+    BASELINE="$2"
+    [ -f "$BASELINE" ] || { echo "bench.sh: baseline $BASELINE not found" >&2; exit 2; }
+fi
 
 go test -json -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . ./internal/... >"$OUT"
 
@@ -23,3 +33,8 @@ grep -c '"Action":"output"' "$OUT" >/dev/null || {
     exit 1
 }
 echo "benchmark snapshot written to $OUT"
+
+if [ -n "$BASELINE" ]; then
+    echo "== benchcmp vs $BASELINE"
+    go run ./scripts/benchcmp "$BASELINE" "$OUT"
+fi

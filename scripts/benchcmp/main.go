@@ -1,0 +1,168 @@
+// Command benchcmp compares two benchmark snapshots produced by
+// scripts/bench.sh (go test -json -bench output, one event per line) and
+// prints a benchstat-style delta table for ns/op and allocs/op:
+//
+//	go run ./scripts/benchcmp old.json new.json
+//
+// Benchmarks present in only one snapshot are listed separately. The exit
+// code is 0 regardless of deltas unless -fail-over is set to a percentage,
+// in which case any ns/op regression beyond it exits 1 — CI runs without
+// the flag so the comparison stays a report, never a gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	nsOp      float64
+	allocsOp  float64
+	hasAllocs bool
+}
+
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// benchLine matches a complete benchmark result line after the per-package
+// output has been reassembled: name, iteration count, ns/op, and the rest
+// of the measurements.
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+var allocsRe = regexp.MustCompile(`([0-9.]+) allocs/op`)
+
+func readSnapshot(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	// go test -json splits benchmark lines across output events
+	// arbitrarily, so reassemble the full output text per package first.
+	outputs := map[string]*strings.Builder{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON noise
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b := outputs[ev.Package]
+		if b == nil {
+			b = &strings.Builder{}
+			outputs[ev.Package] = b
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	res := map[string]result{}
+	for pkg, b := range outputs {
+		for _, m := range benchLine.FindAllStringSubmatch(b.String(), -1) {
+			name := pkg + "." + m[1]
+			nsOp, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			r := result{nsOp: nsOp}
+			if am := allocsRe.FindStringSubmatch(m[3]); am != nil {
+				r.allocsOp, _ = strconv.ParseFloat(am[1], 64)
+				r.hasAllocs = true
+			}
+			res[name] = r
+		}
+	}
+	return res, nil
+}
+
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+func main() {
+	failOver := flag.Float64("fail-over", 0,
+		"exit 1 if any ns/op regression exceeds this percentage (0 disables)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-fail-over N] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := readSnapshot(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := readSnapshot(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+
+	var common, onlyOld, onlyNew []string
+	for name := range old {
+		if _, ok := cur[name]; ok {
+			common = append(common, name)
+		} else {
+			onlyOld = append(onlyOld, name)
+		}
+	}
+	for name := range cur {
+		if _, ok := old[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	sort.Strings(common)
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+
+	if len(common) == 0 {
+		fmt.Println("benchcmp: no common benchmarks")
+	} else {
+		fmt.Printf("%-60s %14s %14s %8s %10s\n",
+			"benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+		for _, name := range common {
+			o, n := old[name], cur[name]
+			alloc := "-"
+			if o.hasAllocs && n.hasAllocs {
+				alloc = fmt.Sprintf("%.0f→%.0f", o.allocsOp, n.allocsOp)
+			}
+			fmt.Printf("%-60s %14.0f %14.0f %+7.1f%% %10s\n",
+				name, o.nsOp, n.nsOp, pct(o.nsOp, n.nsOp), alloc)
+		}
+	}
+	for _, name := range onlyOld {
+		fmt.Printf("%-60s only in %s\n", name, flag.Arg(0))
+	}
+	for _, name := range onlyNew {
+		fmt.Printf("%-60s only in %s\n", name, flag.Arg(1))
+	}
+
+	if *failOver > 0 {
+		for _, name := range common {
+			if d := pct(old[name].nsOp, cur[name].nsOp); d > *failOver {
+				fmt.Fprintf(os.Stderr, "benchcmp: %s regressed %.1f%% (limit %.1f%%)\n",
+					name, d, *failOver)
+				os.Exit(1)
+			}
+		}
+	}
+}

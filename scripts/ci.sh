@@ -38,6 +38,18 @@ done
 echo "== service smoke (live daemon vs CLI, healthz, readyz drain, cache, SIGTERM)"
 go run ./scripts/servicesmoke
 
+echo "== perf report (refine benchmarks vs committed baseline, non-fatal)"
+perf_now="$(mktemp)"
+if go test -json -run '^$' -bench 'BenchmarkRefineKWay|BenchmarkRefinePolicies' \
+    -benchmem -benchtime 3x ./internal/refine/ >"$perf_now" 2>/dev/null; then
+    # Report-only: machine variance makes ns/op deltas advisory in CI. To
+    # gate locally, add -fail-over 25 to the benchcmp invocation.
+    go run ./scripts/benchcmp scripts/perf_baseline.json "$perf_now" || true
+else
+    echo "perf report skipped: benchmark run failed" >&2
+fi
+rm -f "$perf_now"
+
 echo "== fuzz smoke (graph readers)"
 go test -fuzz '^FuzzRead$' -fuzztime 10s -run '^$' ./internal/graph/
 go test -fuzz '^FuzzReadMatrixMarket$' -fuzztime 10s -run '^$' ./internal/graph/

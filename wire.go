@@ -6,6 +6,15 @@ package mlpart
 // the other without remapping fields. Options and RepartitionOptions
 // complete the schema; see their declarations for the option tags.
 
+// SchemaVersion is the version of the /v1 wire schema. Every response
+// object — results and errors, from the daemon and from `mlpart -json`
+// alike — carries it in its "schema_version" field so clients can detect
+// incompatible changes mechanically instead of by breakage. The version
+// only increments on breaking changes (a removed or re-typed field);
+// additive fields ship under the same version. docs/SERVICE.md states the
+// full versioning and deprecation policy.
+const SchemaVersion = 1
+
 // Wire kind discriminators: every response object carries one in its
 // "kind" field, and the CLI -trace stream uses the trace event kinds
 // alongside them.
@@ -100,15 +109,17 @@ type RepartitionRequest struct {
 // travels in the X-Compute-Ns header so that cached replies stay
 // byte-identical to cold ones).
 type PartitionResponse struct {
-	Kind        string  `json:"kind"`
-	Graph       string  `json:"graph,omitempty"`
-	Vertices    int     `json:"vertices"`
-	Edges       int     `json:"edges"`
-	K           int     `json:"k"`
-	EdgeCut     int     `json:"edge_cut"`
-	Balance     float64 `json:"balance"`
-	PartWeights []int   `json:"part_weights"`
-	Where       []int   `json:"where,omitempty"`
+	Kind string `json:"kind"`
+	// SchemaVersion is always SchemaVersion (1); see the constant.
+	SchemaVersion int     `json:"schema_version"`
+	Graph         string  `json:"graph,omitempty"`
+	Vertices      int     `json:"vertices"`
+	Edges         int     `json:"edges"`
+	K             int     `json:"k"`
+	EdgeCut       int     `json:"edge_cut"`
+	Balance       float64 `json:"balance"`
+	PartWeights   []int   `json:"part_weights"`
+	Where         []int   `json:"where,omitempty"`
 	// Degradations lists the graceful-degradation fallbacks the run took;
 	// empty (and omitted) on a clean run. A degraded result is valid and
 	// balanced but may have a worse cut than a clean run would produce.
@@ -118,9 +129,10 @@ type PartitionResponse struct {
 
 // OrderResponse is the result object of a nested-dissection ordering.
 type OrderResponse struct {
-	Kind     string `json:"kind"`
-	Vertices int    `json:"vertices"`
-	Edges    int    `json:"edges"`
+	Kind          string `json:"kind"`
+	SchemaVersion int    `json:"schema_version"`
+	Vertices      int    `json:"vertices"`
+	Edges         int    `json:"edges"`
 	// Perm[i] is the vertex eliminated i-th; Iperm is its inverse.
 	Perm      []int          `json:"perm"`
 	Iperm     []int          `json:"iperm"`
@@ -131,6 +143,7 @@ type OrderResponse struct {
 // RepartitionResponse is the result object of an adaptive repartition.
 type RepartitionResponse struct {
 	Kind           string `json:"kind"`
+	SchemaVersion  int    `json:"schema_version"`
 	Vertices       int    `json:"vertices"`
 	Edges          int    `json:"edges"`
 	K              int    `json:"k"`
@@ -143,6 +156,7 @@ type RepartitionResponse struct {
 
 // ErrorResponse is the body of every non-2xx daemon reply.
 type ErrorResponse struct {
-	Kind  string `json:"kind"`
-	Error string `json:"error"`
+	Kind          string `json:"kind"`
+	SchemaVersion int    `json:"schema_version"`
+	Error         string `json:"error"`
 }

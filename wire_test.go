@@ -65,14 +65,17 @@ func TestWireRoundTrip(t *testing.T) {
 		&mlpart.OrderRequest{Graph: graph, Options: opts, Analyze: true, TimeoutMS: 10},
 		&mlpart.RepartitionRequest{Graph: graph, K: 2, Where: []int{0, 1},
 			Options: &mlpart.RepartitionOptions{Ubfactor: 1.03, MigrationWeight: 2.5, Seed: 8}},
-		&mlpart.PartitionResponse{Kind: mlpart.WireKindResult, Graph: "g", Vertices: 2, Edges: 1,
+		&mlpart.PartitionResponse{Kind: mlpart.WireKindResult, SchemaVersion: mlpart.SchemaVersion,
+			Graph: "g", Vertices: 2, Edges: 1,
 			K: 2, EdgeCut: 2, Balance: 1.5, PartWeights: []int{1, 3}, Where: []int{0, 1}, ElapsedNS: 12345},
-		&mlpart.OrderResponse{Kind: mlpart.WireKindOrder, Vertices: 2, Edges: 1,
+		&mlpart.OrderResponse{Kind: mlpart.WireKindOrder, SchemaVersion: mlpart.SchemaVersion,
+			Vertices: 2, Edges: 1,
 			Perm: []int{1, 0}, Iperm: []int{1, 0},
 			Analysis: &mlpart.OrderingStats{FactorNonzeros: 3, OperationCount: 5, TreeHeight: 2}},
-		&mlpart.RepartitionResponse{Kind: mlpart.WireKindRepartition, Vertices: 2, Edges: 1, K: 2,
+		&mlpart.RepartitionResponse{Kind: mlpart.WireKindRepartition, SchemaVersion: mlpart.SchemaVersion,
+			Vertices: 2, Edges: 1, K: 2,
 			EdgeCut: 2, PartWeights: []int{1, 3}, Where: []int{0, 1}, MigratedWeight: 1},
-		&mlpart.ErrorResponse{Kind: mlpart.WireKindError, Error: "boom"},
+		&mlpart.ErrorResponse{Kind: mlpart.WireKindError, SchemaVersion: mlpart.SchemaVersion, Error: "boom"},
 	}
 	for _, in := range cases {
 		data, err := json.Marshal(in)
@@ -85,6 +88,39 @@ func TestWireRoundTrip(t *testing.T) {
 		}
 		if !reflect.DeepEqual(in, out) {
 			t.Errorf("%T does not round-trip:\n in: %+v\nout: %+v\nwire: %s", in, in, out, data)
+		}
+	}
+}
+
+// TestWireSchemaVersion pins that every response type carries the
+// "schema_version" field on the wire, always encoded (never omitted), and
+// that the constant is 1 — the version documented in docs/SERVICE.md.
+func TestWireSchemaVersion(t *testing.T) {
+	if mlpart.SchemaVersion != 1 {
+		t.Fatalf("SchemaVersion = %d, want 1 (bump docs/SERVICE.md and this test on a breaking change)", mlpart.SchemaVersion)
+	}
+	responses := []any{
+		&mlpart.PartitionResponse{Kind: mlpart.WireKindResult, SchemaVersion: mlpart.SchemaVersion},
+		&mlpart.OrderResponse{Kind: mlpart.WireKindOrder, SchemaVersion: mlpart.SchemaVersion},
+		&mlpart.RepartitionResponse{Kind: mlpart.WireKindRepartition, SchemaVersion: mlpart.SchemaVersion},
+		&mlpart.ErrorResponse{Kind: mlpart.WireKindError, SchemaVersion: mlpart.SchemaVersion},
+	}
+	for _, resp := range responses {
+		data, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatalf("%T: %v", resp, err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatalf("%T: %v", resp, err)
+		}
+		v, ok := m["schema_version"]
+		if !ok {
+			t.Errorf("%T: no schema_version on the wire: %s", resp, data)
+			continue
+		}
+		if v != float64(mlpart.SchemaVersion) {
+			t.Errorf("%T: schema_version = %v, want %d", resp, v, mlpart.SchemaVersion)
 		}
 	}
 }
