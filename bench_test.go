@@ -6,11 +6,16 @@
 package mlpart_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
+	"mlpart"
 	"mlpart/internal/chaco"
 	"mlpart/internal/coarsen"
 	"mlpart/internal/experiments"
@@ -432,6 +437,117 @@ func BenchmarkBoundaryKWay(b *testing.B) {
 					WithRefinement(refine.BKWAY))
 		})
 	})
+}
+
+// BenchmarkIngest is the zero-copy ingest acceptance benchmark: the same
+// ~125k-vertex 3D FE mesh decoded from each wire encoding. JSON and METIS
+// text re-tokenize every number; the binary CSR decode aliases the payload
+// buffer (one fused validation pass, ≤1 graph-sized allocation), and the
+// mmap variant adds only the mapping syscall. The JSON/Binary ns/op ratio
+// is the headline number in docs/PERFORMANCE.md's ingest table.
+func BenchmarkIngest(b *testing.B) {
+	g := matgen.FE3DTetra(50, 50, 50, 3)
+	wantFP := g.Fingerprint()
+
+	jsonBody, err := json.Marshal(mlpart.NewWireGraph(g))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var metisBuf bytes.Buffer
+	if err := mlpart.WriteGraph(&metisBuf, g); err != nil {
+		b.Fatal(err)
+	}
+	var binBuf bytes.Buffer
+	if err := mlpart.WriteBinaryGraph(&binBuf, g); err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "g.csrb")
+	if err := os.WriteFile(path, binBuf.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+
+	check := func(b *testing.B, got *mlpart.Graph) {
+		b.Helper()
+		if got == nil || got.Fingerprint() != wantFP {
+			b.Fatal("decoded graph does not match the source")
+		}
+	}
+
+	b.Run("JSON", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(jsonBody)))
+		var got *mlpart.Graph
+		for i := 0; i < b.N; i++ {
+			var wg mlpart.WireGraph
+			if err := json.Unmarshal(jsonBody, &wg); err != nil {
+				b.Fatal(err)
+			}
+			if got, err = wg.ToGraph(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		check(b, got)
+	})
+	b.Run("METIS", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(metisBuf.Len()))
+		var got *mlpart.Graph
+		for i := 0; i < b.N; i++ {
+			if got, err = mlpart.ReadGraph(bytes.NewReader(metisBuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+		check(b, got)
+	})
+	b.Run("Binary", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(binBuf.Len()))
+		var got *mlpart.Graph
+		for i := 0; i < b.N; i++ {
+			if got, err = mlpart.DecodeBinaryGraph(binBuf.Bytes()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		check(b, got)
+	})
+	b.Run("BinaryMmap", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(binBuf.Len()))
+		for i := 0; i < b.N; i++ {
+			got, closer, err := mlpart.OpenBinaryGraph(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				check(b, got)
+			}
+			if err := closer.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRelabel prices the Ordering preprocessing option: computing and
+// applying each relabeling permutation on the 125k-vertex bench mesh.
+func BenchmarkRelabel(b *testing.B) {
+	g := matgen.FE3DTetra(50, 50, 50, 3)
+	for _, ord := range []string{mlpart.OrderingDegree, mlpart.OrderingBFSBlock} {
+		b.Run(ord, func(b *testing.B) {
+			b.ReportAllocs()
+			var cut int
+			for i := 0; i < b.N; i++ {
+				res, err := mlpart.PartitionDirectKWay(g, 32, &mlpart.Options{
+					Seed: 1, Refinement: mlpart.RefineBKWAY, Ordering: ord,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.EdgeCut
+			}
+			b.ReportMetric(float64(cut), "edgecut")
+		})
+	}
 }
 
 // BenchmarkAblationDirectKWay compares recursive bisection with the direct

@@ -183,6 +183,64 @@ func TestCLITimeoutExitStatus(t *testing.T) {
 	}
 }
 
+// TestCLIBinaryFormat drives the `.csrb` path end to end: graphgen emits
+// the binary format, mlpart partitions it via mmap, -convert translates
+// both directions, and the text and binary inputs produce the identical
+// partition line.
+func TestCLIBinaryFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests build binaries")
+	}
+	dir := t.TempDir()
+	runTool(t, "./cmd/graphgen", "-scale", "0.05", "-dir", dir, "-format", "csrb", "BC28")
+	csrb := filepath.Join(dir, "BC28.csrb")
+	if _, err := os.Stat(csrb); err != nil {
+		t.Fatal(err)
+	}
+
+	outBin := runTool(t, "./cmd/mlpart", "-k", "4", "-seed", "3", csrb)
+	if !strings.Contains(outBin, "4-way partition") {
+		t.Fatalf("csrb input not handled:\n%s", outBin)
+	}
+
+	// Convert binary -> text, partition the text file: identical result.
+	graphFile := filepath.Join(dir, "BC28.graph")
+	runTool(t, "./cmd/mlpart", "-convert", graphFile, csrb)
+	outTxt := runTool(t, "./cmd/mlpart", "-k", "4", "-seed", "3", graphFile)
+	cutLine := func(out string) string {
+		for _, l := range strings.Split(out, "\n") {
+			if strings.Contains(l, "edge-cut") {
+				// Strip the timing field; it varies run to run.
+				return l[:strings.Index(l, ", time")]
+			}
+		}
+		t.Fatalf("no edge-cut line in output:\n%s", out)
+		return ""
+	}
+	if cutLine(outBin) != cutLine(outTxt) {
+		t.Errorf("binary and text inputs disagree:\n%s\nvs\n%s", outBin, outTxt)
+	}
+
+	// Convert text -> binary: the round-tripped file partitions the same.
+	csrb2 := filepath.Join(dir, "BC28rt.csrb")
+	runTool(t, "./cmd/mlpart", "-convert", csrb2, graphFile)
+	outRT := runTool(t, "./cmd/mlpart", "-k", "4", "-seed", "3", csrb2)
+	if cutLine(outRT) != cutLine(outTxt) {
+		t.Errorf("round-tripped csrb disagrees:\n%s\nvs\n%s", outRT, outTxt)
+	}
+}
+
+func TestCLIOrderingFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests build binaries")
+	}
+	out := runTool(t, "./cmd/mlpart", "-gen", "4ELT", "-scale", "0.05",
+		"-k", "4", "-ordering", "bfs-block")
+	if !strings.Contains(out, "4-way partition") {
+		t.Fatalf("-ordering run failed:\n%s", out)
+	}
+}
+
 func TestCLIWeightedAndDirect(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI tests build binaries")

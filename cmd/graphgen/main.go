@@ -1,11 +1,13 @@
 // Command graphgen writes the synthetic workloads standing in for the
-// paper's Table 1 matrices to METIS graph files.
+// paper's Table 1 matrices to METIS graph files (or MatrixMarket / binary
+// CSR with -format).
 //
 // Usage:
 //
 //	graphgen -list                      # list workload names
 //	graphgen -scale 0.25 4ELT BC30      # write 4ELT.graph and BC30.graph
 //	graphgen -scale 0.25 -all -dir out  # write the full suite
+//	graphgen -format csrb 4ELT          # write 4ELT.csrb (zero-copy binary)
 package main
 
 import (
@@ -23,11 +25,11 @@ func main() {
 	all := flag.Bool("all", false, "generate the full Table 1 suite")
 	list := flag.Bool("list", false, "list workload names and exit")
 	dir := flag.String("dir", ".", "output directory")
-	format := flag.String("format", "metis", "output format: metis or mtx")
+	format := flag.String("format", "metis", "output format: metis, mtx or csrb (binary CSR)")
 	quiet := flag.Bool("q", false, "suppress the per-file progress lines (for scripts)")
 	flag.Parse()
 
-	if *format != "metis" && *format != "mtx" {
+	if *format != "metis" && *format != "mtx" && *format != "csrb" {
 		fmt.Fprintf(os.Stderr, "graphgen: unknown format %q\n", *format)
 		os.Exit(1)
 	}
@@ -52,8 +54,11 @@ func main() {
 			fatal(err)
 		}
 		ext := ".graph"
-		if *format == "mtx" {
+		switch *format {
+		case "mtx":
 			ext = ".mtx"
+		case "csrb":
+			ext = ".csrb"
 		}
 		path := filepath.Join(*dir, name+ext)
 		f, err := os.Create(path)
@@ -61,9 +66,12 @@ func main() {
 			fatal(err)
 		}
 		w := bufio.NewWriter(f)
-		if *format == "mtx" {
+		switch *format {
+		case "mtx":
 			err = mlpart.WriteMatrixMarket(w, g)
-		} else {
+		case "csrb":
+			err = mlpart.WriteBinaryGraph(w, g)
+		default:
 			err = mlpart.WriteGraph(w, g)
 		}
 		if err != nil {

@@ -7,11 +7,18 @@
 //
 //	mlpart -k 32 [-match HEM] [-init GGGP] [-refine BKLGR] [-seed 0]
 //	       [-parallel] [-ncuts 4] [-coarsen-workers 4] [-refine-workers 4] [-direct]
-//	       [-weighted 4,2,1,1] [-stats] [-trace] [-json] [-timeout 30s]
-//	       [-o out.part] graph.file(.graph or .mtx)
+//	       [-weighted 4,2,1,1] [-ordering degree] [-stats] [-trace] [-json]
+//	       [-timeout 30s] [-o out.part] graph.file(.graph, .mtx or .csrb)
 //
 // With -gen NAME the input file is replaced by a generated workload (see
 // mlpart.WorkloadNames), e.g. `mlpart -k 32 -gen 4ELT`.
+//
+// A `.csrb` input is the binary CSR format (docs/WIRE.md), memory-mapped
+// and decoded zero-copy. With -convert OUT the loaded graph is written to
+// OUT — format chosen by extension: .graph (METIS), .mtx (MatrixMarket)
+// or .csrb — and the process exits without partitioning, so
+// `mlpart -convert g.csrb g.graph` and `mlpart -convert g.graph g.csrb`
+// translate between the text and binary formats.
 //
 // With -trace, every hierarchy level, initial cut, refinement pass,
 // projection and phase timing is emitted as one JSON line while the
@@ -29,6 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -58,6 +66,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print extended quality metrics (comm volume, connectivity, ...)")
 	direct := flag.Bool("direct", false, "use direct multilevel k-way instead of recursive bisection")
 	weighted := flag.String("weighted", "", "comma-separated target fractions (overrides -k), e.g. 4,2,1,1")
+	ordering := flag.String("ordering", "", "relabel vertices at ingest for locality: none, degree, bfs-block")
+	convert := flag.String("convert", "", "write the loaded graph to this file (format by extension: .graph, .mtx, .csrb) and exit")
 	gen := flag.String("gen", "", "generate the named synthetic workload instead of reading a file")
 	scale := flag.Float64("scale", 0.25, "workload scale when -gen is used")
 	doTrace := flag.Bool("trace", false, "emit per-level trace events as JSON lines while partitioning")
@@ -66,12 +76,25 @@ func main() {
 	faultPlan := flag.String("faults", os.Getenv("MLPART_FAULTS"), "deterministic fault-injection plan (see docs/RELIABILITY.md)")
 	flag.Parse()
 
-	g, name, err := loadGraph(*gen, *scale)
+	g, name, closer, err := loadGraph(*gen, *scale)
 	if err != nil {
 		fatal(err)
 	}
+	if closer != nil {
+		defer closer.Close()
+	}
 	if !*asJSON {
 		fmt.Printf("graph %s: %d vertices, %d edges\n", name, g.NumVertices(), g.NumEdges())
+	}
+
+	if *convert != "" {
+		if err := writeGraphFile(*convert, g); err != nil {
+			fatal(err)
+		}
+		if !*asJSON {
+			fmt.Printf("graph written to %s\n", *convert)
+		}
+		return
 	}
 
 	opts := &mlpart.Options{
@@ -85,6 +108,7 @@ func main() {
 		RefineWorkers:       *refineWorkers,
 		ParallelDepth:       *parallelDepth,
 		ParallelMinVertices: *parallelMinVerts,
+		Ordering:            *ordering,
 		FaultPlan:           *faultPlan,
 	}
 	// Trace events go to stdout when the whole run is JSON (one uniform
@@ -184,18 +208,24 @@ func main() {
 	}
 }
 
-func loadGraph(gen string, scale float64) (*mlpart.Graph, string, error) {
+// loadGraph loads the input graph. A non-nil closer (the `.csrb` mmap
+// path) must be held open for the graph's lifetime.
+func loadGraph(gen string, scale float64) (*mlpart.Graph, string, io.Closer, error) {
 	if gen != "" {
 		g, err := mlpart.GenerateWorkload(gen, scale)
-		return g, gen, err
+		return g, gen, nil, err
 	}
 	if flag.NArg() != 1 {
-		return nil, "", fmt.Errorf("usage: mlpart [flags] graph.file (or -gen NAME); see -h")
+		return nil, "", nil, fmt.Errorf("usage: mlpart [flags] graph.file (or -gen NAME); see -h")
 	}
 	path := flag.Arg(0)
+	if strings.HasSuffix(path, ".csrb") {
+		g, closer, err := mlpart.OpenBinaryGraph(path)
+		return g, path, closer, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	defer f.Close()
 	var g *mlpart.Graph
@@ -204,7 +234,33 @@ func loadGraph(gen string, scale float64) (*mlpart.Graph, string, error) {
 	} else {
 		g, err = mlpart.ReadGraph(bufio.NewReader(f))
 	}
-	return g, path, err
+	return g, path, nil, err
+}
+
+// writeGraphFile writes g to path in the format its extension names.
+func writeGraphFile(path string, g *mlpart.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	switch {
+	case strings.HasSuffix(path, ".mtx"):
+		err = mlpart.WriteMatrixMarket(w, g)
+	case strings.HasSuffix(path, ".csrb"):
+		err = mlpart.WriteBinaryGraph(w, g)
+	default:
+		err = mlpart.WriteGraph(w, g)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -1,0 +1,9 @@
+package graph
+
+// nopCloser is the closer returned when OpenBinaryFile decoded from a
+// plain read buffer (non-Linux platforms, or an mmap-refusing filesystem):
+// there is nothing to release, the buffer is garbage-collected with the
+// Graph.
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }

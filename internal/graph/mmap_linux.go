@@ -1,0 +1,57 @@
+//go:build linux
+
+package graph
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// OpenBinaryFile memory-maps a .csrb file and decodes it zero-copy: the
+// returned Graph's slices alias the mapping directly, so a multi-hundred-
+// megabyte graph "loads" in the time it takes to verify checksums. The
+// mapping is MAP_PRIVATE (copy-on-write), so callers that mutate vertex
+// weights write private pages, never the file. Close unmaps; the Graph
+// must not be used afterwards.
+func OpenBinaryFile(path string) (*Graph, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 || size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("graph: binary: unmappable file size %d for %s", size, path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+	if err != nil {
+		// Mmap can fail on filesystems that do not support it; fall back
+		// to a plain read, which still hits the zero-copy decode path.
+		buf, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("graph: binary: mmap %s: %v (read fallback: %v)", path, err, rerr)
+		}
+		g, derr := DecodeBinary(buf)
+		if derr != nil {
+			return nil, nil, derr
+		}
+		return g, nopCloser{}, nil
+	}
+	g, err := DecodeBinary(data)
+	if err != nil {
+		_ = syscall.Munmap(data)
+		return nil, nil, err
+	}
+	return g, munmapCloser(data), nil
+}
+
+type munmapCloser []byte
+
+func (m munmapCloser) Close() error { return syscall.Munmap(m) }

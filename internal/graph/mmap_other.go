@@ -1,0 +1,23 @@
+//go:build !linux
+
+package graph
+
+import (
+	"io"
+	"os"
+)
+
+// OpenBinaryFile reads a .csrb file and decodes it. On platforms without
+// the mmap fast path the whole file is read once; the decode itself is
+// still zero-copy into the read buffer. The returned closer is a no-op.
+func OpenBinaryFile(path string) (*Graph, io.Closer, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := DecodeBinary(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, nopCloser{}, nil
+}

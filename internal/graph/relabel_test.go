@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseOrdering(t *testing.T) {
+	for _, ok := range []string{"", OrderNone, OrderDegree, OrderBFSBlock} {
+		if _, err := ParseOrdering(ok); err != nil {
+			t.Errorf("ParseOrdering(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParseOrdering("rcm"); err == nil {
+		t.Error("ParseOrdering accepted an unknown scheme")
+	}
+	if s, _ := ParseOrdering(""); s != OrderNone {
+		t.Errorf("ParseOrdering(\"\") = %q, want %q", s, OrderNone)
+	}
+}
+
+// checkPermutation asserts perm is a bijection of 0..n-1.
+func checkPermutation(t *testing.T, perm []int, n int) {
+	t.Helper()
+	if len(perm) != n {
+		t.Fatalf("len(perm) = %d, want %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for old, nw := range perm {
+		if nw < 0 || nw >= n || seen[nw] {
+			t.Fatalf("perm[%d] = %d is not a fresh label in [0,%d)", old, nw, n)
+		}
+		seen[nw] = true
+	}
+}
+
+func TestRelabelPermSchemes(t *testing.T) {
+	g := testGraph(t)
+	n := g.NumVertices()
+	for _, scheme := range []string{OrderDegree, OrderBFSBlock} {
+		perm, err := RelabelPerm(g, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPermutation(t, perm, n)
+		gp := Permute(g, perm)
+		if err := gp.Validate(); err != nil {
+			t.Fatalf("%s: permuted graph invalid: %v", scheme, err)
+		}
+		// Structural invariants of a relabeling.
+		if gp.TotalVertexWeight() != g.TotalVertexWeight() ||
+			gp.TotalEdgeWeight() != g.TotalEdgeWeight() ||
+			gp.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: totals changed under relabeling", scheme)
+		}
+		for old := 0; old < n; old++ {
+			if gp.Vwgt[perm[old]] != g.Vwgt[old] || gp.Degree(perm[old]) != g.Degree(old) {
+				t.Fatalf("%s: vertex %d not preserved", scheme, old)
+			}
+		}
+		for u := 0; u < n; u++ {
+			for i, v := range g.Neighbors(u) {
+				if w := gp.EdgeWeight(perm[u], perm[v]); w != g.EdgeWeights(u)[i] {
+					t.Fatalf("%s: edge (%d,%d) weight %d after relabel, want %d",
+						scheme, u, v, w, g.EdgeWeights(u)[i])
+				}
+			}
+		}
+	}
+	if perm, err := RelabelPerm(g, OrderNone); err != nil || perm != nil {
+		t.Fatalf("OrderNone: perm=%v err=%v, want nil,nil", perm, err)
+	}
+}
+
+func TestDegreePermSortsByDegree(t *testing.T) {
+	// Star graph: center has degree 5, leaves degree 1 — the center must
+	// be relabeled last, the leaves stay in id order.
+	b := NewBuilder(6)
+	for v := 1; v < 6; v++ {
+		b.AddEdge(0, v)
+	}
+	g := b.MustBuild()
+	perm := degreePerm(g)
+	if perm[0] != 5 {
+		t.Fatalf("center relabeled to %d, want 5", perm[0])
+	}
+	for v := 1; v < 6; v++ {
+		if perm[v] != v-1 {
+			t.Fatalf("leaf %d relabeled to %d, want %d (stable order)", v, perm[v], v-1)
+		}
+	}
+}
+
+func TestBFSBlockCoversComponents(t *testing.T) {
+	// Two disjoint triangles; both must be labeled, contiguously per
+	// component.
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 3)
+	g := b.MustBuild()
+	perm := bfsBlockPerm(g)
+	checkPermutation(t, perm, 6)
+	// Component of {0,1,2} and {3,4,5} must each occupy a contiguous
+	// label block.
+	lo1 := min3(perm[0], perm[1], perm[2])
+	hi1 := max3(perm[0], perm[1], perm[2])
+	if hi1-lo1 != 2 {
+		t.Fatalf("component labels not contiguous: %v", perm)
+	}
+}
+
+func min3(a, b, c int) int { return min(a, min(b, c)) }
+func max3(a, b, c int) int { return max(a, max(b, c)) }
+
+func TestPermuteIdentity(t *testing.T) {
+	g := testGraph(t)
+	n := g.NumVertices()
+	id := make([]int, n)
+	for i := range id {
+		id[i] = i
+	}
+	gp := Permute(g, id)
+	if gp.Fingerprint() != g.Fingerprint() {
+		t.Fatal("identity permutation changed the graph")
+	}
+	if Permute(g, nil) != g {
+		t.Fatal("nil perm must return the receiver graph")
+	}
+}
+
+func TestRelabelSingletonAndEmpty(t *testing.T) {
+	empty := &Graph{Xadj: []int{0}}
+	for _, scheme := range []string{OrderDegree, OrderBFSBlock} {
+		perm, err := RelabelPerm(empty, scheme)
+		if err != nil || len(perm) != 0 {
+			t.Fatalf("%s on empty graph: perm=%v err=%v", scheme, perm, err)
+		}
+	}
+	single, err := Read(strings.NewReader("1 0\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{OrderDegree, OrderBFSBlock} {
+		perm, err := RelabelPerm(single, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPermutation(t, perm, 1)
+	}
+}

@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"mime"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -38,10 +41,21 @@ type job interface {
 
 type decodeFunc func(dec *json.Decoder) (job, error)
 
+// binaryDecodeFunc decodes a binary CSR request body; the non-graph
+// request fields arrive as URL query parameters.
+type binaryDecodeFunc func(data []byte, q url.Values) (job, error)
+
+// codec is one endpoint's pair of request decoders, selected by the
+// request's Content-Type.
+type codec struct {
+	json   decodeFunc
+	binary binaryDecodeFunc
+}
+
 // serveCompute is the shared request path of the three compute
 // endpoints: admission control, decode, cache lookup, worker acquisition
 // under the request deadline, compute, cache fill, reply.
-func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, ep string, decode decodeFunc) {
+func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, ep string, c codec) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, "%s requires POST", r.URL.Path)
@@ -50,6 +64,18 @@ func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, ep string,
 	epm := s.met.endpoints[ep]
 	epm.requests.Add(1)
 	start := time.Now()
+
+	// Content negotiation happens before admission: an unsupported media
+	// type is a protocol error the daemon can refuse without spending a
+	// queue slot, and its own counter separates "client speaks the wrong
+	// encoding" from generic bad requests in /varz.
+	isBinary, err := binaryRequest(r)
+	if err != nil {
+		s.met.unsupportedMedia.Add(1)
+		writeError(w, http.StatusUnsupportedMediaType,
+			"%v (want %q or %q)", err, mlpart.ContentTypeJSON, mlpart.ContentTypeBinaryCSR)
+		return
+	}
 
 	// Stage 1: admission. No token, no work — shed immediately so load
 	// beyond workers+queue degrades into fast 429s, not memory growth.
@@ -73,8 +99,22 @@ func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, ep string,
 	}
 	defer dequeue()
 
+	// Decoding (including the zero-copy binary decode and its fused
+	// validation) runs here, outside the worker slot: a malformed body
+	// never costs compute capacity.
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	j, err := decode(json.NewDecoder(r.Body))
+	var j job
+	if isBinary {
+		data, rerr := io.ReadAll(r.Body)
+		if rerr != nil {
+			s.met.badReqs.Add(1)
+			writeError(w, http.StatusBadRequest, "read body: %v", rerr)
+			return
+		}
+		j, err = c.binary(data, r.URL.Query())
+	} else {
+		j, err = c.json(json.NewDecoder(r.Body))
+	}
 	if err != nil {
 		s.met.badReqs.Add(1)
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -261,6 +301,124 @@ func writeResult(w http.ResponseWriter, body []byte, cacheStatus string, compute
 	_, _ = w.Write(body)
 }
 
+// binaryRequest classifies the request's Content-Type: false for JSON
+// (the default when the header is absent), true for the binary CSR
+// encoding, an error for anything else — which serveCompute turns into
+// 415 Unsupported Media Type.
+func binaryRequest(r *http.Request) (bool, error) {
+	ctype := r.Header.Get("Content-Type")
+	if ctype == "" {
+		return false, nil
+	}
+	mt, _, err := mime.ParseMediaType(ctype)
+	if err != nil {
+		return false, fmt.Errorf("unparseable Content-Type %q", ctype)
+	}
+	switch mt {
+	case mlpart.ContentTypeJSON:
+		return false, nil
+	case mlpart.ContentTypeBinaryCSR:
+		return true, nil
+	}
+	return false, fmt.Errorf("unsupported Content-Type %q", mt)
+}
+
+// Query-parameter parsers for the binary request path. Each leaves dst
+// untouched when the parameter is absent, so zero values keep meaning
+// "server default" exactly as an omitted JSON field does.
+
+func queryInt(q url.Values, name string, dst *int) error {
+	s := q.Get(name)
+	if s == "" {
+		return nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return fmt.Errorf("query %s=%q: not an integer", name, s)
+	}
+	*dst = v
+	return nil
+}
+
+func queryInt64(q url.Values, name string, dst *int64) error {
+	s := q.Get(name)
+	if s == "" {
+		return nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return fmt.Errorf("query %s=%q: not an integer", name, s)
+	}
+	*dst = v
+	return nil
+}
+
+func queryFloat(q url.Values, name string, dst *float64) error {
+	s := q.Get(name)
+	if s == "" {
+		return nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("query %s=%q: not a number", name, s)
+	}
+	*dst = v
+	return nil
+}
+
+func queryBool(q url.Values, name string, dst *bool) error {
+	s := q.Get(name)
+	if s == "" {
+		return nil
+	}
+	v, err := strconv.ParseBool(s)
+	if err != nil {
+		return fmt.Errorf("query %s=%q: not a boolean", name, s)
+	}
+	*dst = v
+	return nil
+}
+
+// optionsFromQuery builds the mlpart.Options of a binary request from URL
+// query parameters, one parameter per JSON option tag. Unknown parameters
+// are ignored (they may belong to the endpoint, like k or method).
+func optionsFromQuery(q url.Values) (*mlpart.Options, error) {
+	o := &mlpart.Options{
+		Matching:   q.Get("matching"),
+		InitPart:   q.Get("init_part"),
+		Refinement: q.Get("refinement"),
+		Ordering:   q.Get("ordering"),
+	}
+	for name, dst := range map[string]*int{
+		"coarsen_to":            &o.CoarsenTo,
+		"parallel_depth":        &o.ParallelDepth,
+		"parallel_min_vertices": &o.ParallelMinVertices,
+		"ncuts":                 &o.NCuts,
+		"coarsen_workers":       &o.CoarsenWorkers,
+		"refine_workers":        &o.RefineWorkers,
+	} {
+		if err := queryInt(q, name, dst); err != nil {
+			return nil, err
+		}
+	}
+	if err := queryFloat(q, "ubfactor", &o.Ubfactor); err != nil {
+		return nil, err
+	}
+	if err := queryInt64(q, "seed", &o.Seed); err != nil {
+		return nil, err
+	}
+	for name, dst := range map[string]*bool{
+		"parallel":       &o.Parallel,
+		"kway_refine":    &o.KWayRefine,
+		"compress_graph": &o.CompressGraph,
+	} {
+		if err := queryBool(q, name, dst); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
 // cloneOptions returns a private copy of o (nil means defaults) so the
 // server can install a per-request tracer without mutating the client's
 // decoded options.
@@ -303,9 +461,12 @@ func canonicalOptions(o *mlpart.Options) string {
 	if c.CoarsenWorkers <= 1 {
 		c.CoarsenWorkers = 1
 	}
-	return fmt.Sprintf("m=%s i=%s r=%s ct=%d ub=%.17g s=%d kr=%t nc=%d cw=%d cg=%t",
+	if c.Ordering == "" {
+		c.Ordering = mlpart.OrderingNone
+	}
+	return fmt.Sprintf("m=%s i=%s r=%s ct=%d ub=%.17g s=%d kr=%t nc=%d cw=%d cg=%t ord=%s",
 		c.Matching, c.InitPart, c.Refinement, c.CoarsenTo, c.Ubfactor,
-		c.Seed, c.KWayRefine, c.NCuts, c.CoarsenWorkers, c.CompressGraph)
+		c.Seed, c.KWayRefine, c.NCuts, c.CoarsenWorkers, c.CompressGraph, c.Ordering)
 }
 
 // hashInts is FNV-1a over an int slice (for the repartition key's
@@ -334,15 +495,9 @@ type partitionJob struct {
 	g   *mlpart.Graph
 }
 
-func decodePartition(dec *json.Decoder) (job, error) {
-	var req mlpart.PartitionRequest
-	if err := dec.Decode(&req); err != nil {
-		return nil, fmt.Errorf("bad request body: %v", err)
-	}
-	g, err := req.Graph.ToGraph()
-	if err != nil {
-		return nil, fmt.Errorf("bad graph: %v", err)
-	}
+// newPartitionJob validates the non-graph fields shared by the JSON and
+// binary encodings and builds the job.
+func newPartitionJob(req mlpart.PartitionRequest, g *mlpart.Graph) (job, error) {
 	if err := req.Options.Validate(); err != nil {
 		return nil, fmt.Errorf("bad options: %v", err)
 	}
@@ -359,6 +514,46 @@ func decodePartition(dec *json.Decoder) (job, error) {
 		return nil, fmt.Errorf("k = %d, want >= 1 (or non-empty fractions)", req.K)
 	}
 	return &partitionJob{req: req, g: g}, nil
+}
+
+func decodePartition(dec *json.Decoder) (job, error) {
+	var req mlpart.PartitionRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad request body: %v", err)
+	}
+	g, err := req.Graph.ToGraph()
+	if err != nil {
+		return nil, fmt.Errorf("bad graph: %v", err)
+	}
+	return newPartitionJob(req, g)
+}
+
+func decodePartitionBinary(data []byte, q url.Values) (job, error) {
+	g, err := mlpart.DecodeBinaryGraph(data)
+	if err != nil {
+		return nil, fmt.Errorf("bad graph: %v", err)
+	}
+	var req mlpart.PartitionRequest
+	if req.Options, err = optionsFromQuery(q); err != nil {
+		return nil, err
+	}
+	if err := queryInt(q, "k", &req.K); err != nil {
+		return nil, err
+	}
+	req.Method = q.Get("method")
+	if fr := q.Get("fractions"); fr != "" {
+		for _, part := range strings.Split(fr, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, fmt.Errorf("query fractions=%q: bad fraction %q", fr, part)
+			}
+			req.Fractions = append(req.Fractions, f)
+		}
+	}
+	if err := queryInt64(q, "timeout_ms", &req.TimeoutMS); err != nil {
+		return nil, err
+	}
+	return newPartitionJob(req, g)
 }
 
 func (j *partitionJob) timeoutMS() int64 { return j.req.TimeoutMS }
@@ -444,6 +639,27 @@ func decodeOrder(dec *json.Decoder) (job, error) {
 	return &orderJob{req: req, g: g}, nil
 }
 
+func decodeOrderBinary(data []byte, q url.Values) (job, error) {
+	g, err := mlpart.DecodeBinaryGraph(data)
+	if err != nil {
+		return nil, fmt.Errorf("bad graph: %v", err)
+	}
+	var req mlpart.OrderRequest
+	if req.Options, err = optionsFromQuery(q); err != nil {
+		return nil, err
+	}
+	if err := queryBool(q, "analyze", &req.Analyze); err != nil {
+		return nil, err
+	}
+	if err := queryInt64(q, "timeout_ms", &req.TimeoutMS); err != nil {
+		return nil, err
+	}
+	if err := req.Options.Validate(); err != nil {
+		return nil, fmt.Errorf("bad options: %v", err)
+	}
+	return &orderJob{req: req, g: g}, nil
+}
+
 func (j *orderJob) timeoutMS() int64 { return j.req.TimeoutMS }
 
 func (j *orderJob) key() (string, bool) {
@@ -493,6 +709,39 @@ func decodeRepartition(dec *json.Decoder) (job, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bad graph: %v", err)
 	}
+	if err := req.Options.Validate(); err != nil {
+		return nil, fmt.Errorf("bad options: %v", err)
+	}
+	return &repartitionJob{req: req, g: g}, nil
+}
+
+func decodeRepartitionBinary(data []byte, q url.Values) (job, error) {
+	g, part, err := mlpart.DecodeBinaryGraphPart(data)
+	if err != nil {
+		return nil, fmt.Errorf("bad graph: %v", err)
+	}
+	if part == nil {
+		return nil, errors.New("repartition: binary body carries no part section " +
+			"(encode the incumbent partition with WriteBinaryGraphPart)")
+	}
+	req := mlpart.RepartitionRequest{Where: part}
+	if err := queryInt(q, "k", &req.K); err != nil {
+		return nil, err
+	}
+	if err := queryInt64(q, "timeout_ms", &req.TimeoutMS); err != nil {
+		return nil, err
+	}
+	o := &mlpart.RepartitionOptions{}
+	if err := queryFloat(q, "ubfactor", &o.Ubfactor); err != nil {
+		return nil, err
+	}
+	if err := queryFloat(q, "migration_weight", &o.MigrationWeight); err != nil {
+		return nil, err
+	}
+	if err := queryInt64(q, "seed", &o.Seed); err != nil {
+		return nil, err
+	}
+	req.Options = o
 	if err := req.Options.Validate(); err != nil {
 		return nil, fmt.Errorf("bad options: %v", err)
 	}

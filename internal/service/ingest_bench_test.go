@@ -1,0 +1,81 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mlpart"
+)
+
+// The service ingest benchmarks isolate the request-path cost of the two
+// body encodings. Repartition is the cheapest computation by a wide
+// margin (one sweep, no V-cycle), so on a large graph the measured time
+// is dominated by decode + validation — exactly the path the binary
+// format exists to shrink. Caching is disabled so every request decodes.
+
+func benchServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	ts := httptest.NewServer(New(Config{CacheSize: -1}))
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func benchGraphAndWhere(b *testing.B) (mlpart.WireGraph, []int) {
+	b.Helper()
+	wg := gridGraph(200, 200)
+	where := make([]int, 200*200)
+	for v := range where {
+		where[v] = (v % 200) * 8 / 200
+	}
+	return wg, where
+}
+
+func postBench(b *testing.B, client *http.Client, url, ctype string, body []byte) {
+	b.Helper()
+	resp, err := client.Post(url, ctype, bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil || resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d err %v: %s", resp.StatusCode, rerr, data)
+	}
+}
+
+func BenchmarkServiceIngestJSON(b *testing.B) {
+	ts := benchServer(b)
+	wg, where := benchGraphAndWhere(b)
+	body, err := json.Marshal(mlpart.RepartitionRequest{Graph: wg, K: 8, Where: where})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postBench(b, ts.Client(), ts.URL+"/v1/repartition", mlpart.ContentTypeJSON, body)
+	}
+}
+
+func BenchmarkServiceIngestBinary(b *testing.B) {
+	ts := benchServer(b)
+	wg, where := benchGraphAndWhere(b)
+	g, err := wg.ToGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mlpart.WriteBinaryGraphPart(&buf, g, where); err != nil {
+		b.Fatal(err)
+	}
+	body := buf.Bytes()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postBench(b, ts.Client(), ts.URL+"/v1/repartition?k=8", mlpart.ContentTypeBinaryCSR, body)
+	}
+}

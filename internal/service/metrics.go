@@ -79,6 +79,8 @@ type metrics struct {
 	badReqs  atomic.Int64 // malformed or invalid requests (4xx)
 	errors   atomic.Int64 // internal failures (5xx)
 
+	unsupportedMedia atomic.Int64 // requests refused with 415 (unknown Content-Type)
+
 	panicsRecovered atomic.Int64 // worker panics converted to 500s
 	degraded        atomic.Int64 // results produced via a degradation fallback
 
@@ -118,9 +120,10 @@ type varz struct {
 	BadReqs  int64 `json:"bad_requests"`
 	Errors   int64 `json:"internal_errors"`
 
-	PanicsRecovered int64 `json:"panics_recovered"`
-	DegradedResults int64 `json:"degraded_results"`
-	Draining        bool  `json:"draining"`
+	PanicsRecovered  int64 `json:"panics_recovered"`
+	DegradedResults  int64 `json:"degraded_results"`
+	UnsupportedMedia int64 `json:"unsupported_media_type"`
+	Draining         bool  `json:"draining"`
 
 	Cache struct {
 		Size     int   `json:"size"`

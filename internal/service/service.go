@@ -136,13 +136,13 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/partition", func(w http.ResponseWriter, r *http.Request) {
-		s.serveCompute(w, r, epPartition, decodePartition)
+		s.serveCompute(w, r, epPartition, codec{json: decodePartition, binary: decodePartitionBinary})
 	})
 	s.mux.HandleFunc("/v1/order", func(w http.ResponseWriter, r *http.Request) {
-		s.serveCompute(w, r, epOrder, decodeOrder)
+		s.serveCompute(w, r, epOrder, codec{json: decodeOrder, binary: decodeOrderBinary})
 	})
 	s.mux.HandleFunc("/v1/repartition", func(w http.ResponseWriter, r *http.Request) {
-		s.serveCompute(w, r, epRepartition, decodeRepartition)
+		s.serveCompute(w, r, epRepartition, codec{json: decodeRepartition, binary: decodeRepartitionBinary})
 	})
 	s.mux.HandleFunc("/healthz", s.serveHealthz)
 	s.mux.HandleFunc("/readyz", s.serveReadyz)
@@ -197,21 +197,22 @@ func (s *Server) nextIncident() string {
 func (s *Server) serveVarz(w http.ResponseWriter, r *http.Request) {
 	m := s.met
 	v := varz{
-		Workers:         s.pool.workers(),
-		QueueCapacity:   s.pool.queueCapacity(),
-		QueueDepth:      m.queued.Load(),
-		InFlight:        m.inFlight.Load(),
-		Admitted:        m.admitted.Load(),
-		Rejected:        m.rejected.Load(),
-		Started:         m.started.Load(),
-		TimedOut:        m.timedOut.Load(),
-		Canceled:        m.canceled.Load(),
-		BadReqs:         m.badReqs.Load(),
-		Errors:          m.errors.Load(),
-		PanicsRecovered: m.panicsRecovered.Load(),
-		DegradedResults: m.degraded.Load(),
-		Draining:        s.draining.Load(),
-		Endpoints:       make(map[string]endpointVarz, len(m.endpoints)),
+		Workers:          s.pool.workers(),
+		QueueCapacity:    s.pool.queueCapacity(),
+		QueueDepth:       m.queued.Load(),
+		InFlight:         m.inFlight.Load(),
+		Admitted:         m.admitted.Load(),
+		Rejected:         m.rejected.Load(),
+		Started:          m.started.Load(),
+		TimedOut:         m.timedOut.Load(),
+		Canceled:         m.canceled.Load(),
+		BadReqs:          m.badReqs.Load(),
+		Errors:           m.errors.Load(),
+		PanicsRecovered:  m.panicsRecovered.Load(),
+		DegradedResults:  m.degraded.Load(),
+		UnsupportedMedia: m.unsupportedMedia.Load(),
+		Draining:         s.draining.Load(),
+		Endpoints:        make(map[string]endpointVarz, len(m.endpoints)),
 	}
 	v.Cache.Size = s.cache.len()
 	v.Cache.Capacity = s.cfg.CacheSize

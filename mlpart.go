@@ -31,6 +31,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"mlpart/internal/coarsen"
 	"mlpart/internal/faults"
@@ -83,6 +84,37 @@ func WriteMatrixMarket(w io.Writer, g *Graph) error { return graph.WriteMatrixMa
 // graphs and documentation.
 func WriteDOT(w io.Writer, g *Graph, where []int) error { return graph.WriteDOT(w, g, where) }
 
+// WriteBinaryGraph encodes g in the binary CSR wire format ("csrb"): the
+// zero-copy ingest format shared by `.csrb` files, graphgen output and the
+// daemon's Content-Type: application/x-mlpart-csr request bodies. The
+// byte-level layout is documented in docs/WIRE.md.
+func WriteBinaryGraph(w io.Writer, g *Graph) error { return graph.EncodeBinary(w, g) }
+
+// WriteBinaryGraphPart is WriteBinaryGraph with an optional partition
+// vector (length n, nil to omit) appended as an extra section; the
+// repartition endpoint reads its incumbent partition from it.
+func WriteBinaryGraphPart(w io.Writer, g *Graph, part []int) error {
+	return graph.EncodeBinaryPart(w, g, part)
+}
+
+// DecodeBinaryGraph decodes a binary CSR payload. When the encoded word
+// width matches the host the returned Graph aliases data without copying;
+// the caller must keep data alive and unmodified for the Graph's lifetime.
+// Validation is a single fused pass over the sections.
+func DecodeBinaryGraph(data []byte) (*Graph, error) { return graph.DecodeBinary(data) }
+
+// DecodeBinaryGraphPart is DecodeBinaryGraph plus the optional partition
+// section; part is nil when the payload carries none.
+func DecodeBinaryGraphPart(data []byte) (*Graph, []int, error) {
+	return graph.DecodeBinaryPart(data)
+}
+
+// OpenBinaryGraph memory-maps (copy-on-write; falls back to a plain read
+// where mmap is unavailable) a `.csrb` file and decodes it zero-copy. The
+// returned closer releases the mapping and must outlive every use of the
+// Graph.
+func OpenBinaryGraph(path string) (*Graph, io.Closer, error) { return graph.OpenBinaryFile(path) }
+
 // GenerateWorkload builds one of the named synthetic workloads standing in
 // for the paper's Table 1 matrices (see internal/matgen); scale 1.0 gives
 // laptop-sized graphs, smaller values shrink them. WorkloadNames lists the
@@ -111,6 +143,17 @@ const (
 	InitGGGP = "GGGP" // greedy graph growing (default; the paper's choice)
 	InitGGP  = "GGP"  // BFS graph growing
 	InitSBP  = "SBP"  // spectral bisection of the coarsest graph
+)
+
+// Ordering scheme names accepted by Options.Ordering.
+const (
+	// OrderingNone leaves the vertex labeling untouched (default).
+	OrderingNone = graph.OrderNone
+	// OrderingDegree relabels by nondecreasing degree before partitioning.
+	OrderingDegree = graph.OrderDegree
+	// OrderingBFSBlock relabels in per-component BFS visitation order
+	// before partitioning.
+	OrderingBFSBlock = graph.OrderBFSBlock
 )
 
 // Refinement policy names accepted by Options.Refinement.
@@ -181,6 +224,14 @@ type Options struct {
 	// partition is bit-identical for every worker count (proposals are
 	// chunk-independent, commits serial). <= 1 refines serially.
 	RefineWorkers int `json:"refine_workers,omitempty"`
+	// Ordering relabels the vertices at ingest for memory locality before
+	// the multilevel engine runs: OrderingNone (or ""), OrderingDegree or
+	// OrderingBFSBlock. The engine partitions the permuted graph and every
+	// output (Where, perm, iperm) is inverse-mapped back to the caller's
+	// original labeling, so only the traversal order — and therefore the
+	// cut a seed-driven heuristic converges to — can differ, never the
+	// meaning of the result.
+	Ordering string `json:"ordering,omitempty"`
 	// CompressGraph enables indistinguishable-vertex compression before
 	// NestedDissection: groups of vertices with identical closed
 	// neighborhoods (multiple degrees of freedom per mesh node) collapse
@@ -313,6 +364,9 @@ func (o *Options) Validate() error {
 	if err := ml.Validate(); err != nil {
 		return fmt.Errorf("mlpart: %w", err)
 	}
+	if _, err := graph.ParseOrdering(o.Ordering); err != nil {
+		return fmt.Errorf("mlpart: %w", err)
+	}
 	return nil
 }
 
@@ -365,12 +419,16 @@ func PartitionCtx(ctx context.Context, g *Graph, k int, opts *Options) (*Partiti
 		return nil, err
 	}
 	ml.Context = ctx
-	res, err := multilevel.Partition(g, k, ml)
+	gp, perm, err := applyOrdering(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := multilevel.Partition(gp, k, ml)
 	if err != nil {
 		return nil, err
 	}
 	return &Partitioning{
-		Where:        res.Where,
+		Where:        unpermuteWhere(res.Where, perm),
 		EdgeCut:      res.EdgeCut,
 		PartWeights:  res.PartWeights,
 		Degradations: res.Stats.Degradations,
@@ -393,12 +451,16 @@ func PartitionWeightedCtx(ctx context.Context, g *Graph, fractions []float64, op
 		return nil, err
 	}
 	ml.Context = ctx
-	res, err := multilevel.PartitionWeighted(g, fractions, ml)
+	gp, perm, err := applyOrdering(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := multilevel.PartitionWeighted(gp, fractions, ml)
 	if err != nil {
 		return nil, err
 	}
 	return &Partitioning{
-		Where:        res.Where,
+		Where:        unpermuteWhere(res.Where, perm),
 		EdgeCut:      res.EdgeCut,
 		PartWeights:  res.PartWeights,
 		Degradations: res.Stats.Degradations,
@@ -422,12 +484,16 @@ func PartitionDirectKWayCtx(ctx context.Context, g *Graph, k int, opts *Options)
 		return nil, err
 	}
 	ml.Context = ctx
-	res, err := multilevel.PartitionKWay(g, k, ml)
+	gp, perm, err := applyOrdering(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := multilevel.PartitionKWay(gp, k, ml)
 	if err != nil {
 		return nil, err
 	}
 	return &Partitioning{
-		Where:        res.Where,
+		Where:        unpermuteWhere(res.Where, perm),
 		EdgeCut:      res.EdgeCut,
 		PartWeights:  res.PartWeights,
 		Degradations: res.Stats.Degradations,
@@ -487,14 +553,29 @@ func NestedDissectionCtx(ctx context.Context, g *Graph, opts *Options) (perm, ip
 			perm, iperm, err = nil, nil, fmt.Errorf("mlpart: %w", faults.AsPanic("mlpart/ordering", r))
 		}
 	}()
+	gp, rperm, err := applyOrdering(g, opts)
+	if err != nil {
+		return nil, nil, err
+	}
 	o := ordering.Options{ML: ml, Seed: ml.Seed, Parallel: ml.Parallel}
 	if opts != nil && opts.CompressGraph {
-		perm, err = ordering.MLNDCompressedCtx(ctx, g, o)
+		perm, err = ordering.MLNDCompressedCtx(ctx, gp, o)
 	} else {
-		perm, err = ordering.MLNDCtx(ctx, g, o)
+		perm, err = ordering.MLNDCtx(ctx, gp, o)
 	}
 	if err != nil {
 		return nil, nil, err
+	}
+	if rperm != nil {
+		// perm is an elimination order in relabeled ids; translate each
+		// entry back to the caller's labeling (inv[new] = old).
+		inv := make([]int, len(rperm))
+		for old, nw := range rperm {
+			inv[nw] = old
+		}
+		for i, v := range perm {
+			perm[i] = inv[v]
+		}
 	}
 	return perm, sparse.InversePerm(perm), nil
 }
@@ -531,6 +612,55 @@ func AnalyzeOrdering(g *Graph, perm []int) (*OrderingStats, error) {
 		OperationCount: a.Flops,
 		TreeHeight:     a.Height,
 	}, nil
+}
+
+// applyOrdering relabels g per opts.Ordering and returns the graph the
+// engine should run on plus the permutation used (perm[old] = new; nil
+// when no relabeling happened, in which case the returned graph is g
+// itself). The relabel is recorded as a KindPhase "relabel" trace event
+// carrying the scheme name and wall time.
+func applyOrdering(g *Graph, opts *Options) (*Graph, []int, error) {
+	if opts == nil || opts.Ordering == "" {
+		return g, nil, nil
+	}
+	scheme, err := graph.ParseOrdering(opts.Ordering)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mlpart: %w", err)
+	}
+	start := time.Now()
+	perm, err := graph.RelabelPerm(g, scheme)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mlpart: %w", err)
+	}
+	if perm == nil {
+		return g, nil, nil
+	}
+	gp := graph.Permute(g, perm)
+	if opts.Tracer != nil {
+		opts.Tracer.Event(trace.Event{
+			Kind:      trace.KindPhase,
+			Phase:     "relabel",
+			Algorithm: scheme,
+			Vertices:  g.NumVertices(),
+			Edges:     g.NumEdges(),
+			ElapsedNS: time.Since(start).Nanoseconds(),
+		})
+	}
+	return gp, perm, nil
+}
+
+// unpermuteWhere maps a partition vector computed on the relabeled graph
+// back to the caller's labeling: where[old] = whereP[perm[old]]. A nil
+// perm returns whereP unchanged.
+func unpermuteWhere(whereP, perm []int) []int {
+	if perm == nil {
+		return whereP
+	}
+	where := make([]int, len(whereP))
+	for old, nw := range perm {
+		where[old] = whereP[nw]
+	}
+	return where
 }
 
 func optsOrDefault(opts *Options) (multilevel.Options, error) {

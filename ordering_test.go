@@ -1,0 +1,199 @@
+package mlpart_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mlpart"
+	"mlpart/internal/matgen"
+)
+
+// orderingGoldenGraph is the golden-matrix workload (the same graph and
+// scale internal/multilevel's TestGoldenMatrix pins).
+func orderingGoldenGraph(t *testing.T) *mlpart.Graph {
+	t.Helper()
+	w, err := matgen.Generate("BRCK", 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Graph
+}
+
+// TestOrderingGoldenMatrix pins the fixed-seed edge-cut of every
+// refinement policy under both relabeling schemes. Relabeling changes the
+// traversal order the seed-driven heuristics see, so the cuts legitimately
+// differ from the unrelabeled golden matrix — but for a fixed scheme they
+// must be exactly reproducible, and every reported cut must evaluate
+// correctly against the caller's original labeling (the inverse-map
+// contract).
+func TestOrderingGoldenMatrix(t *testing.T) {
+	g := orderingGoldenGraph(t)
+	cases := []struct {
+		policy   string
+		ordering string
+		wantCut  int
+	}{
+		{mlpart.RefineGR, mlpart.OrderingDegree, 466},
+		{mlpart.RefineKLR, mlpart.OrderingDegree, 464},
+		{mlpart.RefineBGR, mlpart.OrderingDegree, 475},
+		{mlpart.RefineBKLR, mlpart.OrderingDegree, 468},
+		{mlpart.RefineBKLGR, mlpart.OrderingDegree, 475},
+		{mlpart.RefineBKWAY, mlpart.OrderingDegree, 475},
+		{mlpart.RefineGR, mlpart.OrderingBFSBlock, 485},
+		{mlpart.RefineKLR, mlpart.OrderingBFSBlock, 465},
+		{mlpart.RefineBGR, mlpart.OrderingBFSBlock, 473},
+		{mlpart.RefineBKLR, mlpart.OrderingBFSBlock, 455},
+		{mlpart.RefineBKLGR, mlpart.OrderingBFSBlock, 473},
+		{mlpart.RefineBKWAY, mlpart.OrderingBFSBlock, 473},
+	}
+	for _, tc := range cases {
+		res, err := mlpart.Partition(g, 8, &mlpart.Options{
+			Seed: 3, Refinement: tc.policy, Ordering: tc.ordering,
+		})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", tc.policy, tc.ordering, err)
+		}
+		if res.EdgeCut != tc.wantCut {
+			t.Errorf("%s/%s: cut=%d, want %d", tc.policy, tc.ordering, res.EdgeCut, tc.wantCut)
+		}
+		// The inverse-map contract: the Where vector is in the caller's
+		// labeling, so evaluating it on the original graph must reproduce
+		// the reported cut and part weights bit-for-bit.
+		if got := mlpart.EdgeCut(g, res.Where); got != res.EdgeCut {
+			t.Errorf("%s/%s: reported cut %d but where evaluates to %d",
+				tc.policy, tc.ordering, res.EdgeCut, got)
+		}
+		pw := make([]int, len(res.PartWeights))
+		for v, p := range res.Where {
+			pw[p] += g.Vwgt[v]
+		}
+		if !reflect.DeepEqual(pw, res.PartWeights) {
+			t.Errorf("%s/%s: part weights %v but where evaluates to %v",
+				tc.policy, tc.ordering, res.PartWeights, pw)
+		}
+	}
+}
+
+// TestOrderingNoneIsIdentity: Ordering "" and "none" are the same
+// configuration, and both equal the historical no-ordering behavior.
+func TestOrderingNoneIsIdentity(t *testing.T) {
+	g := orderingGoldenGraph(t)
+	base, err := mlpart.Partition(g, 8, &mlpart.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ord := range []string{"", mlpart.OrderingNone} {
+		res, err := mlpart.Partition(g, 8, &mlpart.Options{Seed: 3, Ordering: ord})
+		if err != nil {
+			t.Fatalf("ordering %q: %v", ord, err)
+		}
+		if !reflect.DeepEqual(res.Where, base.Where) {
+			t.Errorf("ordering %q diverges from the default configuration", ord)
+		}
+	}
+	if _, err := mlpart.Partition(g, 8, &mlpart.Options{Ordering: "rcm"}); err == nil {
+		t.Error("unknown ordering accepted")
+	}
+	if err := (&mlpart.Options{Ordering: "rcm"}).Validate(); err == nil {
+		t.Error("Options.Validate accepted an unknown ordering")
+	}
+}
+
+// TestOrderingRefineWorkersParity: the RefineWorkers-independence contract
+// must survive relabeling — on the direct k-way BKWAY path with an
+// ordering installed, every worker count produces the identical partition.
+func TestOrderingRefineWorkersParity(t *testing.T) {
+	g := orderingGoldenGraph(t)
+	opts := func(workers int) *mlpart.Options {
+		return &mlpart.Options{
+			Seed: 3, Refinement: mlpart.RefineBKWAY,
+			Ordering: mlpart.OrderingBFSBlock, RefineWorkers: workers,
+		}
+	}
+	serial, err := mlpart.PartitionDirectKWay(g, 16, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		par, err := mlpart.PartitionDirectKWay(g, 16, opts(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.EdgeCut != serial.EdgeCut || !reflect.DeepEqual(par.Where, serial.Where) {
+			t.Errorf("RefineWorkers=%d: partition diverges from serial under relabeling", workers)
+		}
+	}
+}
+
+// TestOrderingWeightedPartition: the weighted path inverse-maps too.
+func TestOrderingWeightedPartition(t *testing.T) {
+	g := orderingGoldenGraph(t)
+	res, err := mlpart.PartitionWeighted(g, []float64{2, 1, 1}, &mlpart.Options{
+		Seed: 3, Ordering: mlpart.OrderingDegree,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mlpart.EdgeCut(g, res.Where); got != res.EdgeCut {
+		t.Errorf("reported cut %d but where evaluates to %d", res.EdgeCut, got)
+	}
+}
+
+// TestNestedDissectionOrdering: with a relabeling installed, the returned
+// perm is still a valid elimination order in the caller's labeling and
+// iperm is its inverse.
+func TestNestedDissectionOrdering(t *testing.T) {
+	g := orderingGoldenGraph(t)
+	for _, ord := range []string{mlpart.OrderingDegree, mlpart.OrderingBFSBlock} {
+		perm, iperm, err := mlpart.NestedDissection(g, &mlpart.Options{Seed: 3, Ordering: ord})
+		if err != nil {
+			t.Fatalf("%s: %v", ord, err)
+		}
+		n := g.NumVertices()
+		if len(perm) != n || len(iperm) != n {
+			t.Fatalf("%s: perm/iperm lengths %d/%d, want %d", ord, len(perm), len(iperm), n)
+		}
+		seen := make([]bool, n)
+		for i, v := range perm {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("%s: perm[%d] = %d is not a fresh vertex", ord, i, v)
+			}
+			seen[v] = true
+			if iperm[v] != i {
+				t.Fatalf("%s: iperm[%d] = %d, want %d", ord, v, iperm[v], i)
+			}
+		}
+		// The ordering must be analyzable (symbolic factorization accepts it).
+		if _, err := mlpart.AnalyzeOrdering(g, perm); err != nil {
+			t.Fatalf("%s: AnalyzeOrdering: %v", ord, err)
+		}
+	}
+}
+
+// TestOrderingTraceEvent: a relabel emits one KindPhase "relabel" event
+// naming the scheme.
+func TestOrderingTraceEvent(t *testing.T) {
+	g := orderingGoldenGraph(t)
+	col := &mlpart.TraceCollector{}
+	_, err := mlpart.Partition(g, 4, &mlpart.Options{
+		Seed: 3, Ordering: mlpart.OrderingDegree, Tracer: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, ev := range col.Events() {
+		if ev.Kind == "phase" && ev.Phase == "relabel" {
+			found++
+			if ev.Algorithm != mlpart.OrderingDegree {
+				t.Errorf("relabel event names algorithm %q, want %q", ev.Algorithm, mlpart.OrderingDegree)
+			}
+			if ev.Vertices != g.NumVertices() {
+				t.Errorf("relabel event vertices = %d, want %d", ev.Vertices, g.NumVertices())
+			}
+		}
+	}
+	if found != 1 {
+		t.Errorf("saw %d relabel events, want 1", found)
+	}
+}

@@ -8,6 +8,10 @@
 #   scripts/bench.sh                          # full suite, 1 iteration each
 #   BENCHTIME=5x scripts/bench.sh             # more iterations
 #   BENCH=Table4 scripts/bench.sh             # subset by regexp
+#   BENCH=Ingest scripts/bench.sh             # ingest group: BenchmarkIngest
+#                                             # (JSON vs METIS vs binary CSR,
+#                                             # docs/WIRE.md) + the service
+#                                             # end-to-end ServiceIngest pair
 #   OUT=BENCH_5.json scripts/bench.sh         # snapshot filename override
 #   scripts/bench.sh --compare old.json       # also print the delta table
 #                                             # (ns/op, allocs/op) vs old.json

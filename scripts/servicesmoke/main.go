@@ -3,7 +3,9 @@
 // generated workload to /v1/partition, diffs the edge-cut against the
 // mlpart CLI on the same input (both paths are deterministic for a fixed
 // seed, so they must agree exactly), verifies /healthz, /varz and a
-// byte-identical cache hit, then sends SIGTERM and requires the drain
+// byte-identical cache hit, re-POSTs the graph as binary CSR
+// (application/x-mlpart-csr) and requires a cache hit shared with the
+// JSON requests, then sends SIGTERM and requires the drain
 // choreography: /readyz flips to 503 while /healthz stays 200 for the
 // -ready-grace window, then the daemon exits 0. It exits non-zero with a
 // diagnostic on any mismatch.
@@ -174,6 +176,37 @@ func run() error {
 	if !bytes.Equal(body, body2) {
 		return fmt.Errorf("cache hit body differs from cold body")
 	}
+
+	// The same graph as binary CSR (docs/WIRE.md) with the options in the
+	// query string must land on the SAME cache entry the JSON requests
+	// populated — the cache is keyed by graph fingerprint, not request
+	// bytes — and return the identical body.
+	var binBody bytes.Buffer
+	if err := mlpart.WriteBinaryGraph(&binBody, g); err != nil {
+		return err
+	}
+	bresp, err := rc.Post(fmt.Sprintf("%s/v1/partition?k=%d&seed=%d", base, k, seed),
+		mlpart.ContentTypeBinaryCSR, binBody.Bytes())
+	if err != nil {
+		return fmt.Errorf("binary POST /v1/partition: %v", err)
+	}
+	bbody, err := io.ReadAll(bresp.Body)
+	bresp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if bresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("binary POST /v1/partition: status %d: %s", bresp.StatusCode, bbody)
+	}
+	if bresp.Header.Get("X-Cache") != "hit" {
+		return fmt.Errorf("binary POST X-Cache = %q, want hit (JSON and binary clients must share entries)",
+			bresp.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body, bbody) {
+		return fmt.Errorf("binary-encoded request body differs from the JSON one")
+	}
+	fmt.Printf("binary CSR POST: %d bytes (JSON body %d), cache shared across encodings\n",
+		binBody.Len(), len(reqBody))
 
 	// /varz must be valid JSON reflecting the traffic.
 	vresp, err := http.Get(base + "/varz")

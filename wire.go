@@ -15,6 +15,21 @@ package mlpart
 // full versioning and deprecation policy.
 const SchemaVersion = 1
 
+// Request body encodings accepted by the daemon's compute endpoints. A
+// request with any other Content-Type is rejected with 415 Unsupported
+// Media Type. Responses are always JSON.
+const (
+	// ContentTypeJSON is the default encoding: a JSON request object
+	// (PartitionRequest, OrderRequest or RepartitionRequest). An absent
+	// Content-Type means JSON.
+	ContentTypeJSON = "application/json"
+	// ContentTypeBinaryCSR is the zero-copy encoding: the body is a binary
+	// CSR payload (WriteBinaryGraph / WriteBinaryGraphPart; layout in
+	// docs/WIRE.md) and the non-graph request fields travel as URL query
+	// parameters instead (see docs/SERVICE.md).
+	ContentTypeBinaryCSR = "application/x-mlpart-csr"
+)
+
 // Wire kind discriminators: every response object carries one in its
 // "kind" field, and the CLI -trace stream uses the trace event kinds
 // alongside them.
