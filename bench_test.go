@@ -439,6 +439,42 @@ func BenchmarkBoundaryKWay(b *testing.B) {
 	})
 }
 
+// BenchmarkCycles is the iterated-multilevel acceptance benchmark: a
+// 32-way partition of the same ~125k-vertex 3D FE mesh under each quality
+// preset. Fast is one V-cycle; eco and strong re-coarsen respecting the
+// incumbent partition and re-refine (2 and 4 cycles). The edgecut metric
+// must fall monotonically fast -> eco -> strong while ns/op stays within
+// roughly the cycle-count multiple of fast — extra cycles skip initial
+// partitioning, so they are cheaper than the first. The fast/strong
+// edgecut and ns/op pairs feed the preset table in docs/PERFORMANCE.md.
+func BenchmarkCycles(b *testing.B) {
+	g := matgen.FE3DTetra(50, 50, 50, 3)
+	const k = 32
+	for _, tc := range []struct {
+		name   string
+		preset multilevel.Preset
+	}{
+		{"Fast", multilevel.PresetFast},
+		{"Eco", multilevel.PresetEco},
+		{"Strong", multilevel.PresetStrong},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var cut int
+			for i := 0; i < b.N; i++ {
+				res, err := multilevel.PartitionKWay(g, k,
+					multilevel.Options{Seed: 1, Preset: tc.preset}.
+						WithRefinement(refine.BKWAY))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.EdgeCut
+			}
+			b.ReportMetric(float64(cut), "edgecut")
+		})
+	}
+}
+
 // BenchmarkIngest is the zero-copy ingest acceptance benchmark: the same
 // ~125k-vertex 3D FE mesh decoded from each wire encoding. JSON and METIS
 // text re-tokenize every number; the binary CSR decode aliases the payload

@@ -38,6 +38,7 @@ func main() {
 	ncuts := flag.Int("ncuts", 0, "best-of-N bisections for Figure 4's \"ours\" (quality for time)")
 	workers := flag.Int("workers", 0, "parallel coarsening workers for Figure 4's \"ours\" (>1 enables)")
 	parallel := flag.Bool("parallel", false, "run Figure 4's \"ours\" with concurrent subgraphs and NCuts trials")
+	preset := flag.String("preset", "", "quality preset for -levels and Figure 4's \"ours\": fast, eco, strong")
 	ablation := flag.Bool("ablation", false, "run the design-choice ablation sweeps of DESIGN.md")
 	levels := flag.String("levels", "", "print the per-level V-cycle breakdown for the named workload")
 	flag.Parse()
@@ -54,7 +55,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mlbench:", err)
 			os.Exit(1)
 		}
-		rows, res, err := experiments.Levels(w.Graph, *k, multilevel.Options{Seed: *seed})
+		rows, res, err := experiments.Levels(w.Graph, *k, multilevel.Options{Seed: *seed, Preset: mustPreset(*preset)})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mlbench:", err)
 			os.Exit(1)
@@ -108,6 +109,7 @@ func main() {
 			NCuts:          *ncuts,
 			CoarsenWorkers: *workers,
 			Parallel:       *parallel,
+			Preset:         mustPreset(*preset),
 		}
 		experiments.PrintRuntimes(os.Stdout, experiments.RuntimesOpts(ws, *figK, opts))
 	}
@@ -121,6 +123,17 @@ func main() {
 		ws := matgen.Suite([]string{"BRCK", "4ELT"}, *scale)
 		experiments.PrintAblations(os.Stdout, experiments.Ablations(ws, *k, *seed))
 	}
+}
+
+// mustPreset parses the -preset flag value, exiting with a usage error on
+// an unknown name.
+func mustPreset(s string) multilevel.Preset {
+	p, err := multilevel.ParsePreset(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlbench:", err)
+		os.Exit(2)
+	}
+	return p
 }
 
 func banner(s string) {

@@ -55,6 +55,8 @@ func main() {
 	match := flag.String("match", "HEM", "matching scheme: RM, HEM, LEM, HCM")
 	init := flag.String("init", "GGGP", "initial partitioner: GGGP, GGP, SBP")
 	ref := flag.String("refine", "BKLGR", "refinement: NONE, GR, KLR, BGR, BKLR, BKLGR, BKWAY")
+	preset := flag.String("preset", "", "quality preset: fast (1 cycle), eco (2), strong (4); empty = fast")
+	cycles := flag.Int("cycles", 0, "explicit multilevel cycle count (overrides -preset)")
 	seed := flag.Int64("seed", 0, "random seed (fixed seed => fixed result)")
 	parallel := flag.Bool("parallel", false, "partition independent subgraphs (and NCuts trials) concurrently")
 	ncuts := flag.Int("ncuts", 0, "run each bisection this many times with independent seeds, keep the best cut")
@@ -106,6 +108,8 @@ func main() {
 		NCuts:               *ncuts,
 		CoarsenWorkers:      *coarsenWorkers,
 		RefineWorkers:       *refineWorkers,
+		Preset:              *preset,
+		Cycles:              *cycles,
 		ParallelDepth:       *parallelDepth,
 		ParallelMinVertices: *parallelMinVerts,
 		Ordering:            *ordering,
@@ -168,7 +172,8 @@ func main() {
 			Kind: mlpart.WireKindResult, SchemaVersion: mlpart.SchemaVersion, Graph: name,
 			Vertices: g.NumVertices(), Edges: g.NumEdges(),
 			K: *k, EdgeCut: res.EdgeCut, Balance: res.Balance(),
-			PartWeights: res.PartWeights, ElapsedNS: elapsed.Nanoseconds(),
+			PartWeights: res.PartWeights, Cycles: res.Cycles,
+			ElapsedNS: elapsed.Nanoseconds(),
 		}
 		enc := json.NewEncoder(os.Stdout)
 		if err := enc.Encode(summary); err != nil {
@@ -177,6 +182,9 @@ func main() {
 	} else {
 		fmt.Printf("%d-way partition: edge-cut %d, balance %.3f, time %.3fs\n",
 			*k, res.EdgeCut, res.Balance(), elapsed.Seconds())
+		if res.Cycles > 1 {
+			fmt.Printf("cycles completed: %d\n", res.Cycles)
+		}
 		fmt.Printf("part weights: %v\n", res.PartWeights)
 	}
 	if *stats {

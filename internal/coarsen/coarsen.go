@@ -82,13 +82,20 @@ func ParseScheme(s string) (Scheme, error) {
 // weight of original edges already inside the multinode); it is only
 // consulted by HCM and may be nil for the others or for level-0 graphs.
 func Match(g *graph.Graph, scheme Scheme, cew []int, rng *rand.Rand) []int {
-	return MatchWS(g, scheme, cew, rng, nil)
+	return MatchWS(g, scheme, cew, nil, rng, nil)
 }
 
 // MatchWS is Match drawing its scratch (and the returned matching) from ws;
 // the caller releases the result with ws.PutInt once contracted. A nil ws
 // allocates, exactly like Match.
-func MatchWS(g *graph.Graph, scheme Scheme, cew []int, rng *rand.Rand, ws *workspace.Workspace) []int {
+//
+// respect, when non-nil, assigns each vertex a group (typically its part in
+// an existing partition) and restricts the matching to pairs inside one
+// group. Matchings that never cross groups make the contraction
+// partition-respecting: the existing partition projects onto the coarse
+// graph with exactly the same cut, which is what lets an iterated
+// multilevel cycle seed itself from the previous cycle's result.
+func MatchWS(g *graph.Graph, scheme Scheme, cew, respect []int, rng *rand.Rand, ws *workspace.Workspace) []int {
 	n := g.NumVertices()
 	match := ws.IntFilled(n, -1)
 	order := workspace.PermInto(rng, n, ws.Int(n))
@@ -108,7 +115,7 @@ func MatchWS(g *graph.Graph, scheme Scheme, cew []int, rng *rand.Rand, ws *works
 				off := rng.Intn(len(adj))
 				for t := 0; t < len(adj); t++ {
 					v := adj[(off+t)%len(adj)]
-					if match[v] < 0 && v != u {
+					if match[v] < 0 && v != u && (respect == nil || respect[v] == respect[u]) {
 						pick = v
 						break
 					}
@@ -117,7 +124,7 @@ func MatchWS(g *graph.Graph, scheme Scheme, cew []int, rng *rand.Rand, ws *works
 		case HEM:
 			best := -1
 			for i, v := range adj {
-				if match[v] < 0 && wgt[i] > best {
+				if match[v] < 0 && wgt[i] > best && (respect == nil || respect[v] == respect[u]) {
 					best = wgt[i]
 					pick = v
 				}
@@ -125,7 +132,7 @@ func MatchWS(g *graph.Graph, scheme Scheme, cew []int, rng *rand.Rand, ws *works
 		case LEM:
 			best := int(^uint(0) >> 1)
 			for i, v := range adj {
-				if match[v] < 0 && wgt[i] < best {
+				if match[v] < 0 && wgt[i] < best && (respect == nil || respect[v] == respect[u]) {
 					best = wgt[i]
 					pick = v
 				}
@@ -133,7 +140,7 @@ func MatchWS(g *graph.Graph, scheme Scheme, cew []int, rng *rand.Rand, ws *works
 		case HCM:
 			best := -1.0
 			for i, v := range adj {
-				if match[v] >= 0 {
+				if match[v] >= 0 || (respect != nil && respect[v] != respect[u]) {
 					continue
 				}
 				d := mergedDensity(g, cew, u, v, wgt[i])
@@ -346,6 +353,12 @@ type Options struct {
 	// MaxLevels bounds the number of coarsening levels (safety net for
 	// graphs that barely contract); <=0 means no bound.
 	MaxLevels int
+	// Respect, when non-nil, maps each finest-level vertex to a group
+	// (typically its part in an existing partition). Matchings never cross
+	// groups, so the grouping projects exactly onto every coarse level —
+	// the prerequisite for seeding an iterated multilevel cycle from a
+	// previous partition. The slice is caller-owned and never released.
+	Respect []int
 	// Workspace, when non-nil, supplies pooled scratch buffers and backs
 	// the hierarchy's own arrays; the caller must call Hierarchy.Release
 	// when done with the hierarchy. Results are identical either way.
@@ -389,14 +402,14 @@ func emitLevel(tr trace.Tracer, level int, fine, cur *graph.Graph, elapsed time.
 // per level with HEM (recorded in opts.Degradations); only if HEM stalls
 // too does coarsening stop early.
 func Coarsen(g *graph.Graph, opts Options, rng *rand.Rand) *Hierarchy {
-	return buildHierarchy(g, opts, func(cur *graph.Graph, scheme Scheme, cew []int) []int {
-		return MatchWS(cur, scheme, cew, rng, opts.Workspace)
+	return buildHierarchy(g, opts, func(cur *graph.Graph, scheme Scheme, cew, respect []int) []int {
+		return MatchWS(cur, scheme, cew, respect, rng, opts.Workspace)
 	})
 }
 
 // matchFunc computes one level's matching under a scheme; Coarsen and
 // ParallelCoarsen differ only in which matcher they plug in.
-type matchFunc func(cur *graph.Graph, scheme Scheme, cew []int) []int
+type matchFunc func(cur *graph.Graph, scheme Scheme, cew, respect []int) []int
 
 // buildHierarchy is the shared coarsening loop behind Coarsen and
 // ParallelCoarsen: match, contract, check for stalls (with the HCM->HEM
@@ -413,6 +426,8 @@ func buildHierarchy(g *graph.Graph, opts Options, matchLevel matchFunc) *Hierarc
 	}
 	scheme := opts.Scheme
 	var cew []int // zero at the finest level
+	respect := opts.Respect
+	respectPooled := false // the finest-level respect belongs to the caller
 	for {
 		h.Levels = append(h.Levels, Level{Graph: cur})
 		if cur.NumVertices() <= opts.CoarsenTo || cur.NumEdges() == 0 {
@@ -431,7 +446,7 @@ func buildHierarchy(g *graph.Graph, opts Options, matchLevel matchFunc) *Hierarc
 			t0 = time.Now()
 		}
 		stallErr := opts.Injector.Fire(faults.SiteCoarsenMatch)
-		match := matchLevel(cur, scheme, cew)
+		match := matchLevel(cur, scheme, cew, respect)
 		next, cmap, ccew := ContractWS(cur, match, cew, ws)
 		ws.PutInt(match)
 		stalled := stallErr != nil || next.NumVertices() > cur.NumVertices()*9/10
@@ -460,7 +475,7 @@ func buildHierarchy(g *graph.Graph, opts Options, matchLevel matchFunc) *Hierarc
 				})
 			}
 			scheme = HEM
-			match = matchLevel(cur, scheme, cew)
+			match = matchLevel(cur, scheme, cew, respect)
 			next, cmap, ccew = ContractWS(cur, match, cew, ws)
 			ws.PutInt(match)
 			stalled = next.NumVertices() > cur.NumVertices()*9/10
@@ -479,9 +494,26 @@ func buildHierarchy(g *graph.Graph, opts Options, matchLevel matchFunc) *Hierarc
 		}
 		h.Levels[len(h.Levels)-1].Cmap = cmap
 		ws.PutInt(cew) // the previous level's cew is dead once contracted
+		if respect != nil {
+			// Project the grouping onto the coarse level. Well-defined
+			// because the matching never pairs vertices of different groups,
+			// so every fine vertex of a multinode agrees on the group.
+			cr := ws.Int(next.NumVertices())
+			for v, c := range cmap {
+				cr[c] = respect[v]
+			}
+			if respectPooled {
+				ws.PutInt(respect)
+			}
+			respect = cr
+			respectPooled = true
+		}
 		cur = next
 		cew = ccew
 	}
 	ws.PutInt(cew)
+	if respectPooled {
+		ws.PutInt(respect)
+	}
 	return h
 }

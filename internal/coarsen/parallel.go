@@ -23,13 +23,15 @@ import (
 // workers <= 0 selects GOMAXPROCS. The result maps each vertex to its
 // partner (itself when unmatched), exactly like Match.
 func ParallelMatch(g *graph.Graph, scheme Scheme, cew []int, rnd *rand.Rand, workers int) []int {
-	return ParallelMatchWS(g, scheme, cew, rnd, workers, nil)
+	return ParallelMatchWS(g, scheme, cew, nil, rnd, workers, nil)
 }
 
 // ParallelMatchWS is ParallelMatch drawing its scratch (and the returned
 // matching) from ws; the caller releases the result with ws.PutInt once
-// contracted. A nil ws allocates, exactly like ParallelMatch.
-func ParallelMatchWS(g *graph.Graph, scheme Scheme, cew []int, rnd *rand.Rand, workers int, ws *workspace.Workspace) []int {
+// contracted. A nil ws allocates, exactly like ParallelMatch. respect, when
+// non-nil, restricts the matching to pairs inside one group, exactly like
+// MatchWS: partition-respecting coarsening for iterated cycles.
+func ParallelMatchWS(g *graph.Graph, scheme Scheme, cew, respect []int, rnd *rand.Rand, workers int, ws *workspace.Workspace) []int {
 	n := g.NumVertices()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -58,6 +60,9 @@ func ParallelMatchWS(g *graph.Graph, scheme Scheme, cew []int, rnd *rand.Rand, w
 			// Deterministic "random": smallest key among unmatched.
 			var best int64
 			for _, v := range adj {
+				if respect != nil && respect[v] != respect[u] {
+					continue
+				}
 				if match[v] < 0 && v != u && (pick < 0 || key[v] < best) {
 					best = key[v]
 					pick = v
@@ -66,7 +71,7 @@ func ParallelMatchWS(g *graph.Graph, scheme Scheme, cew []int, rnd *rand.Rand, w
 		case HEM:
 			best, bestKey := -1, int64(0)
 			for i, v := range adj {
-				if match[v] >= 0 {
+				if match[v] >= 0 || (respect != nil && respect[v] != respect[u]) {
 					continue
 				}
 				if wgt[i] > best || (wgt[i] == best && key[v] < bestKey) {
@@ -76,7 +81,7 @@ func ParallelMatchWS(g *graph.Graph, scheme Scheme, cew []int, rnd *rand.Rand, w
 		case LEM:
 			best, bestKey := int(^uint(0)>>1), int64(0)
 			for i, v := range adj {
-				if match[v] >= 0 {
+				if match[v] >= 0 || (respect != nil && respect[v] != respect[u]) {
 					continue
 				}
 				if wgt[i] < best || (wgt[i] == best && key[v] < bestKey) {
@@ -86,7 +91,7 @@ func ParallelMatchWS(g *graph.Graph, scheme Scheme, cew []int, rnd *rand.Rand, w
 		case HCM:
 			best, bestKey := -1.0, int64(0)
 			for i, v := range adj {
-				if match[v] >= 0 {
+				if match[v] >= 0 || (respect != nil && respect[v] != respect[u]) {
 					continue
 				}
 				d := mergedDensity(g, cew, u, v, wgt[i])
@@ -191,7 +196,7 @@ func ParallelMatchWS(g *graph.Graph, scheme Scheme, cew []int, rnd *rand.Rand, w
 // worker count (but differs from Coarsen's sequential matching order).
 // Stall handling (including the HCM->HEM fallback) matches Coarsen's.
 func ParallelCoarsen(g *graph.Graph, opts Options, rnd *rand.Rand, workers int) *Hierarchy {
-	return buildHierarchy(g, opts, func(cur *graph.Graph, scheme Scheme, cew []int) []int {
-		return ParallelMatchWS(cur, scheme, cew, rnd, workers, opts.Workspace)
+	return buildHierarchy(g, opts, func(cur *graph.Graph, scheme Scheme, cew, respect []int) []int {
+		return ParallelMatchWS(cur, scheme, cew, respect, rnd, workers, opts.Workspace)
 	})
 }

@@ -68,6 +68,10 @@ const (
 	// SiteServiceWorker fires inside the service worker slot right before
 	// the computation starts.
 	SiteServiceWorker = "service/worker"
+	// SiteCycle fires at the start of every extra multilevel cycle of an
+	// iterated (eco/strong preset) run; an injected error or panic degrades
+	// the run to the best completed cycle's partition — never a hard error.
+	SiteCycle = "cycle"
 )
 
 // Sites lists every known injection site, sorted.
@@ -82,6 +86,7 @@ func Sites() []string {
 		SiteKWayLevel,
 		SiteKWayPass,
 		SiteServiceWorker,
+		SiteCycle,
 	}
 	sort.Strings(s)
 	return s

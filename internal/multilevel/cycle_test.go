@@ -1,0 +1,301 @@
+package multilevel
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mlpart/internal/coarsen"
+	"mlpart/internal/faults"
+	"mlpart/internal/matgen"
+	"mlpart/internal/trace"
+)
+
+// TestGoldenPresetMatrix pins the fixed-seed edge-cut of the eco and
+// strong presets crossed with both matching schemes on two Table-2
+// workloads, next to the fast baseline (which must keep matching
+// TestGoldenMatrix's BKLGR column — cycle 0 of an iterated run is the
+// plain V-cycle, bit for bit). Extra cycles only ever adopt a strictly
+// better partition, so each row must be monotonically non-increasing
+// left to right.
+func TestGoldenPresetMatrix(t *testing.T) {
+	graphs := map[string]*matgen.Named{}
+	for _, name := range []string{"BRCK", "WAVE"} {
+		w, err := matgen.Generate(name, 0.04)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs[name] = &w
+	}
+	cases := []struct {
+		workload string
+		matching coarsen.Scheme
+		fast     int
+		eco      int
+		strong   int
+	}{
+		{"BRCK", coarsen.RM, 461, 448, 446},
+		{"BRCK", coarsen.HEM, 472, 465, 457},
+		{"WAVE", coarsen.RM, 894, 878, 872},
+		{"WAVE", coarsen.HEM, 934, 923, 894},
+	}
+	for _, tc := range cases {
+		cuts := map[Preset]int{}
+		for _, p := range []Preset{PresetFast, PresetEco, PresetStrong} {
+			res, err := Partition(graphs[tc.workload].Graph, 8,
+				Options{Seed: 3, Preset: p}.WithMatching(tc.matching))
+			if err != nil {
+				t.Fatalf("%s/%s/%s: %v", tc.workload, tc.matching, p, err)
+			}
+			cuts[p] = res.EdgeCut
+			if want := p.cycles(); res.Stats.Cycles != want {
+				t.Errorf("%s/%s/%s: completed %d cycles, want %d",
+					tc.workload, tc.matching, p, res.Stats.Cycles, want)
+			}
+		}
+		if cuts[PresetFast] != tc.fast || cuts[PresetEco] != tc.eco || cuts[PresetStrong] != tc.strong {
+			t.Errorf("%s/%s: cuts fast=%d eco=%d strong=%d, want %d/%d/%d",
+				tc.workload, tc.matching,
+				cuts[PresetFast], cuts[PresetEco], cuts[PresetStrong],
+				tc.fast, tc.eco, tc.strong)
+		}
+		if cuts[PresetEco] > cuts[PresetFast] || cuts[PresetStrong] > cuts[PresetEco] {
+			t.Errorf("%s/%s: preset cuts not monotone: fast=%d eco=%d strong=%d",
+				tc.workload, tc.matching, cuts[PresetFast], cuts[PresetEco], cuts[PresetStrong])
+		}
+	}
+}
+
+// cycles is a test-only helper mapping a preset to its cycle count.
+func (p Preset) cycles() int { return Options{Preset: p}.CycleCount() }
+
+// TestPresetWorkerParity asserts the determinism contract under iterated
+// cycles: the partition vector is bit-identical for any RefineWorkers
+// count, on both the recursive and the direct k-way paths. Extra cycles
+// use the propose-parallel/commit-serial boundary k-way engine, so this
+// holds by construction — this test keeps it held.
+func TestPresetWorkerParity(t *testing.T) {
+	w, err := matgen.Generate("BRCK", 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSerial, err := Partition(w.Graph, 8, Options{Seed: 3, Preset: PresetStrong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kwSerial, err := PartitionKWay(w.Graph, 16, Options{Seed: 3, Preset: PresetStrong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kwSerial.EdgeCut != 671 {
+		t.Errorf("direct k-way strong: cut=%d, want 671", kwSerial.EdgeCut)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		rec, err := Partition(w.Graph, 8,
+			Options{Seed: 3, Preset: PresetStrong, RefineWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rec.Where, recSerial.Where) {
+			t.Errorf("recursive RefineWorkers=%d: partition diverges from serial (cut %d vs %d)",
+				workers, rec.EdgeCut, recSerial.EdgeCut)
+		}
+		kw, err := PartitionKWay(w.Graph, 16,
+			Options{Seed: 3, Preset: PresetStrong, RefineWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(kw.Where, kwSerial.Where) {
+			t.Errorf("direct RefineWorkers=%d: partition diverges from serial (cut %d vs %d)",
+				workers, kw.EdgeCut, kwSerial.EdgeCut)
+		}
+	}
+}
+
+// cancelOnCycle is a tracer that cancels a context the moment it sees the
+// cycle-completion event for the given cycle index — i.e. exactly at a
+// cycle boundary, the only place the iterated driver polls the context.
+type cancelOnCycle struct {
+	cycle  int
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnCycle) Event(e trace.Event) {
+	if e.Kind == trace.KindCycle && e.Cycle == c.cycle {
+		c.cancel()
+	}
+}
+
+// TestCycleCancelBetweenCycles cancels the context right after the first
+// extra cycle completes. The contract: the run succeeds (no error), the
+// best completed partition is returned, the abandoned cycles are NOT
+// reported as degradations (the caller asked to stop; nothing fell back),
+// and Stats.Cycles reports only what actually ran.
+func TestCycleCancelBetweenCycles(t *testing.T) {
+	w, err := matgen.Generate("BRCK", 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.Graph
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := Partition(g, 8, Options{
+		Seed:    3,
+		Preset:  PresetStrong,
+		Context: ctx,
+		Tracer:  &cancelOnCycle{cycle: 1, cancel: cancel},
+	})
+	if err != nil {
+		t.Fatalf("cancel between cycles must not fail the run: %v", err)
+	}
+	verifyResult(t, res, g.NumVertices(), 8)
+	if res.Stats.Cycles != 2 {
+		t.Errorf("Stats.Cycles = %d, want 2 (cycle 0 plus the one completed extra cycle)", res.Stats.Cycles)
+	}
+	if d := findDegradation(res.Stats.Degradations, "cycle", "best-completed"); d != nil {
+		t.Errorf("cancellation was misreported as a degradation: %+v", *d)
+	}
+	// The returned cut must be the best of the completed cycles: no worse
+	// than eco's pinned cut for this workload (both completed cycle 1).
+	eco, err := Partition(g, 8, Options{Seed: 3, Preset: PresetEco})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgeCut != eco.EdgeCut {
+		t.Errorf("cut after cancel = %d, want eco's %d (same two cycles completed)", res.EdgeCut, eco.EdgeCut)
+	}
+}
+
+// TestChaosCycleError injects a fault into the first extra cycle of an
+// eco run and asserts the degradation ladder: the run still succeeds,
+// returns exactly the prior (fast) cycle's partition, and records a
+// "cycle" degradation instead of surfacing the error.
+func TestChaosCycleError(t *testing.T) {
+	w, err := matgen.Generate("BRCK", 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.Graph
+	fast, err := Partition(g, 8, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, plan := range []string{"cycle=error@1", "cycle=panic@1"} {
+		tr := &collectTracer{}
+		res, err := Partition(g, 8, Options{
+			Seed:     3,
+			Preset:   PresetEco,
+			Injector: faults.MustParse(plan),
+			Tracer:   tr,
+		})
+		if err != nil {
+			t.Fatalf("%s: injected cycle fault must degrade, not fail: %v", plan, err)
+		}
+		verifyResult(t, res, g.NumVertices(), 8)
+		if !reflect.DeepEqual(res.Where, fast.Where) {
+			t.Errorf("%s: degraded result is not the prior cycle's partition (cut %d, fast %d)",
+				plan, res.EdgeCut, fast.EdgeCut)
+		}
+		if res.Stats.Cycles != 1 {
+			t.Errorf("%s: Stats.Cycles = %d, want 1", plan, res.Stats.Cycles)
+		}
+		d := findDegradation(res.Stats.Degradations, "cycle", "best-completed")
+		if d == nil {
+			t.Fatalf("%s: no cycle degradation recorded; got %+v", plan, res.Stats.Degradations)
+		}
+		if d.From != "cycle-1" {
+			t.Errorf("%s: degradation From = %q, want cycle-1", plan, d.From)
+		}
+		if strings.Contains(plan, "panic") && !strings.Contains(d.Reason, "panic") {
+			t.Errorf("%s: degradation reason %q does not mention the panic", plan, d.Reason)
+		}
+		if len(tr.degraded()) == 0 {
+			t.Errorf("%s: no degraded trace event emitted", plan)
+		}
+	}
+}
+
+// TestCycleTraceEvents asserts the KindCycle stream: one event per
+// completed cycle (including cycle 0's baseline), carrying the cycle
+// index and the cut after that cycle, and none at all under fast.
+func TestCycleTraceEvents(t *testing.T) {
+	w, err := matgen.Generate("BRCK", 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &collectTracer{}
+	res, err := Partition(w.Graph, 8, Options{Seed: 3, Preset: PresetStrong, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cycles []trace.Event
+	for _, e := range tr.events {
+		if e.Kind == trace.KindCycle {
+			cycles = append(cycles, e)
+		}
+	}
+	if len(cycles) != 4 {
+		t.Fatalf("got %d cycle events, want 4", len(cycles))
+	}
+	best := cycles[0].Cut
+	for i, e := range cycles {
+		if e.Cycle != i {
+			t.Errorf("event %d: Cycle = %d, want %d", i, e.Cycle, i)
+		}
+		if e.Cut < best {
+			best = e.Cut
+		}
+	}
+	if best != res.EdgeCut {
+		t.Errorf("best cycle cut %d != result cut %d", best, res.EdgeCut)
+	}
+
+	tr = &collectTracer{}
+	if _, err := Partition(w.Graph, 8, Options{Seed: 3, Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.events {
+		if e.Kind == trace.KindCycle {
+			t.Fatalf("fast preset emitted a cycle event: %+v", e)
+		}
+	}
+}
+
+// TestCycleCountResolution pins the preset → cycle-count mapping and the
+// explicit-override rule, both on Options and end-to-end in Stats.
+func TestCycleCountResolution(t *testing.T) {
+	for _, tc := range []struct {
+		opts Options
+		want int
+	}{
+		{Options{}, 1},
+		{Options{Preset: PresetFast}, 1},
+		{Options{Preset: PresetEco}, 2},
+		{Options{Preset: PresetStrong}, 4},
+		{Options{Preset: PresetEco, Cycles: 3}, 3},
+		{Options{Cycles: 7}, 7},
+	} {
+		if got := tc.opts.CycleCount(); got != tc.want {
+			t.Errorf("CycleCount(%+v) = %d, want %d", tc.opts, got, tc.want)
+		}
+	}
+	if _, err := ParsePreset("turbo"); err == nil {
+		t.Error("ParsePreset accepted an unknown preset name")
+	}
+	if err := (Options{Cycles: -1}).Validate(); err == nil {
+		t.Error("Validate accepted a negative cycle count")
+	}
+
+	w, err := matgen.Generate("BRCK", 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(w.Graph, 8, Options{Seed: 3, Cycles: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cycles != 3 {
+		t.Errorf("explicit Cycles=3 completed %d cycles", res.Stats.Cycles)
+	}
+}

@@ -161,9 +161,16 @@ func (e *engine) run(g *graph.Graph, sp splitSpec, kwayRefine bool) (res *Result
 			Workspace: ws,
 			Tracer:    trace.WithSeed(e.tracer, e.opts.Seed),
 			Counters:  &res.Stats.Counters,
-		}, &res.Stats, trace.WithSeed(e.tracer, e.opts.Seed))
+		}, &res.Stats, trace.WithSeed(e.tracer, e.opts.Seed), e.opts.Refinement == refine.BKWAY)
 		res.Stats.RefineTime += time.Since(t0)
 		workspace.Put(ws)
+	}
+	if _, uniform := sp.(uniformSplit); uniform {
+		// Extra cycles of the eco/strong presets. Weighted targets are
+		// excluded: the k-way refinement kernels assume equal part targets.
+		e.iterate(g, k, res)
+	} else {
+		res.Stats.Cycles = 1
 	}
 	for v, p := range res.Where {
 		res.PartWeights[p] += g.Vwgt[v]
@@ -540,12 +547,13 @@ func rebalance(b *refine.Bisection, ropts refine.Options) {
 
 // guardedKWayRefine is guardedRefine's direct k-way counterpart: a faulted
 // or panicking k-way pass leaves the level's projected partition in place.
-// The Refinement policy selects the kernel — BKWAY runs the boundary
-// engine of refine.RefineKWay (with RefineWorkers propose-phase fan-out),
-// every other policy keeps the classic full-sweep kway.Refine.
-func (e *engine) guardedKWayRefine(p *kway.Partition, kopts kway.Options, stats *Stats, tr trace.Tracer) {
+// useBKWAY selects the kernel — the boundary engine of refine.RefineKWay
+// (with RefineWorkers propose-phase fan-out) versus the classic full-sweep
+// kway.Refine. First cycles pass the Refinement policy's choice; the extra
+// cycles of the eco/strong presets always use BKWAY.
+func (e *engine) guardedKWayRefine(p *kway.Partition, kopts kway.Options, stats *Stats, tr trace.Tracer, useBKWAY bool) {
 	algo := "KWAY"
-	if e.opts.Refinement == refine.BKWAY {
+	if useBKWAY {
 		algo = "BKWAY"
 	}
 	if ierr := e.inj.Fire(faults.SiteKWayLevel); ierr != nil {
@@ -564,7 +572,7 @@ func (e *engine) guardedKWayRefine(p *kway.Partition, kopts kway.Options, stats 
 			})
 		}
 	}()
-	if e.opts.Refinement == refine.BKWAY {
+	if useBKWAY {
 		refine.RefineKWay(p, refine.KWayOptions{
 			Ubfactor:  kopts.Ubfactor,
 			Seed:      kopts.Seed,

@@ -3,12 +3,9 @@ package multilevel
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
-	"mlpart/internal/coarsen"
 	"mlpart/internal/faults"
 	"mlpart/internal/graph"
-	"mlpart/internal/kway"
 	"mlpart/internal/refine"
 	"mlpart/internal/trace"
 	"mlpart/internal/workspace"
@@ -31,9 +28,12 @@ func PartitionKWay(g *graph.Graph, k int, opts Options) (*Result, error) {
 	return e.runKWay(g, k)
 }
 
-// runKWay is the direct k-way parameterization of the V-cycle: one
-// hierarchy, a recursive-bisection initial partition on the coarsest
-// graph, and kway.Refine at every level of the shared uncoarsening walk.
+// runKWay is the direct k-way parameterization of the V-cycle, composed
+// from the re-enterable phases of cycle.go: one hierarchy (phaseCoarsen),
+// a recursive-bisection initial partition on the coarsest graph
+// (phaseInitial), and per-level k-way refinement on the shared
+// uncoarsening walk (phaseUncoarsenKWay), followed by the extra cycles of
+// the eco/strong presets.
 func (e *engine) runKWay(g *graph.Graph, k int) (res *Result, err error) {
 	// Same outermost panic boundary as run: a poisoned k-way cycle returns
 	// an error instead of crashing the caller.
@@ -50,6 +50,7 @@ func (e *engine) runKWay(g *graph.Graph, k int) (res *Result, err error) {
 	if k == 1 || g.NumVertices() == 0 {
 		res.EdgeCut = 0
 		res.PartWeights[0] = g.TotalVertexWeight()
+		res.Stats.Cycles = 1
 		return res, nil
 	}
 
@@ -57,83 +58,24 @@ func (e *engine) runKWay(g *graph.Graph, k int) (res *Result, err error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	ws := workspace.Get()
 	defer workspace.Put(ws)
-	// Coarsen once, but keep enough coarse vertices to host k parts.
-	coarsenTo := opts.CoarsenTo
-	if min := 15 * k; coarsenTo < min {
-		coarsenTo = min
-	}
-	t0 := time.Now()
-	h := coarsen.Coarsen(g, coarsen.Options{
-		Scheme:       opts.Matching,
-		CoarsenTo:    coarsenTo,
-		Workspace:    ws,
-		Tracer:       tr,
-		Injector:     e.inj,
-		Degradations: &res.Stats.Degradations,
-	}, rng)
-	res.Stats.CoarsenTime = time.Since(t0)
-	res.Stats.Levels = len(h.Levels)
-	res.Stats.CoarsestN = h.Coarsest().NumVertices()
+	h := e.phaseCoarsen(g, k, nil, rng, ws, tr, &res.Stats)
 	emitDegraded(tr, res.Stats.Degradations, 0)
 	if e.cancelled() {
 		h.Release(ws)
 		return nil, fmt.Errorf("multilevel: %w", e.err)
 	}
 
-	// Initial k-way partition of the coarsest graph by recursive bisection
-	// (cheap: the coarsest graph is tiny). Its trace events are suppressed —
-	// the outer V-cycle reports one KindInitial event for the whole step.
-	t0 = time.Now()
-	initOpts := opts
-	initOpts.Parallel = false
-	initOpts.KWayRefine = false
-	initOpts.Tracer = nil
-	coarse := h.Coarsest()
-	cres, err := Partition(coarse, k, initOpts)
+	where, err := e.phaseInitial(h, k, tr, &res.Stats)
 	if err != nil {
+		h.Release(ws)
 		return nil, err
-	}
-	res.Stats.InitTime = time.Since(t0)
-	res.Stats.InitialCut = cres.EdgeCut
-	res.Stats.Bisections = k - 1
-	if tr != nil {
-		tr.Event(trace.Event{
-			Kind:      trace.KindInitial,
-			Level:     len(h.Levels) - 1,
-			Vertices:  coarse.NumVertices(),
-			Cut:       cres.EdgeCut,
-			Algorithm: "RB",
-			ElapsedNS: res.Stats.InitTime.Nanoseconds(),
-		})
 	}
 
 	// Uncoarsen: project the k-way partition and refine at every level.
 	// Intermediate where-vectors are pooled; only the finest one is copied
 	// into the escaping result.
-	where := cres.Where
-	kopts := kway.Options{Ubfactor: opts.Ubfactor, Seed: opts.Seed, Workspace: ws, Tracer: tr, Counters: &res.Stats.Counters}
-	t0 = time.Now()
-	p := kway.NewPartition(coarse, k, where)
-	kopts.Level = len(h.Levels) - 1
-	e.guardedKWayRefine(p, kopts, &res.Stats, tr)
-	res.Stats.RefineTime += time.Since(t0)
-	ok := e.uncoarsen(h, &res.Stats, tr, func(li int) int {
-		fine := h.Levels[li].Graph
-		cmap := h.Levels[li].Cmap
-		fineWhere := ws.Int(fine.NumVertices())
-		for v := range fineWhere {
-			fineWhere[v] = where[cmap[v]]
-		}
-		ws.PutInt(where)
-		where = fineWhere
-		p = kway.NewPartition(fine, k, where)
-		return p.Cut
-	}, func(li int) {
-		kopts.Level = li
-		e.guardedKWayRefine(p, kopts, &res.Stats, tr)
-	})
+	where, ok := e.phaseUncoarsenKWay(h, k, where, opts.Seed, ws, &res.Stats, tr, opts.Refinement == refine.BKWAY)
 	if !ok {
-		ws.PutInt(where)
 		h.Release(ws)
 		return nil, fmt.Errorf("multilevel: %w", e.err)
 	}
@@ -141,6 +83,7 @@ func (e *engine) runKWay(g *graph.Graph, k int) (res *Result, err error) {
 	copy(res.Where, where)
 	ws.PutInt(where)
 	h.Release(ws)
+	e.iterate(g, k, res)
 	for v, part := range res.Where {
 		res.PartWeights[part] += g.Vwgt[v]
 	}

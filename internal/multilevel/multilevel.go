@@ -25,6 +25,64 @@ import (
 	"mlpart/internal/trace"
 )
 
+// Preset selects how many multilevel cycles a partition runs. The first
+// cycle is always the full coarsen → initial-partition → refine V-cycle;
+// each extra cycle re-coarsens the graph *respecting* the current
+// partition (matchings never cross part boundaries, so the partition
+// projects onto the coarse graph with exactly the same cut), skips
+// initial partitioning, and refines the seeded partition with boundary
+// k-way refinement on the way back up. Every cycle derives its own seed,
+// so runs stay bit-identical across worker counts, and the best cut of
+// any completed cycle wins.
+type Preset int
+
+const (
+	// PresetFast is today's single V-cycle (the zero value: no behavior
+	// change for existing callers).
+	PresetFast Preset = iota
+	// PresetEco runs one extra V-cycle seeded from the first result.
+	PresetEco
+	// PresetStrong runs four cycles total, best-of-N with derived
+	// per-cycle seeds.
+	PresetStrong
+)
+
+// Cycle counts behind the presets.
+const (
+	ecoCycles    = 2
+	strongCycles = 4
+)
+
+// String returns the preset's name as used in options, flags and wire.
+func (p Preset) String() string {
+	switch p {
+	case PresetFast:
+		return "fast"
+	case PresetEco:
+		return "eco"
+	case PresetStrong:
+		return "strong"
+	}
+	return fmt.Sprintf("Preset(%d)", int(p))
+}
+
+// Valid reports whether p is one of the defined presets.
+func (p Preset) Valid() bool { return p >= PresetFast && p <= PresetStrong }
+
+// ParsePreset converts a preset name ("fast", "eco", "strong") to a
+// Preset; the empty string is fast (the default).
+func ParsePreset(s string) (Preset, error) {
+	switch s {
+	case "", "fast":
+		return PresetFast, nil
+	case "eco":
+		return PresetEco, nil
+	case "strong":
+		return PresetStrong, nil
+	}
+	return 0, fmt.Errorf("multilevel: unknown preset %q (want fast, eco or strong)", s)
+}
+
 // Options selects the algorithm for each phase plus the shared knobs. The
 // zero value is the paper's recommended configuration: HEM coarsening to
 // 100 vertices, GGGP initial partitioning, BKLGR refinement.
@@ -84,6 +142,17 @@ type Options struct {
 	// of the worker count. The paper observes that coarsening is the easy
 	// phase to parallelize; this is that observation for shared memory.
 	CoarsenWorkers int
+	// Preset selects the number of multilevel cycles: fast (the zero
+	// value) is a single V-cycle, eco adds one partition-seeded extra
+	// cycle, strong runs four cycles best-of-N. Extra cycles apply to
+	// Partition and PartitionKWay; PartitionWeighted ignores the preset
+	// (iterated refinement assumes equal part targets). A failed extra
+	// cycle degrades to the best completed partition (recorded in
+	// Stats.Degradations), never a hard error.
+	Preset Preset
+	// Cycles, when > 0, overrides the preset's cycle count directly
+	// (1 = fast). 0 defers to Preset.
+	Cycles int
 	// RefineWorkers > 1 fans the propose phase of boundary k-way refinement
 	// (the BKWAY policy on the direct k-way path) out over that many
 	// workers. Unlike CoarsenWorkers it never changes the result: proposals
@@ -190,7 +259,30 @@ func (o Options) Validate() error {
 	if o.ParallelMinVertices < 0 {
 		return fmt.Errorf("multilevel: ParallelMinVertices = %d, want >= 0", o.ParallelMinVertices)
 	}
+	if !o.Preset.Valid() {
+		return fmt.Errorf("multilevel: invalid preset %d", int(o.Preset))
+	}
+	if o.Cycles < 0 {
+		return fmt.Errorf("multilevel: Cycles = %d, want >= 0", o.Cycles)
+	}
 	return nil
+}
+
+// CycleCount resolves the preset and the Cycles override into the number
+// of multilevel cycles a partition runs: an explicit Cycles wins, else
+// fast=1, eco=2, strong=4. The service cache key uses this too, so
+// option spellings with the same effective cycle count share entries.
+func (o Options) CycleCount() int {
+	if o.Cycles > 0 {
+		return o.Cycles
+	}
+	switch o.Preset {
+	case PresetEco:
+		return ecoCycles
+	case PresetStrong:
+		return strongCycles
+	}
+	return 1
 }
 
 // validate is the full entry-point check: the option checks of Validate
@@ -219,6 +311,11 @@ type Stats struct {
 	CoarsestN   int           // vertices in the coarsest graph
 	InitialCut  int           // cut of the coarsest-graph partition
 	Bisections  int           // bisections performed (k-1 for k-way)
+
+	// Cycles is the number of multilevel cycles that completed (1 for the
+	// fast preset). It is set once per run, never summed across
+	// bisections.
+	Cycles int
 
 	// Counters aggregates the refinement and projection event totals
 	// (RefinePasses, RefineMoves, PositiveGainMoves, Projections).

@@ -39,6 +39,11 @@ type job interface {
 	run(ctx context.Context, tr mlpart.Tracer, inj *mlpart.FaultInjector) (any, error)
 }
 
+// presetJob is implemented by jobs that carry a quality preset (see
+// mlpart.Options.Preset); serveCompute counts each accepted request under
+// its preset in /varz.
+type presetJob interface{ preset() string }
+
 type decodeFunc func(dec *json.Decoder) (job, error)
 
 // binaryDecodeFunc decodes a binary CSR request body; the non-graph
@@ -119,6 +124,9 @@ func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, ep string,
 		s.met.badReqs.Add(1)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if pj, ok := j.(presetJob); ok {
+		s.met.countPreset(pj.preset())
 	}
 	wantTrace := r.URL.Query().Get("trace") == "1"
 
@@ -387,6 +395,7 @@ func optionsFromQuery(q url.Values) (*mlpart.Options, error) {
 		Matching:   q.Get("matching"),
 		InitPart:   q.Get("init_part"),
 		Refinement: q.Get("refinement"),
+		Preset:     q.Get("preset"),
 		Ordering:   q.Get("ordering"),
 	}
 	for name, dst := range map[string]*int{
@@ -396,6 +405,7 @@ func optionsFromQuery(q url.Values) (*mlpart.Options, error) {
 		"ncuts":                 &o.NCuts,
 		"coarsen_workers":       &o.CoarsenWorkers,
 		"refine_workers":        &o.RefineWorkers,
+		"cycles":                &o.Cycles,
 	} {
 		if err := queryInt(q, name, dst); err != nil {
 			return nil, err
@@ -434,8 +444,11 @@ func cloneOptions(o *mlpart.Options) *mlpart.Options {
 // form: requests that spell the defaults explicitly share cache entries
 // with requests that omit them, and the scheduling-only knobs (Parallel,
 // ParallelDepth, ParallelMinVertices, RefineWorkers — parity-tested to
-// not change results) are excluded entirely.
+// not change results) are excluded entirely. The preset/cycles pair is
+// canonicalized to the *effective* cycle count, so preset=strong and
+// cycles=4 share an entry while fast and strong never alias.
 func canonicalOptions(o *mlpart.Options) string {
+	cyc := o.EffectiveCycles()
 	c := mlpart.Options{}
 	if o != nil {
 		c = *o
@@ -464,9 +477,9 @@ func canonicalOptions(o *mlpart.Options) string {
 	if c.Ordering == "" {
 		c.Ordering = mlpart.OrderingNone
 	}
-	return fmt.Sprintf("m=%s i=%s r=%s ct=%d ub=%.17g s=%d kr=%t nc=%d cw=%d cg=%t ord=%s",
+	return fmt.Sprintf("m=%s i=%s r=%s ct=%d ub=%.17g s=%d kr=%t nc=%d cw=%d cg=%t ord=%s cyc=%d",
 		c.Matching, c.InitPart, c.Refinement, c.CoarsenTo, c.Ubfactor,
-		c.Seed, c.KWayRefine, c.NCuts, c.CoarsenWorkers, c.CompressGraph, c.Ordering)
+		c.Seed, c.KWayRefine, c.NCuts, c.CoarsenWorkers, c.CompressGraph, c.Ordering, cyc)
 }
 
 // hashInts is FNV-1a over an int slice (for the repartition key's
@@ -558,6 +571,21 @@ func decodePartitionBinary(data []byte, q url.Values) (job, error) {
 
 func (j *partitionJob) timeoutMS() int64 { return j.req.TimeoutMS }
 
+// preset reports the request's quality preset for the varz counters,
+// normalized by effective cycle count so `cycles=4` with no preset counts
+// as strong and a custom count lands in its own bucket.
+func (j *partitionJob) preset() string {
+	switch j.req.Options.EffectiveCycles() {
+	case 1:
+		return mlpart.PresetFast
+	case 2:
+		return mlpart.PresetEco
+	case 4:
+		return mlpart.PresetStrong
+	}
+	return "custom"
+}
+
 func (j *partitionJob) key() (string, bool) {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s|fp=%016x|%s|", epPartition, j.g.Fingerprint(), canonicalOptions(j.req.Options))
@@ -613,6 +641,7 @@ func (j *partitionJob) run(ctx context.Context, tr mlpart.Tracer, inj *mlpart.Fa
 		Balance:       res.Balance(),
 		PartWeights:   res.PartWeights,
 		Where:         res.Where,
+		Cycles:        res.Cycles,
 		Degradations:  res.Degradations,
 	}, nil
 }

@@ -87,7 +87,29 @@ type metrics struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
+	// Per-preset request counters (fast/eco/strong, plus "custom" for an
+	// explicit non-preset cycle count); bumped once per accepted partition
+	// request, after validation.
+	presetFast   atomic.Int64
+	presetEco    atomic.Int64
+	presetStrong atomic.Int64
+	presetCustom atomic.Int64
+
 	endpoints map[string]*endpointMetrics
+}
+
+// countPreset bumps the counter for one accepted request's quality preset.
+func (m *metrics) countPreset(p string) {
+	switch p {
+	case "eco":
+		m.presetEco.Add(1)
+	case "strong":
+		m.presetStrong.Add(1)
+	case "custom":
+		m.presetCustom.Add(1)
+	default:
+		m.presetFast.Add(1)
+	}
 }
 
 func newMetrics(endpoints ...string) *metrics {
@@ -131,6 +153,15 @@ type varz struct {
 		Hits     int64 `json:"hits"`
 		Misses   int64 `json:"misses"`
 	} `json:"cache"`
+
+	// Presets counts accepted partition requests by quality preset
+	// ("custom" is an explicit cycle count that matches no preset).
+	Presets struct {
+		Fast   int64 `json:"fast"`
+		Eco    int64 `json:"eco"`
+		Strong int64 `json:"strong"`
+		Custom int64 `json:"custom"`
+	} `json:"presets"`
 
 	Endpoints map[string]endpointVarz `json:"endpoints"`
 }

@@ -218,6 +218,10 @@ func (s *Server) serveVarz(w http.ResponseWriter, r *http.Request) {
 	v.Cache.Capacity = s.cfg.CacheSize
 	v.Cache.Hits = m.cacheHits.Load()
 	v.Cache.Misses = m.cacheMisses.Load()
+	v.Presets.Fast = m.presetFast.Load()
+	v.Presets.Eco = m.presetEco.Load()
+	v.Presets.Strong = m.presetStrong.Load()
+	v.Presets.Custom = m.presetCustom.Load()
 	for name, ep := range m.endpoints {
 		v.Endpoints[name] = endpointVarz{
 			Requests:  ep.requests.Load(),

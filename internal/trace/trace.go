@@ -39,6 +39,10 @@ const (
 	// KindPhase reports the total wall time of one phase ("coarsen",
 	// "initial", "refine", "project") at the end of a V-cycle.
 	KindPhase Kind = "phase"
+	// KindCycle reports one completed multilevel cycle of an iterated
+	// (eco/strong preset) run: the cycle index, the edge-cut it achieved
+	// and its wall time. Single-cycle (fast) runs emit no cycle events.
+	KindCycle Kind = "cycle"
 	// KindDegraded reports a graceful-degradation fallback: a phase
 	// algorithm failed (or was failed by the fault injector) and a
 	// cheaper substitute produced the result instead — SBP falling back
@@ -107,6 +111,9 @@ type Event struct {
 	Algorithm string `json:"algorithm,omitempty"`
 	// Trials is the number of trials behind an initial partition.
 	Trials int `json:"trials,omitempty"`
+	// Cycle is the index (0-based) of the multilevel cycle a KindCycle
+	// event reports; cycle 0 is the initial full V-cycle.
+	Cycle int `json:"cycle,omitempty"`
 
 	// Phase names the phase of a KindPhase event: "coarsen", "initial",
 	// "refine" or "project". KindDegraded events reuse it for the

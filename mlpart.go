@@ -156,6 +156,19 @@ const (
 	OrderingBFSBlock = graph.OrderBFSBlock
 )
 
+// Quality preset names accepted by Options.Preset. Fast is one multilevel
+// cycle (the historical behavior and the default); eco and strong run
+// extra V-cycles, each coarsening the graph *respecting* the current
+// partition, skipping initial partitioning, and refining the seeded
+// partition with the boundary k-way engine on the way back up. Extra
+// cycles trade latency for edge-cut roughly linearly and stay
+// bit-identical across RefineWorkers counts.
+const (
+	PresetFast   = "fast"   // 1 cycle (default)
+	PresetEco    = "eco"    // 2 cycles: one partition-seeded extra V-cycle
+	PresetStrong = "strong" // 4 cycles, best-of-N with derived per-cycle seeds
+)
+
 // Refinement policy names accepted by Options.Refinement.
 const (
 	RefineNone  = "NONE"  // no refinement (projection only)
@@ -224,6 +237,16 @@ type Options struct {
 	// partition is bit-identical for every worker count (proposals are
 	// chunk-independent, commits serial). <= 1 refines serially.
 	RefineWorkers int `json:"refine_workers,omitempty"`
+	// Preset selects the quality/latency trade: PresetFast (or "") is one
+	// multilevel cycle, PresetEco adds one partition-seeded extra V-cycle,
+	// PresetStrong runs four cycles best-of-N. Applies to Partition and
+	// PartitionDirectKWay; PartitionWeighted and NestedDissection ignore
+	// it. A failed extra cycle degrades to the best completed partition
+	// (see Partitioning.Degradations), never a hard error.
+	Preset string `json:"preset,omitempty"`
+	// Cycles, when > 0, overrides the preset's cycle count directly
+	// (1 behaves like PresetFast). 0 defers to Preset.
+	Cycles int `json:"cycles,omitempty"`
 	// Ordering relabels the vertices at ingest for memory locality before
 	// the multilevel engine runs: OrderingNone (or ""), OrderingDegree or
 	// OrderingBFSBlock. The engine partitions the permuted graph and every
@@ -343,7 +366,29 @@ func (o *Options) toML() (multilevel.Options, error) {
 		}
 		ml = ml.WithRefinement(p)
 	}
+	if o.Preset != "" {
+		p, err := multilevel.ParsePreset(o.Preset)
+		if err != nil {
+			return ml, err
+		}
+		ml.Preset = p
+	}
+	ml.Cycles = o.Cycles
 	return ml, nil
+}
+
+// EffectiveCycles resolves Preset and Cycles into the number of multilevel
+// cycles a partition will run: an explicit Cycles wins, else fast=1,
+// eco=2, strong=4. Option spellings with equal effective cycle counts
+// produce identical partitions, which is why the service cache keys on
+// this value rather than the raw preset string. Invalid options resolve
+// to 1 (Validate reports them properly).
+func (o *Options) EffectiveCycles() int {
+	ml, err := o.toML()
+	if err != nil {
+		return 1
+	}
+	return ml.CycleCount()
 }
 
 // Validate reports whether the options are well-formed without running
@@ -379,6 +424,11 @@ type Partitioning struct {
 	EdgeCut int
 	// PartWeights[p] is the total vertex weight of part p.
 	PartWeights []int
+	// Cycles is the number of multilevel cycles that completed (1 under
+	// the fast preset; see Options.Preset). A count below the preset's
+	// target means cancellation or a degraded cycle stopped iteration at
+	// the best completed partition.
+	Cycles int
 	// Degradations lists every graceful-degradation fallback the run took
 	// (HCM matching stall -> HEM, SBP non-convergence -> GGGP, abandoned
 	// refinement pass -> projected partition), in order. Empty on a clean
@@ -431,6 +481,7 @@ func PartitionCtx(ctx context.Context, g *Graph, k int, opts *Options) (*Partiti
 		Where:        unpermuteWhere(res.Where, perm),
 		EdgeCut:      res.EdgeCut,
 		PartWeights:  res.PartWeights,
+		Cycles:       res.Stats.Cycles,
 		Degradations: res.Stats.Degradations,
 	}, nil
 }
@@ -463,6 +514,7 @@ func PartitionWeightedCtx(ctx context.Context, g *Graph, fractions []float64, op
 		Where:        unpermuteWhere(res.Where, perm),
 		EdgeCut:      res.EdgeCut,
 		PartWeights:  res.PartWeights,
+		Cycles:       res.Stats.Cycles,
 		Degradations: res.Stats.Degradations,
 	}, nil
 }
@@ -496,6 +548,7 @@ func PartitionDirectKWayCtx(ctx context.Context, g *Graph, k int, opts *Options)
 		Where:        unpermuteWhere(res.Where, perm),
 		EdgeCut:      res.EdgeCut,
 		PartWeights:  res.PartWeights,
+		Cycles:       res.Stats.Cycles,
 		Degradations: res.Stats.Degradations,
 	}, nil
 }

@@ -483,3 +483,43 @@ func TestWriteDOTPublic(t *testing.T) {
 		t.Fatal("not DOT output")
 	}
 }
+
+// TestPresetPublicAPI exercises the quality presets through the public
+// surface: eco/strong run extra cycles (reported in Partitioning.Cycles),
+// never produce a worse cut than fast, an explicit Cycles count overrides
+// the preset, and an unknown preset name is rejected up front.
+func TestPresetPublicAPI(t *testing.T) {
+	g := testMesh(t)
+	fast, err := Partition(g, 8, &Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Cycles != 1 {
+		t.Errorf("default preset Cycles = %d, want 1", fast.Cycles)
+	}
+	for preset, wantCycles := range map[string]int{PresetEco: 2, PresetStrong: 4} {
+		res, err := Partition(g, 8, &Options{Seed: 3, Preset: preset})
+		if err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+		if res.Cycles != wantCycles {
+			t.Errorf("%s: Cycles = %d, want %d", preset, res.Cycles, wantCycles)
+		}
+		if res.EdgeCut > fast.EdgeCut {
+			t.Errorf("%s cut %d worse than fast %d", preset, res.EdgeCut, fast.EdgeCut)
+		}
+	}
+	res, err := Partition(g, 8, &Options{Seed: 3, Preset: PresetStrong, Cycles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 2 {
+		t.Errorf("explicit Cycles=2 over strong: Cycles = %d, want 2", res.Cycles)
+	}
+	if (&Options{Preset: "turbo"}).EffectiveCycles() != 1 {
+		t.Error("EffectiveCycles of an invalid preset should fall back to 1")
+	}
+	if _, err := Partition(g, 8, &Options{Preset: "turbo"}); err == nil {
+		t.Error("unknown preset name accepted")
+	}
+}

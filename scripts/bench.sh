@@ -8,6 +8,11 @@
 #   scripts/bench.sh                          # full suite, 1 iteration each
 #   BENCHTIME=5x scripts/bench.sh             # more iterations
 #   BENCH=Table4 scripts/bench.sh             # subset by regexp
+#   BENCH=Cycles scripts/bench.sh             # preset group: BenchmarkCycles
+#                                             # (fast vs eco vs strong on the
+#                                             # Table-2 FE3D mesh; edgecut
+#                                             # must fall, ns/op may grow by
+#                                             # the cycle multiple)
 #   BENCH=Ingest scripts/bench.sh             # ingest group: BenchmarkIngest
 #                                             # (JSON vs METIS vs binary CSR,
 #                                             # docs/WIRE.md) + the service

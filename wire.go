@@ -135,6 +135,10 @@ type PartitionResponse struct {
 	Balance       float64 `json:"balance"`
 	PartWeights   []int   `json:"part_weights"`
 	Where         []int   `json:"where,omitempty"`
+	// Cycles is the number of multilevel cycles that completed (1 under
+	// the default fast preset; see Options.Preset). Additive field, same
+	// schema version.
+	Cycles int `json:"cycles,omitempty"`
 	// Degradations lists the graceful-degradation fallbacks the run took;
 	// empty (and omitted) on a clean run. A degraded result is valid and
 	// balanced but may have a worse cut than a clean run would produce.

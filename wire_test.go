@@ -3,6 +3,7 @@ package mlpart_test
 import (
 	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 
 	"mlpart"
@@ -143,5 +144,44 @@ func TestWireOptionsTracerExcluded(t *testing.T) {
 	}
 	if back.Seed != 1 {
 		t.Error("Seed lost")
+	}
+}
+
+// TestWirePresetRoundTrip asserts preset and cycles survive the JSON wire
+// schema in both directions: request options and the response's
+// cycles-completed field, which is omitted when zero-valued so pre-preset
+// clients see an unchanged object.
+func TestWirePresetRoundTrip(t *testing.T) {
+	req := mlpart.PartitionRequest{
+		Graph:   mlpart.WireGraph{Xadj: []int{0, 1, 2}, Adjncy: []int{1, 0}},
+		K:       2,
+		Options: &mlpart.Options{Preset: mlpart.PresetStrong, Cycles: 3, Seed: 9},
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"preset":"strong"`) || !strings.Contains(string(data), `"cycles":3`) {
+		t.Fatalf("request JSON lacks preset/cycles: %s", data)
+	}
+	var back mlpart.PartitionRequest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Options.Preset != mlpart.PresetStrong || back.Options.Cycles != 3 {
+		t.Fatalf("round-trip lost preset/cycles: %+v", back.Options)
+	}
+
+	resp := mlpart.PartitionResponse{Kind: mlpart.WireKindResult, SchemaVersion: mlpart.SchemaVersion, Cycles: 4}
+	data, err = json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"cycles":4`) {
+		t.Fatalf("response JSON lacks cycles: %s", data)
+	}
+	data, _ = json.Marshal(mlpart.PartitionResponse{Kind: mlpart.WireKindResult, SchemaVersion: mlpart.SchemaVersion})
+	if strings.Contains(string(data), "cycles") {
+		t.Fatalf("zero cycles must be omitted for schema stability: %s", data)
 	}
 }
