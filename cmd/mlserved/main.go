@@ -7,21 +7,25 @@
 //
 //	mlserved [-addr :8080] [-workers 0] [-queue 0] [-cache 256]
 //	         [-timeout 60s] [-drain 30s] [-ready-grace 0s] [-max-body 67108864]
-//	         [-faults ""]
+//	         [-jobs 1024] [-job-ttl 10m] [-faults ""]
 //
 // Endpoints (see docs/SERVICE.md and docs/RELIABILITY.md):
 //
 //	POST /v1/partition    k-way / weighted / direct k-way partition
 //	POST /v1/order        nested-dissection fill-reducing ordering
 //	POST /v1/repartition  adaptive repartitioning with minimal migration
+//	POST /v1/jobs         asynchronous submission (202 + poll URL)
+//	POST /v1/jobs/batch   submit many jobs in one request
+//	GET  /v1/jobs/{id}    poll job state / fetch the finished result
+//	DELETE /v1/jobs/{id}  cancel a queued or running job
 //	GET  /healthz         liveness probe (200 for the process lifetime)
 //	GET  /readyz          readiness probe (503 while draining)
-//	GET  /varz            counters, queue depth, cache and latency stats
+//	GET  /varz            counters, queue depth, cache, jobs and latency stats
 //
 // On SIGTERM or SIGINT the daemon flips /readyz to 503, waits -ready-grace
 // for load balancers to observe the flip, stops accepting connections,
-// drains in-flight requests for up to -drain, then exits 0; a second
-// signal aborts immediately.
+// drains in-flight requests and running async jobs for up to -drain, then
+// exits 0; a second signal aborts immediately.
 //
 // -faults installs a deterministic fault-injection plan (defaults to the
 // MLPART_FAULTS environment variable) for chaos drills; see
@@ -53,6 +57,8 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight requests")
 	readyGrace := flag.Duration("ready-grace", 0, "wait after flipping /readyz to 503 before closing the listener")
 	maxBody := flag.Int64("max-body", 64<<20, "request body limit in bytes")
+	jobCap := flag.Int("jobs", 1024, "async job store capacity (-1 sheds every /v1/jobs submission)")
+	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "finished job retention before eviction")
 	faultPlan := flag.String("faults", os.Getenv("MLPART_FAULTS"), "deterministic fault-injection plan (chaos drills; see docs/RELIABILITY.md)")
 	flag.Parse()
 
@@ -69,6 +75,8 @@ func main() {
 		CacheSize:     *cacheSize,
 		Timeout:       *timeout,
 		MaxBodyBytes:  *maxBody,
+		JobCapacity:   *jobCap,
+		JobTTL:        *jobTTL,
 		FaultInjector: inj,
 	})
 	cfg := srv.Config()
@@ -87,8 +95,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("mlserved listening on %s (workers=%d queue=%d cache=%d timeout=%s)",
-		*addr, cfg.Workers, cfg.QueueSize, cfg.CacheSize, cfg.Timeout)
+	log.Printf("mlserved listening on %s (workers=%d queue=%d cache=%d timeout=%s jobs=%d job-ttl=%s)",
+		*addr, cfg.Workers, cfg.QueueSize, cfg.CacheSize, cfg.Timeout, *jobCap, *jobTTL)
 
 	select {
 	case err := <-errc:
@@ -110,6 +118,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mlserved: drain incomplete: %v\n", err)
 		os.Exit(1)
 	}
+	// Async jobs outlive their submission requests, so Shutdown returning
+	// does not mean the workers are idle: wait for running jobs within
+	// whatever remains of the drain budget.
+	if err := srv.WaitJobs(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "mlserved: drain incomplete: running jobs remain: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("mlserved: jobs drained")
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("mlserved: %v", err)
 	}

@@ -72,6 +72,11 @@ const (
 	// iterated (eco/strong preset) run; an injected error or panic degrades
 	// the run to the best completed cycle's partition — never a hard error.
 	SiteCycle = "cycle"
+	// SiteJobRun fires inside an asynchronous job's runner right before
+	// the computation starts (after the worker slot is acquired); an
+	// injected panic or error finishes the job as failed with the same
+	// wire error the synchronous endpoint would return.
+	SiteJobRun = "jobs/run"
 )
 
 // Sites lists every known injection site, sorted.
@@ -87,6 +92,7 @@ func Sites() []string {
 		SiteKWayPass,
 		SiteServiceWorker,
 		SiteCycle,
+		SiteJobRun,
 	}
 	sort.Strings(s)
 	return s

@@ -1,0 +1,275 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic, manually advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newStore(t *testing.T, cfg Config, clk *fakeClock) *Store {
+	t.Helper()
+	cfg.Now = clk.Now
+	return New(cfg)
+}
+
+func TestLifecycleTransitions(t *testing.T) {
+	clk := newFakeClock()
+	s := newStore(t, Config{Prefix: "j-"}, clk)
+
+	j, fresh, err := s.Submit("partition", "key-a")
+	if err != nil || !fresh {
+		t.Fatalf("Submit = fresh %v, err %v", fresh, err)
+	}
+	if j.ID() != "j-1" || j.Type() != "partition" || j.Key() != "key-a" {
+		t.Fatalf("unexpected identity: id=%q type=%q key=%q", j.ID(), j.Type(), j.Key())
+	}
+	if snap := j.Snapshot(); snap.State != StateQueued || snap.Submitted.IsZero() {
+		t.Fatalf("after submit: %+v", snap)
+	}
+
+	clk.Advance(time.Second)
+	if !s.Start(j) {
+		t.Fatal("Start on a queued job must succeed")
+	}
+	if snap := j.Snapshot(); snap.State != StateRunning || !snap.Started.After(snap.Submitted) {
+		t.Fatalf("after start: %+v", snap)
+	}
+	if s.Start(j) {
+		t.Fatal("Start on a running job must be refused")
+	}
+
+	clk.Advance(time.Second)
+	out := Outcome{Code: 200, Body: []byte("result\n")}
+	s.Finish(j, StateDone, out, "")
+	snap := j.Snapshot()
+	if snap.State != StateDone || snap.Outcome.Code != 200 || string(snap.Outcome.Body) != "result\n" {
+		t.Fatalf("after finish: %+v", snap)
+	}
+	if !snap.Finished.After(snap.Started) {
+		t.Fatalf("finish timestamp not after start: %+v", snap)
+	}
+	// The job's context is released once it is terminal.
+	select {
+	case <-j.Context().Done():
+	default:
+		t.Fatal("finished job's context must be canceled")
+	}
+
+	// Terminal states are absorbing: a late Finish must not overwrite.
+	s.Finish(j, StateFailed, Outcome{Code: 500}, "late")
+	if snap := j.Snapshot(); snap.State != StateDone || snap.Outcome.Code != 200 {
+		t.Fatalf("terminal state was overwritten: %+v", snap)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	clk := newFakeClock()
+	s := newStore(t, Config{}, clk)
+
+	// Cancel while queued: the runner's Start must then refuse.
+	q, _, _ := s.Submit("partition", "")
+	state, ok := s.Cancel(q.ID())
+	if !ok || state != StateCanceled {
+		t.Fatalf("Cancel(queued) = %q, %v", state, ok)
+	}
+	if s.Start(q) {
+		t.Fatal("Start after cancel must be refused")
+	}
+	select {
+	case <-q.Context().Done():
+	default:
+		t.Fatal("canceled job's context must fire")
+	}
+
+	// Cancel while running: state flips immediately, runner's Finish is
+	// a no-op.
+	r, _, _ := s.Submit("order", "")
+	s.Start(r)
+	if state, ok := s.Cancel(r.ID()); !ok || state != StateCanceled {
+		t.Fatalf("Cancel(running) = %q, %v", state, ok)
+	}
+	s.Finish(r, StateDone, Outcome{Code: 200, Body: []byte("x")}, "")
+	if snap := r.Snapshot(); snap.State != StateCanceled {
+		t.Fatalf("runner Finish resurrected a canceled job: %+v", snap)
+	}
+
+	// Cancel of a finished job leaves it untouched.
+	d, _, _ := s.Submit("partition", "")
+	s.Start(d)
+	s.Finish(d, StateDone, Outcome{Code: 200}, "")
+	if state, ok := s.Cancel(d.ID()); !ok || state != StateDone {
+		t.Fatalf("Cancel(done) = %q, %v", state, ok)
+	}
+
+	// Unknown ids are reported as not found.
+	if _, ok := s.Cancel("nope"); ok {
+		t.Fatal("Cancel of unknown id must report not found")
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	clk := newFakeClock()
+	s := newStore(t, Config{}, clk)
+
+	a, fresh, _ := s.Submit("partition", "K")
+	if !fresh {
+		t.Fatal("first submission must be fresh")
+	}
+	// Identical key while active: same job, not fresh — queued or running.
+	b, fresh, _ := s.Submit("partition", "K")
+	if fresh || b != a {
+		t.Fatalf("duplicate submission must coalesce: fresh=%v same=%v", fresh, b == a)
+	}
+	s.Start(a)
+	if c, fresh, _ := s.Submit("partition", "K"); fresh || c != a {
+		t.Fatal("duplicate submission must coalesce onto the running job")
+	}
+	// A different key is a different job.
+	if d, fresh, _ := s.Submit("partition", "K2"); !fresh || d == a {
+		t.Fatal("different keys must not coalesce")
+	}
+	// Empty keys never coalesce.
+	e1, _, _ := s.Submit("partition", "")
+	e2, fresh, _ := s.Submit("partition", "")
+	if !fresh || e1 == e2 {
+		t.Fatal("empty keys must not coalesce")
+	}
+	// After the job finishes, the key is free again (the result cache,
+	// not the store, serves finished duplicates).
+	s.Finish(a, StateDone, Outcome{}, "")
+	if f, fresh, _ := s.Submit("partition", "K"); !fresh || f == a {
+		t.Fatal("a finished job must not absorb new submissions")
+	}
+}
+
+func TestTTLEviction(t *testing.T) {
+	clk := newFakeClock()
+	s := newStore(t, Config{TTL: time.Minute}, clk)
+
+	j, _, _ := s.Submit("partition", "")
+	s.Start(j)
+	s.Finish(j, StateDone, Outcome{Code: 200, Body: []byte("r\n")}, "")
+
+	clk.Advance(59 * time.Second)
+	if _, ok := s.Get(j.ID()); !ok {
+		t.Fatal("finished job evicted before its TTL")
+	}
+	clk.Advance(2 * time.Second)
+	if _, ok := s.Get(j.ID()); ok {
+		t.Fatal("finished job still observable past its TTL")
+	}
+	if g := s.Gauges(); g.Expired != 1 || g.Done != 0 {
+		t.Fatalf("gauges after eviction: %+v", g)
+	}
+
+	// Active jobs are never TTL-evicted, no matter how old.
+	act, _, _ := s.Submit("partition", "")
+	clk.Advance(24 * time.Hour)
+	if _, ok := s.Get(act.ID()); !ok {
+		t.Fatal("active job must survive any amount of time")
+	}
+}
+
+func TestCapacityShedAndFinishedEviction(t *testing.T) {
+	clk := newFakeClock()
+	s := newStore(t, Config{Capacity: 2, TTL: time.Hour}, clk)
+
+	a, _, _ := s.Submit("partition", "")
+	b, _, _ := s.Submit("partition", "")
+	// Full of active jobs: shed.
+	if _, _, err := s.Submit("partition", ""); !errors.Is(err, ErrFull) {
+		t.Fatalf("expected ErrFull, got %v", err)
+	}
+	// A finished job makes room: the oldest finished record is displaced
+	// even though its TTL has not elapsed.
+	s.Start(a)
+	s.Finish(a, StateDone, Outcome{}, "")
+	c, fresh, err := s.Submit("partition", "")
+	if err != nil || !fresh {
+		t.Fatalf("Submit after finish: fresh=%v err=%v", fresh, err)
+	}
+	if _, ok := s.Get(a.ID()); ok {
+		t.Fatal("displaced finished job still observable")
+	}
+	if g := s.Gauges(); g.Expired != 1 || g.Queued != 2 {
+		t.Fatalf("gauges after displacement: %+v", g)
+	}
+	_, _ = b, c
+}
+
+func TestGauges(t *testing.T) {
+	clk := newFakeClock()
+	s := newStore(t, Config{}, clk)
+
+	q, _, _ := s.Submit("partition", "")
+	r, _, _ := s.Submit("order", "")
+	s.Start(r)
+	d, _, _ := s.Submit("partition", "")
+	s.Start(d)
+	s.Finish(d, StateDone, Outcome{}, "")
+	f, _, _ := s.Submit("partition", "")
+	s.Start(f)
+	s.Finish(f, StateFailed, Outcome{Code: 500}, "boom")
+	c, _, _ := s.Submit("partition", "")
+	s.Cancel(c.ID())
+
+	g := s.Gauges()
+	want := Gauges{Queued: 1, Running: 1, Done: 1, Failed: 1, Canceled: 1}
+	if g != want {
+		t.Fatalf("gauges = %+v, want %+v", g, want)
+	}
+	_ = q
+}
+
+func TestConcurrentSubmitFinish(t *testing.T) {
+	clk := newFakeClock()
+	s := newStore(t, Config{Capacity: 10_000}, clk)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j, fresh, err := s.Submit("partition", fmt.Sprintf("k-%d-%d", w, i))
+				if err != nil || !fresh {
+					t.Errorf("submit: fresh=%v err=%v", fresh, err)
+					return
+				}
+				if !s.Start(j) {
+					t.Error("start refused")
+					return
+				}
+				s.Finish(j, StateDone, Outcome{Code: 200}, "")
+			}
+		}(w)
+	}
+	wg.Wait()
+	g := s.Gauges()
+	if g.Done != 1600 || g.Queued != 0 || g.Running != 0 {
+		t.Fatalf("gauges = %+v", g)
+	}
+}

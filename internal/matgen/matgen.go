@@ -354,6 +354,49 @@ func CircuitPowerLaw(n, edgesPer int, seed int64) *graph.Graph {
 	return b.MustBuild()
 }
 
+// SocialNetwork returns a heavily skewed power-law graph in the style of a
+// follower network: preferential attachment with reinforced endpoint
+// weighting, so the rich-get-richer feedback is stronger than in
+// CircuitPowerLaw and a handful of hub vertices end up holding a large
+// share of all edge endpoints. The resulting degree distribution has a
+// much heavier tail than any mesh workload (max degree tens to hundreds of
+// times the mean), which is exactly the shape that stresses coarsening
+// matchings built for bounded-degree meshes.
+func SocialNetwork(n, edgesPer int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// Degree-proportional endpoint pool, as in CircuitPowerLaw — but the
+	// chosen (older, already popular) endpoint is appended twice per edge
+	// while the newcomer is appended once. Sampling probability then grows
+	// superlinearly with popularity over time, steepening the tail.
+	pool := make([]int, 0, 3*n*edgesPer)
+	start := edgesPer + 1
+	if start > n {
+		start = n
+	}
+	for v := 1; v < start; v++ {
+		b.AddEdge(v, v-1)
+		pool = append(pool, v, v-1, v-1)
+	}
+	for v := start; v < n; v++ {
+		attached := map[int]bool{}
+		for t := 0; t < edgesPer; t++ {
+			u := pool[rng.Intn(len(pool))]
+			if u == v || attached[u] {
+				continue
+			}
+			attached[u] = true
+			b.AddEdge(v, u)
+			pool = append(pool, v, u, u)
+		}
+		if len(attached) == 0 {
+			b.AddEdge(v, v-1)
+			pool = append(pool, v, v-1, v-1)
+		}
+	}
+	return b.MustBuild()
+}
+
 // Chemical returns an irregular banded matrix graph in the style of LHR71
 // (light hydrocarbon recovery): a block-banded chain of process units with
 // dense local coupling and occasional recycle streams back to earlier units.
@@ -563,6 +606,8 @@ func Generate(name string, scale float64) (Named, error) {
 		return Named{name, "3D finite element mesh", FE3DTetra(d(40), d(31), d(20), 18)}, nil
 	case "S38":
 		return Named{name, "Sequential circuit", CircuitPowerLaw(c(11071), 2, 19)}, nil
+	case "SOC":
+		return Named{name, "Social follower network", SocialNetwork(c(16384), 4, 23)}, nil
 	case "SHEL":
 		return Named{name, "3D stiffness matrix", Stiffness3D(d(45), d(32), d(16))}, nil
 	case "SHYY":
@@ -575,12 +620,14 @@ func Generate(name string, scale float64) (Named, error) {
 	return Named{}, fmt.Errorf("matgen: unknown workload %q", name)
 }
 
-// AllNames lists every workload name from Table 1, in the paper's order.
+// AllNames lists every workload name from Table 1, in the paper's order,
+// plus the synthetic extensions (SOC, a power-law follower network beyond
+// the paper's matrix suite).
 func AllNames() []string {
 	return []string{
 		"BC28", "BC29", "BC30", "BC31", "BC32", "BC33", "BSP10", "BRCK",
 		"CANT", "COPT", "CY93", "FINC", "4ELT", "INPR", "LHR", "LS34",
-		"MAP", "MEM", "ROTR", "S38", "SHEL", "SHYY", "TROL", "WAVE",
+		"MAP", "MEM", "ROTR", "S38", "SHEL", "SHYY", "SOC", "TROL", "WAVE",
 	}
 }
 

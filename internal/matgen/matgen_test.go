@@ -1,6 +1,7 @@
 package matgen
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -127,6 +128,52 @@ func TestCircuitPowerLawSkew(t *testing.T) {
 	// Preferential attachment must produce hubs far above the average.
 	if float64(maxd) < 4*g.AverageDegree() {
 		t.Fatalf("max degree %d not skewed vs avg %v", maxd, g.AverageDegree())
+	}
+}
+
+func TestSocialNetworkSkew(t *testing.T) {
+	g := SocialNetwork(5000, 4, 4)
+	checkGraph(t, g, "social")
+	h := g.DegreeHistogram()
+	maxd := len(h) - 1
+	avg := g.AverageDegree()
+	// Reinforced preferential attachment must produce dominant hubs: far
+	// heavier skew than the circuit generator's 4x bound.
+	if float64(maxd) < 20*avg {
+		t.Fatalf("max degree %d not heavy-tailed vs avg %v", maxd, avg)
+	}
+	// The top 1%% of vertices by degree should hold an outsized share of
+	// all edge endpoints — the signature of a power-law tail.
+	degs := make([]int, g.NumVertices())
+	total := 0
+	for v := range degs {
+		degs[v] = g.Degree(v)
+		total += degs[v]
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	top := len(degs) / 100
+	topSum := 0
+	for _, d := range degs[:top] {
+		topSum += d
+	}
+	if share := float64(topSum) / float64(total); share < 0.10 {
+		t.Fatalf("top 1%% endpoint share = %.3f, want >= 0.10", share)
+	}
+}
+
+func TestSocialNetworkVsMeshShape(t *testing.T) {
+	soc := SocialNetwork(2500, 4, 9)
+	mesh := Grid2D(50, 50)
+	socMax := len(soc.DegreeHistogram()) - 1
+	meshMax := len(mesh.DegreeHistogram()) - 1
+	// A mesh has bounded degree; the social graph's hubs should dwarf it.
+	if socMax < 10*meshMax {
+		t.Fatalf("social max degree %d not >> mesh max %d", socMax, meshMax)
+	}
+	socRatio := float64(socMax) / soc.AverageDegree()
+	meshRatio := float64(meshMax) / mesh.AverageDegree()
+	if socRatio < 5*meshRatio {
+		t.Fatalf("skew ratio %.1f not >> mesh ratio %.1f", socRatio, meshRatio)
 	}
 }
 

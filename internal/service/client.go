@@ -2,12 +2,18 @@ package service
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
+
+	"mlpart"
 )
 
 // RetryClient wraps an http.Client with bounded retries for talking to
@@ -154,6 +160,246 @@ func (c *RetryClient) jitter(attempt int) time.Duration {
 	d := time.Duration(c.Rand.Float64() * float64(ceiling))
 	c.mu.Unlock()
 	return d
+}
+
+// Client is the SDK for a daemon: it speaks the asynchronous job API —
+// submit, poll to completion, cancel, batch — over a RetryClient, with
+// jittered polling that honors the server's Retry-After hints. The zero
+// value plus a Base URL is usable:
+//
+//	c := &service.Client{Base: "http://localhost:8080"}
+//	jr, err := c.SubmitJob(ctx, mlpart.JobTypePartition, &mlpart.PartitionRequest{...})
+//	res, err := c.WaitJob(ctx, jr.ID)   // res.Body is the PartitionResponse bytes
+type Client struct {
+	// Base is the daemon's base URL ("http://host:port"), no trailing
+	// path.
+	Base string
+	// HTTP performs the requests; nil means a zero RetryClient (default
+	// backoff over http.DefaultClient). Submissions go through its retry
+	// loop (replayable bodies, 429/503 backoff); polls do not — a poll is
+	// its own retry loop.
+	HTTP *RetryClient
+	// PollInterval is the poll delay when the server sends no hint
+	// (0 means 100ms).
+	PollInterval time.Duration
+	// MaxPollInterval caps the server's hint (0 means 5s).
+	MaxPollInterval time.Duration
+	// Rand supplies the poll jitter; nil seeds one from the clock on
+	// first use. Fix it for deterministic tests.
+	Rand *rand.Rand
+
+	mu sync.Mutex // guards Rand
+}
+
+// JobResult is a finished job as observed by WaitJob.
+type JobResult struct {
+	ID string
+	// State is mlpart.JobStateDone, JobStateFailed or JobStateCanceled.
+	State string
+	// Status is the HTTP status of the replayed wire reply (200 for done,
+	// the original error status for failed, 0 for canceled).
+	Status int
+	// Body is the raw wire body: a result object for done jobs, an
+	// ErrorResponse for failed ones, nil for canceled.
+	Body []byte
+}
+
+func (c *Client) retry() *RetryClient {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &RetryClient{}
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// decodeJobResponse parses a JobResponse reply, turning a wire error
+// into a Go error.
+func decodeJobResponse(resp *http.Response, want int) (*mlpart.JobResponse, error) {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != want {
+		var we mlpart.ErrorResponse
+		if json.Unmarshal(body, &we) == nil && we.Error != "" {
+			return nil, fmt.Errorf("%s: %s", resp.Status, we.Error)
+		}
+		return nil, fmt.Errorf("unexpected status %s", resp.Status)
+	}
+	var jr mlpart.JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		return nil, fmt.Errorf("bad job response: %v", err)
+	}
+	return &jr, nil
+}
+
+// postJSON marshals v and POSTs it through the retry loop with a
+// replayable body.
+func (c *Client) postJSON(ctx context.Context, url string, v any) (*http.Response, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", mlpart.ContentTypeJSON)
+	return c.retry().Do(req)
+}
+
+// SubmitJob submits one asynchronous job. typ is one of the
+// mlpart.JobType constants and req the matching request object
+// (*mlpart.PartitionRequest, *mlpart.OrderRequest or
+// *mlpart.RepartitionRequest). It returns the accepted job's
+// JobResponse; poll it with WaitJob.
+func (c *Client) SubmitJob(ctx context.Context, typ string, req any) (*mlpart.JobResponse, error) {
+	url := c.url("/v1/jobs")
+	if typ != "" {
+		url += "?type=" + typ
+	}
+	resp, err := c.postJSON(ctx, url, req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeJobResponse(resp, http.StatusAccepted)
+}
+
+// SubmitBatch submits many jobs in one call. The returned
+// BatchResponse has one entry per submission in request order; entries
+// that were shed or invalid carry their error in place.
+func (c *Client) SubmitBatch(ctx context.Context, entries []mlpart.BatchJob) (*mlpart.BatchResponse, error) {
+	resp, err := c.postJSON(ctx, c.url("/v1/jobs/batch"), mlpart.BatchRequest{Jobs: entries})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		var we mlpart.ErrorResponse
+		if json.Unmarshal(body, &we) == nil && we.Error != "" {
+			return nil, fmt.Errorf("%s: %s", resp.Status, we.Error)
+		}
+		return nil, fmt.Errorf("unexpected status %s", resp.Status)
+	}
+	var br mlpart.BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		return nil, fmt.Errorf("bad batch response: %v", err)
+	}
+	return &br, nil
+}
+
+// CancelJob cancels the job (DELETE). The returned JobResponse reports
+// the job's resulting state — "canceled" if the cancellation landed, a
+// terminal state if the job had already finished.
+func (c *Client) CancelJob(ctx context.Context, id string) (*mlpart.JobResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.retry().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeJobResponse(resp, http.StatusOK)
+}
+
+// WaitJob polls the job until it reaches a terminal state, honoring the
+// server's retry hints with jitter so a fleet of waiting clients does
+// not poll in lockstep. Failed jobs are returned as a JobResult (State
+// "failed", Body the wire error), not a Go error: transport problems are
+// errors, job outcomes are results.
+func (c *Client) WaitJob(ctx context.Context, id string) (*JobResult, error) {
+	// Polls bypass the RetryClient: a failed job replays its stored
+	// reply under the original error status (e.g. 504), which the retry
+	// loop would misread as a transient condition and hammer.
+	hc := c.retry().Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	url := c.url("/v1/jobs/" + id)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if st := resp.Header.Get("X-Job-State"); st != "" {
+			if st == mlpart.JobStateCanceled {
+				return &JobResult{ID: id, State: st}, nil
+			}
+			return &JobResult{ID: id, State: st, Status: resp.StatusCode, Body: body}, nil
+		}
+		hint := c.PollInterval
+		if hint <= 0 {
+			hint = 100 * time.Millisecond
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			var jr mlpart.JobResponse
+			if err := json.Unmarshal(body, &jr); err != nil {
+				return nil, fmt.Errorf("bad job response: %v", err)
+			}
+			if jr.RetryAfterMS > 0 {
+				hint = time.Duration(jr.RetryAfterMS) * time.Millisecond
+			}
+		case retryableStatus(resp.StatusCode):
+			if ra := retryAfter(resp.Header.Get("Retry-After")); ra > hint {
+				hint = ra
+			}
+		default:
+			var we mlpart.ErrorResponse
+			if json.Unmarshal(body, &we) == nil && we.Error != "" {
+				return nil, fmt.Errorf("%s: %s", resp.Status, we.Error)
+			}
+			return nil, fmt.Errorf("unexpected status %s", resp.Status)
+		}
+		if err := c.sleepJittered(ctx, hint); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// sleepJittered waits the hint plus up to half again as much jitter,
+// respecting the hint as a floor (Retry-After semantics) and
+// MaxPollInterval as the hint's ceiling.
+func (c *Client) sleepJittered(ctx context.Context, hint time.Duration) error {
+	maxp := c.MaxPollInterval
+	if maxp <= 0 {
+		maxp = 5 * time.Second
+	}
+	if hint > maxp {
+		hint = maxp
+	}
+	c.mu.Lock()
+	if c.Rand == nil {
+		c.Rand = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	d := hint + time.Duration(c.Rand.Float64()*float64(hint)/2)
+	c.mu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // retryAfter parses a Retry-After header: delay-seconds or an HTTP date.

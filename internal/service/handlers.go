@@ -189,32 +189,11 @@ func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, ep string,
 			s.finishAborted(w, r, err)
 			return
 		}
-		// A recovered panic or an injected infrastructure fault is the
-		// server's failure, not the client's: reply 500 with an incident
-		// id, log the detail server-side, and keep serving — the poisoned
-		// request must not take the daemon (or its siblings) down.
-		var pe *faults.PanicError
-		if errors.As(err, &pe) {
-			s.met.panicsRecovered.Add(1)
-			s.met.errors.Add(1)
-			id := s.nextIncident()
-			log.Printf("mlserved: incident %s: recovered panic at %s: %v\n%s", id, pe.Site, pe.Value, pe.Stack)
-			w.Header().Set("X-Incident-Id", id)
-			writeError(w, http.StatusInternalServerError,
-				"internal error (incident %s): the request could not be completed", id)
-			return
+		status, incident, ebody := s.computeFailure(err)
+		if incident != "" {
+			w.Header().Set("X-Incident-Id", incident)
 		}
-		var ie *faults.InjectedError
-		if errors.As(err, &ie) {
-			s.met.errors.Add(1)
-			id := s.nextIncident()
-			log.Printf("mlserved: incident %s: %v", id, err)
-			w.Header().Set("X-Incident-Id", id)
-			writeError(w, http.StatusInternalServerError, "internal error (incident %s): %v", id, err)
-			return
-		}
-		s.met.badReqs.Add(1)
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeBody(w, status, ebody)
 		return
 	}
 	if degradedResponse(resp) {
@@ -276,6 +255,38 @@ func (s *Server) runGuarded(ctx context.Context, j job, tr mlpart.Tracer) (resp 
 		return nil, err
 	}
 	return resp, nil
+}
+
+// computeFailure maps a non-context compute error to the HTTP status and
+// encoded wire error body the daemon replies with, bumping the same
+// counters and incident log whether the computation ran synchronously or
+// as an asynchronous job — a failed job replays byte-for-byte the error
+// the synchronous endpoint would have sent.
+//
+// A recovered panic or an injected infrastructure fault is the server's
+// failure, not the client's: 500 with an incident id, detail logged
+// server-side — the poisoned request must not take the daemon down.
+// Everything else the engine rejects is a client error: 400.
+func (s *Server) computeFailure(err error) (status int, incident string, body []byte) {
+	var pe *faults.PanicError
+	if errors.As(err, &pe) {
+		s.met.panicsRecovered.Add(1)
+		s.met.errors.Add(1)
+		id := s.nextIncident()
+		log.Printf("mlserved: incident %s: recovered panic at %s: %v\n%s", id, pe.Site, pe.Value, pe.Stack)
+		return http.StatusInternalServerError, id,
+			errorBody("internal error (incident %s): the request could not be completed", id)
+	}
+	var ie *faults.InjectedError
+	if errors.As(err, &ie) {
+		s.met.errors.Add(1)
+		id := s.nextIncident()
+		log.Printf("mlserved: incident %s: %v", id, err)
+		return http.StatusInternalServerError, id,
+			errorBody("internal error (incident %s): %v", id, err)
+	}
+	s.met.badReqs.Add(1)
+	return http.StatusBadRequest, "", errorBody("%v", err)
 }
 
 // degradedResponse reports whether a computed response took a
@@ -653,6 +664,15 @@ type orderJob struct {
 	g   *mlpart.Graph
 }
 
+// newOrderJob validates the non-graph fields shared by the JSON and
+// binary encodings and builds the job.
+func newOrderJob(req mlpart.OrderRequest, g *mlpart.Graph) (job, error) {
+	if err := req.Options.Validate(); err != nil {
+		return nil, fmt.Errorf("bad options: %v", err)
+	}
+	return &orderJob{req: req, g: g}, nil
+}
+
 func decodeOrder(dec *json.Decoder) (job, error) {
 	var req mlpart.OrderRequest
 	if err := dec.Decode(&req); err != nil {
@@ -662,10 +682,7 @@ func decodeOrder(dec *json.Decoder) (job, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bad graph: %v", err)
 	}
-	if err := req.Options.Validate(); err != nil {
-		return nil, fmt.Errorf("bad options: %v", err)
-	}
-	return &orderJob{req: req, g: g}, nil
+	return newOrderJob(req, g)
 }
 
 func decodeOrderBinary(data []byte, q url.Values) (job, error) {
@@ -683,10 +700,7 @@ func decodeOrderBinary(data []byte, q url.Values) (job, error) {
 	if err := queryInt64(q, "timeout_ms", &req.TimeoutMS); err != nil {
 		return nil, err
 	}
-	if err := req.Options.Validate(); err != nil {
-		return nil, fmt.Errorf("bad options: %v", err)
-	}
-	return &orderJob{req: req, g: g}, nil
+	return newOrderJob(req, g)
 }
 
 func (j *orderJob) timeoutMS() int64 { return j.req.TimeoutMS }
@@ -729,6 +743,15 @@ type repartitionJob struct {
 	g   *mlpart.Graph
 }
 
+// newRepartitionJob validates the non-graph fields shared by the JSON
+// and binary encodings and builds the job.
+func newRepartitionJob(req mlpart.RepartitionRequest, g *mlpart.Graph) (job, error) {
+	if err := req.Options.Validate(); err != nil {
+		return nil, fmt.Errorf("bad options: %v", err)
+	}
+	return &repartitionJob{req: req, g: g}, nil
+}
+
 func decodeRepartition(dec *json.Decoder) (job, error) {
 	var req mlpart.RepartitionRequest
 	if err := dec.Decode(&req); err != nil {
@@ -738,10 +761,7 @@ func decodeRepartition(dec *json.Decoder) (job, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bad graph: %v", err)
 	}
-	if err := req.Options.Validate(); err != nil {
-		return nil, fmt.Errorf("bad options: %v", err)
-	}
-	return &repartitionJob{req: req, g: g}, nil
+	return newRepartitionJob(req, g)
 }
 
 func decodeRepartitionBinary(data []byte, q url.Values) (job, error) {
@@ -771,10 +791,7 @@ func decodeRepartitionBinary(data []byte, q url.Values) (job, error) {
 		return nil, err
 	}
 	req.Options = o
-	if err := req.Options.Validate(); err != nil {
-		return nil, fmt.Errorf("bad options: %v", err)
-	}
-	return &repartitionJob{req: req, g: g}, nil
+	return newRepartitionJob(req, g)
 }
 
 func (j *repartitionJob) timeoutMS() int64 { return j.req.TimeoutMS }

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mlpart"
+)
+
+// BenchmarkJobBatch compares N independent partitions submitted as N
+// sequential synchronous calls against one batch submission polled to
+// completion. The sequential client pays an HTTP round trip, admission
+// cycle and ingest per graph and serializes on each result; the batch
+// pays one submission round trip for all of them, the jobs fan out
+// across the worker pool, and completed results are fetched with one GET
+// each. The per-graph compute is deliberately small so the per-request
+// overhead being amortized — not engine time — dominates the comparison.
+// Caching is disabled so every request computes; seeds differ so nothing
+// coalesces.
+func BenchmarkJobBatch(b *testing.B) {
+	const jobs = 32
+	reqs := make([]mlpart.PartitionRequest, jobs)
+	for i := range reqs {
+		reqs[i] = mlpart.PartitionRequest{
+			Graph:   gridGraph(12, 12),
+			K:       2,
+			Options: &mlpart.Options{Seed: int64(i + 1)},
+		}
+	}
+
+	newBenchServer := func(b *testing.B) *httptest.Server {
+		b.Helper()
+		ts := httptest.NewServer(New(Config{CacheSize: -1, JobCapacity: 4 * jobs}))
+		b.Cleanup(ts.Close)
+		return ts
+	}
+
+	b.Run("sync-sequential", func(b *testing.B) {
+		ts := newBenchServer(b)
+		client := ts.Client()
+		bodies := make([][]byte, jobs)
+		for i, r := range reqs {
+			bodies[i], _ = json.Marshal(r)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			for i := range bodies {
+				resp, err := client.Post(ts.URL+"/v1/partition", "application/json", strings.NewReader(string(bodies[i])))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("status %d", resp.StatusCode)
+				}
+				drain(b, resp)
+			}
+		}
+		b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "graphs/s")
+	})
+
+	b.Run("batch-async", func(b *testing.B) {
+		ts := newBenchServer(b)
+		c := &Client{
+			Base:            ts.URL,
+			HTTP:            &RetryClient{Client: ts.Client()},
+			PollInterval:    time.Millisecond,
+			MaxPollInterval: time.Millisecond,
+			Rand:            rand.New(rand.NewSource(1)),
+		}
+		entries := make([]mlpart.BatchJob, jobs)
+		for i := range reqs {
+			r := reqs[i]
+			entries[i] = mlpart.BatchJob{Partition: &r}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			br, err := c.SubmitBatch(context.Background(), entries)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, jr := range br.Jobs {
+				if jr.ID == "" {
+					b.Fatalf("entry shed: %s", jr.Error)
+				}
+				res, err := c.WaitJob(context.Background(), jr.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.State != mlpart.JobStateDone {
+					b.Fatalf("job %s finished %q: %s", jr.ID, res.State, res.Body)
+				}
+			}
+		}
+		b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "graphs/s")
+	})
+}
+
+func drain(b *testing.B, resp *http.Response) {
+	b.Helper()
+	buf := make([]byte, 32<<10)
+	for {
+		_, err := resp.Body.Read(buf)
+		if err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,495 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"mlpart"
+	"mlpart/internal/faults"
+	"mlpart/internal/jobs"
+	"mlpart/internal/trace"
+)
+
+// The asynchronous job API. A submission is the same decoded, validated
+// compute request the synchronous endpoints take — the identical codec
+// runs, the identical job interface executes on the identical worker pool
+// — but instead of holding the HTTP connection open for the result, the
+// daemon records the job, replies 202 with an id, and lets the client
+// poll. Because both paths share decode, execution, error mapping and
+// encoding, a finished job's stored body is byte-for-byte what the
+// synchronous endpoint would have sent.
+//
+//	POST   /v1/jobs?type=partition|order|repartition   submit (JSON or csrb body)
+//	POST   /v1/jobs/batch                              submit many (JSON only)
+//	GET    /v1/jobs/{id}                               poll / fetch result
+//	DELETE /v1/jobs/{id}                               cancel
+//
+// GET's contract: while the job is active the reply is a JobResponse
+// with a retry_after_ms hint; once it is done or failed the reply IS the
+// stored wire result (or wire error) under its original status code,
+// tagged with an X-Job-State header; a canceled job stays a JobResponse.
+// Jobs bypass the admission queue — the store's capacity is their
+// admission control — but wait for the same worker slots as synchronous
+// requests, so the pool's concurrency bound holds across both APIs.
+
+// jobPollHintMS is the polling interval hint sent while a job is active.
+const jobPollHintMS = 100
+
+// jobCodec resolves a submission's type parameter to its canonical name
+// and request codec.
+func jobCodec(typ string) (string, codec, bool) {
+	switch typ {
+	case "", mlpart.JobTypePartition:
+		return mlpart.JobTypePartition, codec{json: decodePartition, binary: decodePartitionBinary}, true
+	case mlpart.JobTypeOrder:
+		return mlpart.JobTypeOrder, codec{json: decodeOrder, binary: decodeOrderBinary}, true
+	case mlpart.JobTypeRepartition:
+		return mlpart.JobTypeRepartition, codec{json: decodeRepartition, binary: decodeRepartitionBinary}, true
+	}
+	return "", codec{}, false
+}
+
+// jobWire renders a store snapshot as the wire JobResponse.
+func jobWire(snap jobs.Snapshot) mlpart.JobResponse {
+	r := mlpart.JobResponse{
+		Kind:          mlpart.WireKindJob,
+		SchemaVersion: mlpart.SchemaVersion,
+		ID:            snap.ID,
+		Type:          snap.Type,
+		State:         string(snap.State),
+		Error:         snap.Error,
+	}
+	if !snap.State.Terminal() {
+		r.RetryAfterMS = jobPollHintMS
+	}
+	return r
+}
+
+// writeJob writes a JobResponse (or BatchResponse) reply.
+func writeJob(w http.ResponseWriter, status int, resp any) {
+	b, err := json.Marshal(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	writeBody(w, status, append(b, '\n'))
+}
+
+// serveJobSubmit is POST /v1/jobs: decode and validate up front (exactly
+// like the synchronous path, including the binary CSR encoding), then
+// register and return 202 immediately.
+func (s *Server) serveJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "%s requires POST", r.URL.Path)
+		return
+	}
+	// A draining daemon refuses new jobs: accepted jobs outlive their
+	// submission request, so anything admitted now would extend shutdown.
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
+		return
+	}
+	typ, c, ok := jobCodec(r.URL.Query().Get("type"))
+	if !ok {
+		s.met.badReqs.Add(1)
+		writeError(w, http.StatusBadRequest, "unknown job type %q (want %q, %q or %q)",
+			r.URL.Query().Get("type"), mlpart.JobTypePartition, mlpart.JobTypeOrder, mlpart.JobTypeRepartition)
+		return
+	}
+	isBinary, err := binaryRequest(r)
+	if err != nil {
+		s.met.unsupportedMedia.Add(1)
+		writeError(w, http.StatusUnsupportedMediaType,
+			"%v (want %q or %q)", err, mlpart.ContentTypeJSON, mlpart.ContentTypeBinaryCSR)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var j job
+	if isBinary {
+		data, rerr := io.ReadAll(r.Body)
+		if rerr != nil {
+			s.met.badReqs.Add(1)
+			writeError(w, http.StatusBadRequest, "read body: %v", rerr)
+			return
+		}
+		j, err = c.binary(data, r.URL.Query())
+	} else {
+		j, err = c.json(json.NewDecoder(r.Body))
+	}
+	if err != nil {
+		s.met.badReqs.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, err := s.submitDecoded(j, typ, r.URL.Query().Get("trace") == "1")
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"job store full (%d records); retry later", s.jobs.Capacity())
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+resp.ID)
+	writeJob(w, http.StatusAccepted, resp)
+}
+
+// serveJobBatch is POST /v1/jobs/batch: many submissions in one round
+// trip, one HTTP request's ingest overhead. Entries are admitted
+// independently — a shed or invalid entry carries its error in its reply
+// slot without failing the rest of the batch.
+func (s *Server) serveJobBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "%s requires POST", r.URL.Path)
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
+		return
+	}
+	if isBinary, err := binaryRequest(r); err != nil || isBinary {
+		s.met.unsupportedMedia.Add(1)
+		writeError(w, http.StatusUnsupportedMediaType,
+			"batch submissions are JSON only (want %q)", mlpart.ContentTypeJSON)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req mlpart.BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.met.badReqs.Add(1)
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		s.met.badReqs.Add(1)
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	resp := mlpart.BatchResponse{
+		Kind:          mlpart.WireKindBatch,
+		SchemaVersion: mlpart.SchemaVersion,
+		Jobs:          make([]mlpart.JobResponse, len(req.Jobs)),
+	}
+	for i, bj := range req.Jobs {
+		j, typ, err := buildBatchJob(bj)
+		if err != nil {
+			s.met.badReqs.Add(1)
+			resp.Jobs[i] = mlpart.JobResponse{
+				Kind:          mlpart.WireKindJob,
+				SchemaVersion: mlpart.SchemaVersion,
+				Type:          typ,
+				Error:         err.Error(),
+			}
+			continue
+		}
+		jr, err := s.submitDecoded(j, typ, false)
+		if err != nil {
+			resp.Jobs[i] = mlpart.JobResponse{
+				Kind:          mlpart.WireKindJob,
+				SchemaVersion: mlpart.SchemaVersion,
+				Type:          typ,
+				Error:         "job store full",
+			}
+			continue
+		}
+		resp.Jobs[i] = jr
+	}
+	writeJob(w, http.StatusAccepted, resp)
+}
+
+// buildBatchJob decodes and validates one batch entry through the same
+// constructors the endpoint codecs use.
+func buildBatchJob(bj mlpart.BatchJob) (job, string, error) {
+	set := 0
+	for _, p := range []bool{bj.Partition != nil, bj.Order != nil, bj.Repartition != nil} {
+		if p {
+			set++
+		}
+	}
+	typ := bj.Type
+	if typ == "" {
+		// Infer the type from the one populated field; an explicit
+		// mismatched "type" is still an error below.
+		switch {
+		case bj.Partition != nil:
+			typ = mlpart.JobTypePartition
+		case bj.Order != nil:
+			typ = mlpart.JobTypeOrder
+		case bj.Repartition != nil:
+			typ = mlpart.JobTypeRepartition
+		default:
+			typ = mlpart.JobTypePartition
+		}
+	}
+	if set != 1 {
+		return nil, typ, errors.New("batch entry must set exactly one of partition, order, repartition")
+	}
+	switch typ {
+	case mlpart.JobTypePartition:
+		if bj.Partition == nil {
+			return nil, typ, errors.New(`type "partition" requires the partition field`)
+		}
+		g, err := bj.Partition.Graph.ToGraph()
+		if err != nil {
+			return nil, typ, errors.New("bad graph: " + err.Error())
+		}
+		j, err := newPartitionJob(*bj.Partition, g)
+		return j, typ, err
+	case mlpart.JobTypeOrder:
+		if bj.Order == nil {
+			return nil, typ, errors.New(`type "order" requires the order field`)
+		}
+		g, err := bj.Order.Graph.ToGraph()
+		if err != nil {
+			return nil, typ, errors.New("bad graph: " + err.Error())
+		}
+		j, err := newOrderJob(*bj.Order, g)
+		return j, typ, err
+	case mlpart.JobTypeRepartition:
+		if bj.Repartition == nil {
+			return nil, typ, errors.New(`type "repartition" requires the repartition field`)
+		}
+		g, err := bj.Repartition.Graph.ToGraph()
+		if err != nil {
+			return nil, typ, errors.New("bad graph: " + err.Error())
+		}
+		j, err := newRepartitionJob(*bj.Repartition, g)
+		return j, typ, err
+	}
+	return nil, typ, errors.New("unknown job type " + strings.TrimSpace(typ))
+}
+
+// submitDecoded runs the common submission flow for one decoded compute
+// request: coalesce onto an identical active job, short-circuit through
+// the result cache, shed when the store is full, otherwise record the
+// job and spawn its runner. The returned error is jobs.ErrFull or nil.
+func (s *Server) submitDecoded(j job, typ string, wantTrace bool) (mlpart.JobResponse, error) {
+	key, cacheable := j.key()
+	// Tracing makes the execution request-specific: no coalescing with
+	// (or into) untraced submissions, no cache in either direction.
+	cacheable = cacheable && !wantTrace
+	coalesceKey := ""
+	if cacheable {
+		coalesceKey = key
+	}
+	jb, fresh, err := s.jobs.Submit(typ, coalesceKey)
+	if err != nil {
+		s.met.jobsShed.Add(1)
+		return mlpart.JobResponse{}, err
+	}
+	if !fresh {
+		s.met.jobsCoalesced.Add(1)
+		resp := jobWire(jb.Snapshot())
+		resp.Coalesced = true
+		return resp, nil
+	}
+	s.met.jobsSubmitted.Add(1)
+	if pj, ok := j.(presetJob); ok {
+		s.met.countPreset(pj.preset())
+	}
+	if cacheable {
+		// An already cached result completes the job at submission time:
+		// the client still polls, but the first GET replays the body.
+		if body, ok := s.cache.get(key); ok {
+			s.met.cacheHits.Add(1)
+			s.jobs.Start(jb)
+			s.jobs.Finish(jb, jobs.StateDone, jobs.Outcome{Code: http.StatusOK, Body: body}, "")
+			return jobWire(jb.Snapshot()), nil
+		}
+		s.met.cacheMisses.Add(1)
+	}
+	s.jobWG.Add(1)
+	go func() {
+		defer s.jobWG.Done()
+		s.runJob(jb, j, key, cacheable, wantTrace)
+	}()
+	return jobWire(jb.Snapshot()), nil
+}
+
+// serveJobByID is GET/DELETE /v1/jobs/{id}.
+func (s *Server) serveJobByID(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.ContainsRune(id, '/') {
+		writeError(w, http.StatusNotFound, "no such resource %q", r.URL.Path)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		jb, ok := s.jobs.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job %q (expired or never submitted)", id)
+			return
+		}
+		snap := jb.Snapshot()
+		switch snap.State {
+		case jobs.StateDone, jobs.StateFailed:
+			// The stored reply IS the synchronous endpoint's reply —
+			// status code and body bytes alike.
+			w.Header().Set("X-Job-State", string(snap.State))
+			writeBody(w, snap.Outcome.Code, snap.Outcome.Body)
+		case jobs.StateCanceled:
+			w.Header().Set("X-Job-State", string(snap.State))
+			writeJob(w, http.StatusOK, jobWire(snap))
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeJob(w, http.StatusOK, jobWire(snap))
+		}
+	case http.MethodDelete:
+		if _, ok := s.jobs.Cancel(id); !ok {
+			writeError(w, http.StatusNotFound, "unknown job %q (expired or never submitted)", id)
+			return
+		}
+		jb, ok := s.jobs.Get(id)
+		if !ok {
+			// Evicted between Cancel and Get; report the cancellation.
+			writeJob(w, http.StatusOK, mlpart.JobResponse{
+				Kind:          mlpart.WireKindJob,
+				SchemaVersion: mlpart.SchemaVersion,
+				ID:            id,
+				State:         mlpart.JobStateCanceled,
+			})
+			return
+		}
+		writeJob(w, http.StatusOK, jobWire(jb.Snapshot()))
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		writeError(w, http.StatusMethodNotAllowed, "%s requires GET or DELETE", r.URL.Path)
+	}
+}
+
+// runJob is one job's runner goroutine: wait for a worker slot, execute
+// under the same deadline, panic boundary and error mapping as the
+// synchronous path, store the outcome. The job's context — canceled by
+// DELETE — gates both the wait and the computation.
+func (s *Server) runJob(jb *jobs.Job, j job, key string, cacheable, wantTrace bool) {
+	jctx := jb.Context()
+	if err := s.pool.acquire(jctx); err != nil {
+		// Canceled while waiting (the job context carries no deadline, so
+		// only Cancel fires it); the store already flipped the state.
+		return
+	}
+	defer s.pool.release()
+	if !s.jobs.Start(jb) {
+		return // canceled between slot acquisition and start
+	}
+	snap := jb.Snapshot()
+	queueWait := snap.Started.Sub(snap.Submitted)
+	s.met.jobQueueLatency.observe(queueWait)
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+	s.met.started.Add(1)
+
+	// The compute deadline starts when execution starts, not at
+	// submission: a job that waited out a long queue still gets its full
+	// budget, and the TTL — not the deadline — bounds how long the record
+	// lives.
+	timeout := s.cfg.Timeout
+	if ms := j.timeoutMS(); ms > 0 {
+		if d := time.Duration(ms) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(jctx, timeout)
+	defer cancel()
+	if s.hookCompute != nil {
+		s.hookCompute(ctx)
+	}
+
+	var collector *mlpart.TraceCollector
+	var tracer mlpart.Tracer
+	if wantTrace {
+		collector = &mlpart.TraceCollector{}
+		tracer = collector
+		collector.Event(mlpart.TraceEvent{
+			Kind: trace.KindJob, Phase: "started", Job: jb.ID(), ElapsedNS: queueWait.Nanoseconds(),
+		})
+	}
+
+	computeStart := time.Now()
+	resp, err := s.runJobGuarded(ctx, j, tracer)
+	computeNS := time.Since(computeStart)
+	s.met.jobRunLatency.observe(computeNS)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled) && jctx.Err() != nil:
+			s.met.canceled.Add(1)
+			return // DELETE flipped the state already
+		case errors.Is(err, context.DeadlineExceeded):
+			s.met.timedOut.Add(1)
+			s.jobs.Finish(jb, jobs.StateFailed, jobs.Outcome{
+				Code: http.StatusGatewayTimeout,
+				Body: errorBody("deadline exceeded: %v", err),
+			}, "deadline exceeded")
+			return
+		}
+		status, _, ebody := s.computeFailure(err)
+		s.jobs.Finish(jb, jobs.StateFailed, jobs.Outcome{Code: status, Body: ebody}, err.Error())
+		return
+	}
+	if degradedResponse(resp) {
+		s.met.degraded.Add(1)
+		cacheable = false
+	}
+	body, merr := json.Marshal(resp)
+	if merr != nil {
+		s.met.errors.Add(1)
+		s.jobs.Finish(jb, jobs.StateFailed, jobs.Outcome{
+			Code: http.StatusInternalServerError,
+			Body: errorBody("encode: %v", merr),
+		}, "encode failure")
+		return
+	}
+	body = append(body, '\n')
+	if cacheable {
+		s.cache.put(key, body)
+	}
+	if wantTrace {
+		collector.Event(mlpart.TraceEvent{
+			Kind: trace.KindJob, Phase: "done", Job: jb.ID(), ElapsedNS: computeNS.Nanoseconds(),
+		})
+		env := struct {
+			Result json.RawMessage     `json:"result"`
+			Trace  []mlpart.TraceEvent `json:"trace"`
+		}{
+			Result: json.RawMessage(bytes.TrimRight(body, "\n")),
+			Trace:  collector.Events(),
+		}
+		tb, terr := json.Marshal(env)
+		if terr != nil {
+			s.met.errors.Add(1)
+			s.jobs.Finish(jb, jobs.StateFailed, jobs.Outcome{
+				Code: http.StatusInternalServerError,
+				Body: errorBody("encode trace: %v", terr),
+			}, "encode failure")
+			return
+		}
+		body = append(tb, '\n')
+	}
+	s.jobs.Finish(jb, jobs.StateDone, jobs.Outcome{Code: http.StatusOK, Body: body}, "")
+}
+
+// runJobGuarded is the job-path panic boundary, the asynchronous twin of
+// runGuarded with its own injection site: plans can fail jobs without
+// touching synchronous traffic.
+func (s *Server) runJobGuarded(ctx context.Context, j job, tr mlpart.Tracer) (resp any, err error) {
+	err = faults.Boundary(faults.SiteJobRun, func() error {
+		if ierr := s.inj.Fire(faults.SiteJobRun); ierr != nil {
+			return ierr
+		}
+		var rerr error
+		resp, rerr = j.run(ctx, tr, s.inj)
+		return rerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

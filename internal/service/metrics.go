@@ -7,45 +7,60 @@ import (
 )
 
 // histBuckets is the number of power-of-two latency buckets; bucket i
-// counts requests with latency < 2^i microseconds, the last bucket is a
-// catch-all.
+// counts requests with latency < 2^i microseconds. Observations past the
+// last finite bound (~2^23 us ≈ 8.4s) land in a separate overflow (+Inf)
+// counter rather than being folded into the last finite bucket, which
+// would silently misreport an 8s request and a stuck 10-minute one as the
+// same latency class.
 const histBuckets = 24
 
 // histogram is a fixed-bucket latency histogram maintained with plain
 // atomics — no locks on the request path.
 type histogram struct {
-	buckets [histBuckets]atomic.Int64
-	count   atomic.Int64
-	sumNS   atomic.Int64
+	buckets  [histBuckets]atomic.Int64
+	overflow atomic.Int64
+	count    atomic.Int64
+	sumNS    atomic.Int64
 }
 
 func (h *histogram) observe(d time.Duration) {
 	us := uint64(d.Microseconds())
 	idx := bits.Len64(us) // 0 for 0us, grows with log2
 	if idx >= histBuckets {
-		idx = histBuckets - 1
+		h.overflow.Add(1)
+	} else {
+		h.buckets[idx].Add(1)
 	}
-	h.buckets[idx].Add(1)
 	h.count.Add(1)
 	h.sumNS.Add(d.Nanoseconds())
 }
 
 // histogramVarz is the wire form of a histogram: cumulative counts per
-// upper bound, in microseconds.
+// upper bound, in microseconds, plus the explicit +Inf bucket. The
+// invariant Count == Overflow + last cumulative entry (when any finite
+// observation exists) makes the overflow mass visible instead of folded
+// into the top finite bound.
 type histogramVarz struct {
 	Count  int64   `json:"count"`
 	SumNS  int64   `json:"sum_ns"`
 	MeanNS int64   `json:"mean_ns"`
 	Bucket []int64 `json:"buckets_le_pow2_us"`
+	// Overflow is the +Inf bucket: observations past the last finite
+	// power-of-two bound.
+	Overflow int64 `json:"overflow"`
 }
 
 func (h *histogram) varz() histogramVarz {
-	v := histogramVarz{Count: h.count.Load(), SumNS: h.sumNS.Load()}
+	v := histogramVarz{
+		Count:    h.count.Load(),
+		SumNS:    h.sumNS.Load(),
+		Overflow: h.overflow.Load(),
+	}
 	if v.Count > 0 {
 		v.MeanNS = v.SumNS / v.Count
 	}
 	cum := int64(0)
-	last := histBuckets - 1
+	last := -1
 	for i := histBuckets - 1; i >= 0; i-- {
 		if h.buckets[i].Load() != 0 {
 			last = i
@@ -95,6 +110,17 @@ type metrics struct {
 	presetStrong atomic.Int64
 	presetCustom atomic.Int64
 
+	// Asynchronous job counters. Per-state occupancy lives in the job
+	// store's gauges; these are the cumulative flows.
+	jobsSubmitted atomic.Int64 // accepted submissions (fresh jobs created)
+	jobsCoalesced atomic.Int64 // submissions absorbed by an identical active job
+	jobsShed      atomic.Int64 // submissions refused with 429 (store full)
+
+	// jobQueueLatency is submit→start (time spent queued for a worker);
+	// jobRunLatency is start→finish (compute time in the worker slot).
+	jobQueueLatency histogram
+	jobRunLatency   histogram
+
 	endpoints map[string]*endpointMetrics
 }
 
@@ -129,6 +155,15 @@ type endpointVarz struct {
 
 // varz is the wire form of GET /varz.
 type varz struct {
+	// SchemaVersion is the wire schema version the daemon speaks
+	// (mlpart.SchemaVersion).
+	SchemaVersion int `json:"schema_version"`
+	// BuildVersion is the daemon binary's module version as stamped by
+	// the Go build ("(devel)" for a plain source build).
+	BuildVersion string `json:"build_version"`
+	// UptimeSeconds is the time since the Server was created.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
 	Workers       int   `json:"workers"`
 	QueueCapacity int   `json:"queue_capacity"`
 	QueueDepth    int64 `json:"queue_depth"`
@@ -162,6 +197,27 @@ type varz struct {
 		Strong int64 `json:"strong"`
 		Custom int64 `json:"custom"`
 	} `json:"presets"`
+
+	// Jobs is the asynchronous job subsystem: store occupancy by state,
+	// cumulative submission flows, and the two lifecycle latency
+	// histograms (queued-for-worker and in-worker compute time).
+	Jobs struct {
+		Capacity  int   `json:"capacity"`
+		TTLMS     int64 `json:"ttl_ms"`
+		Submitted int64 `json:"submitted"`
+		Coalesced int64 `json:"coalesced"`
+		Shed      int64 `json:"shed"`
+		Expired   int64 `json:"expired"`
+
+		Queued   int `json:"queued"`
+		Running  int `json:"running"`
+		Done     int `json:"done"`
+		Failed   int `json:"failed"`
+		Canceled int `json:"canceled"`
+
+		QueueLatency histogramVarz `json:"queue_latency"`
+		RunLatency   histogramVarz `json:"run_latency"`
+	} `json:"jobs"`
 
 	Endpoints map[string]endpointVarz `json:"endpoints"`
 }

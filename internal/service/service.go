@@ -44,11 +44,14 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"mlpart"
 	"mlpart/internal/faults"
+	"mlpart/internal/jobs"
 )
 
 // Config sizes the daemon. The zero value is production-safe: GOMAXPROCS
@@ -70,6 +73,14 @@ type Config struct {
 	Timeout time.Duration
 	// MaxBodyBytes bounds request bodies (0 means 64 MiB).
 	MaxBodyBytes int64
+	// JobCapacity bounds the asynchronous job store: every record — queued,
+	// running or retained finished — takes one slot, and submissions beyond
+	// it are shed with 429 (0 means 1024, negative disables the job API:
+	// every submission sheds).
+	JobCapacity int
+	// JobTTL is how long a finished job's result is retained for polling
+	// before eviction (0 means 10 minutes).
+	JobTTL time.Duration
 	// FaultInjector, when non-nil, is threaded into every computation and
 	// consulted at the engine's named sites plus the service worker path.
 	// It is server-level (one injector, shared hit counters) so plans like
@@ -114,6 +125,12 @@ type Server struct {
 	inj    *faults.Injector
 	bootID string
 
+	jobs  *jobs.Store
+	jobWG sync.WaitGroup // runner goroutines of spawned jobs
+
+	start        time.Time
+	buildVersion string
+
 	draining    atomic.Bool
 	incidentSeq atomic.Int64
 
@@ -127,14 +144,24 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		pool:   newPool(cfg.Workers, cfg.QueueSize),
-		cache:  newResultCache(cfg.CacheSize),
-		met:    newMetrics(epPartition, epOrder, epRepartition),
-		inj:    cfg.FaultInjector,
-		bootID: fmt.Sprintf("%08x", time.Now().UnixNano()&0xffffffff),
+		cfg:          cfg,
+		pool:         newPool(cfg.Workers, cfg.QueueSize),
+		cache:        newResultCache(cfg.CacheSize),
+		met:          newMetrics(epPartition, epOrder, epRepartition),
+		inj:          cfg.FaultInjector,
+		bootID:       fmt.Sprintf("%08x", time.Now().UnixNano()&0xffffffff),
+		start:        time.Now(),
+		buildVersion: buildVersion(),
 	}
+	s.jobs = jobs.New(jobs.Config{
+		Capacity: cfg.JobCapacity,
+		TTL:      cfg.JobTTL,
+		Prefix:   s.bootID + "-",
+	})
 	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/jobs", s.serveJobSubmit)
+	s.mux.HandleFunc("/v1/jobs/batch", s.serveJobBatch)
+	s.mux.HandleFunc("/v1/jobs/", s.serveJobByID)
 	s.mux.HandleFunc("/v1/partition", func(w http.ResponseWriter, r *http.Request) {
 		s.serveCompute(w, r, epPartition, codec{json: decodePartition, binary: decodePartitionBinary})
 	})
@@ -181,11 +208,42 @@ func (s *Server) serveReadyz(w http.ResponseWriter, r *http.Request) {
 
 // BeginDrain flips the readiness probe to 503. Call it on SIGTERM, before
 // http.Server.Shutdown, and give load balancers a grace window to observe
-// the flip; /healthz and in-flight requests are unaffected.
+// the flip; /healthz and in-flight requests are unaffected. Draining also
+// refuses new job submissions (503) — accepted jobs keep running; wait for
+// them with WaitJobs after Shutdown returns.
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// WaitJobs blocks until every spawned job runner has returned, or ctx
+// fires. Asynchronous jobs outlive their submission request, so
+// http.Server.Shutdown alone does not cover them: drain choreography is
+// BeginDrain (refuse new submissions) → Shutdown (in-flight HTTP) →
+// WaitJobs (running jobs). It returns ctx.Err() when the wait was cut
+// short, nil when all runners finished.
+func (s *Server) WaitJobs(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// buildVersion reports the main module's version as stamped by the build
+// ("(devel)" for plain `go build`, a pseudo-version for module builds).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
 
 // nextIncident returns a process-unique incident id for a 500 reply; the
 // same id goes to the client (X-Incident-Id) and the server log, so one
@@ -197,6 +255,9 @@ func (s *Server) nextIncident() string {
 func (s *Server) serveVarz(w http.ResponseWriter, r *http.Request) {
 	m := s.met
 	v := varz{
+		SchemaVersion:    mlpart.SchemaVersion,
+		BuildVersion:     s.buildVersion,
+		UptimeSeconds:    time.Since(s.start).Seconds(),
 		Workers:          s.pool.workers(),
 		QueueCapacity:    s.pool.queueCapacity(),
 		QueueDepth:       m.queued.Load(),
@@ -222,6 +283,20 @@ func (s *Server) serveVarz(w http.ResponseWriter, r *http.Request) {
 	v.Presets.Eco = m.presetEco.Load()
 	v.Presets.Strong = m.presetStrong.Load()
 	v.Presets.Custom = m.presetCustom.Load()
+	jg := s.jobs.Gauges()
+	v.Jobs.Capacity = s.jobs.Capacity()
+	v.Jobs.TTLMS = s.jobs.TTL().Milliseconds()
+	v.Jobs.Submitted = m.jobsSubmitted.Load()
+	v.Jobs.Coalesced = m.jobsCoalesced.Load()
+	v.Jobs.Shed = m.jobsShed.Load()
+	v.Jobs.Expired = jg.Expired
+	v.Jobs.Queued = jg.Queued
+	v.Jobs.Running = jg.Running
+	v.Jobs.Done = jg.Done
+	v.Jobs.Failed = jg.Failed
+	v.Jobs.Canceled = jg.Canceled
+	v.Jobs.QueueLatency = m.jobQueueLatency.varz()
+	v.Jobs.RunLatency = m.jobRunLatency.varz()
 	for name, ep := range m.endpoints {
 		v.Endpoints[name] = endpointVarz{
 			Requests:  ep.requests.Load(),
@@ -235,13 +310,30 @@ func (s *Server) serveVarz(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(v)
 }
 
-// writeError emits the wire schema's error object.
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(mlpart.ErrorResponse{
+// errorBody encodes the wire schema's error object, newline-terminated —
+// the exact bytes writeError puts on the wire, so stored job outcomes
+// replay identically to synchronous error replies.
+func errorBody(format string, args ...any) []byte {
+	b, err := json.Marshal(mlpart.ErrorResponse{
 		Kind:          mlpart.WireKindError,
 		SchemaVersion: mlpart.SchemaVersion,
 		Error:         fmt.Sprintf(format, args...),
 	})
+	if err != nil {
+		// The error object contains nothing unmarshalable; unreachable.
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// writeBody writes an already encoded JSON reply with the given status.
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// writeError emits the wire schema's error object.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeBody(w, status, errorBody(format, args...))
 }

@@ -50,6 +50,13 @@ const (
 	// the projected partition. The event carries the same fields as the
 	// Degradation record surfaced in Stats.Degradations.
 	KindDegraded Kind = "degraded"
+	// KindJob reports an asynchronous job lifecycle transition in the
+	// service daemon: Phase carries the transition ("submitted",
+	// "started", "done", "failed", "canceled"), Job the job id, and
+	// ElapsedNS the time spent in the preceding state. Engine-internal
+	// events from the job's computation interleave with the job events
+	// when the submission requested tracing.
+	KindJob Kind = "job"
 )
 
 // Degradation records one graceful fallback taken during a run: which
@@ -123,6 +130,8 @@ type Event struct {
 	FallbackTo string `json:"fallback_to,omitempty"`
 	// Reason is the failure behind a KindDegraded event.
 	Reason string `json:"reason,omitempty"`
+	// Job is the job id of a KindJob event.
+	Job string `json:"job,omitempty"`
 	// ElapsedNS is the wall time of the step in nanoseconds.
 	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
 }

@@ -26,7 +26,7 @@ go test ./...
 
 echo "== go test -race (concurrent packages, parity + fuzz seeds)"
 go test -race ./internal/coarsen/ ./internal/multilevel/ ./internal/kway/ \
-    ./internal/trace/ ./internal/graph/ ./internal/service/
+    ./internal/trace/ ./internal/graph/ ./internal/service/ ./internal/jobs/
 
 echo "== chaos (fault-injection suite under -race, multiple seeds)"
 for seed in 1 7 42; do
@@ -35,7 +35,7 @@ for seed in 1 7 42; do
         ./internal/service/ ./internal/multilevel/
 done
 
-echo "== service smoke (live daemon vs CLI, healthz, readyz drain, cache, SIGTERM)"
+echo "== service smoke (live daemon vs CLI, async batch jobs, healthz, readyz drain, cache, SIGTERM)"
 go run ./scripts/servicesmoke
 
 echo "== perf report (refine + ingest + cycle benchmarks vs committed baseline, non-fatal)"

@@ -5,10 +5,14 @@
 // seed, so they must agree exactly), verifies /healthz, /varz and a
 // byte-identical cache hit, re-POSTs the graph as binary CSR
 // (application/x-mlpart-csr) and requires a cache hit shared with the
-// JSON requests, then sends SIGTERM and requires the drain
-// choreography: /readyz flips to 503 while /healthz stays 200 for the
-// -ready-grace window, then the daemon exits 0. It exits non-zero with a
-// diagnostic on any mismatch.
+// JSON requests, submits a batch of async jobs through the SDK client
+// and diffs every polled result's edge-cut against the CLI, then sends
+// SIGTERM and requires the drain choreography: /readyz flips to 503
+// while /healthz stays 200 for the -ready-grace window, then the daemon
+// exits 0. A second daemon run with a delay fault at jobs/run proves the
+// drain path waits for a running async job ("jobs drained" in its log)
+// instead of abandoning it. It exits non-zero with a diagnostic on any
+// mismatch.
 //
 // All traffic goes through service.RetryClient, so the startup wait and
 // the POSTs double as an exercise of the backoff path.
@@ -20,6 +24,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -28,6 +33,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -228,6 +234,55 @@ func run() error {
 		return fmt.Errorf("/varz counters implausible: %s", vdata)
 	}
 
+	// Async batch: three partitions of the same graph at different seeds
+	// submitted in one POST /v1/jobs/batch, polled to completion through
+	// the SDK client, and every edge-cut diffed against the CLI on the
+	// same input. Seed 7 also proves the job path shares the sync cache.
+	sdk := &service.Client{Base: base, HTTP: rc}
+	seeds := []int64{seed, seed + 1, seed + 2}
+	entries := make([]mlpart.BatchJob, len(seeds))
+	for i, s := range seeds {
+		entries[i] = mlpart.BatchJob{Partition: &mlpart.PartitionRequest{
+			Graph:   *mlpart.NewWireGraph(g),
+			K:       k,
+			Options: &mlpart.Options{Seed: s},
+		}}
+	}
+	br, err := sdk.SubmitBatch(context.Background(), entries)
+	if err != nil {
+		return fmt.Errorf("SubmitBatch: %v", err)
+	}
+	for i, jr := range br.Jobs {
+		if jr.ID == "" {
+			return fmt.Errorf("batch entry %d rejected: %s", i, jr.Error)
+		}
+		res, err := sdk.WaitJob(context.Background(), jr.ID)
+		if err != nil {
+			return fmt.Errorf("WaitJob %s: %v", jr.ID, err)
+		}
+		if res.State != mlpart.JobStateDone {
+			return fmt.Errorf("job %s finished %q: %s", jr.ID, res.State, res.Body)
+		}
+		var jobResp mlpart.PartitionResponse
+		if err := json.Unmarshal(res.Body, &jobResp); err != nil {
+			return fmt.Errorf("decode job %s result: %v", jr.ID, err)
+		}
+		cliOut, err := exec.Command(mlpartBin, "-json", "-k", fmt.Sprint(k),
+			"-seed", fmt.Sprint(seeds[i]), graphFile).Output()
+		if err != nil {
+			return fmt.Errorf("mlpart CLI (seed %d): %v", seeds[i], err)
+		}
+		var cliResp mlpart.PartitionResponse
+		if err := json.Unmarshal(cliOut, &cliResp); err != nil {
+			return fmt.Errorf("decode CLI response (seed %d): %v", seeds[i], err)
+		}
+		if jobResp.EdgeCut != cliResp.EdgeCut {
+			return fmt.Errorf("seed %d: async job edge-cut %d != CLI %d",
+				seeds[i], jobResp.EdgeCut, cliResp.EdgeCut)
+		}
+	}
+	fmt.Printf("async batch: %d jobs polled to done, edge-cuts match CLI\n", len(seeds))
+
 	// Graceful shutdown choreography: after SIGTERM the daemon must flip
 	// /readyz to 503 (traffic should move elsewhere) while /healthz stays
 	// 200 (the process is alive, don't restart it), hold the listener open
@@ -280,5 +335,98 @@ func run() error {
 	case <-time.After(15*time.Second + readyGrace):
 		return fmt.Errorf("daemon did not drain within %s of SIGTERM", 15*time.Second+readyGrace)
 	}
+
+	return drainWaitsForJobs(mlserved, reqBody)
+}
+
+// drainWaitsForJobs starts a second daemon with a 2s delay fault wired
+// into the job execution site, submits an async job, waits for it to
+// reach "running", then sends SIGTERM. The daemon must NOT exit until
+// the job finishes — its drain path logs "jobs drained" after waiting on
+// the job workers — and must still exit 0 well inside the drain budget.
+func drainWaitsForJobs(mlserved string, reqBody []byte) error {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	const jobDelay = 2 * time.Second
+	var logBuf bytes.Buffer
+	daemon := exec.Command(mlserved, "-addr", addr, "-workers", "2", "-drain", "15s",
+		"-faults", fmt.Sprintf("jobs/run=delay:%s@*", jobDelay))
+	daemon.Stderr = io.MultiWriter(os.Stderr, &logBuf)
+	if err := daemon.Start(); err != nil {
+		return err
+	}
+	defer daemon.Process.Kill()
+	base := "http://" + addr
+
+	rc := &service.RetryClient{
+		MaxAttempts: 40,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    400 * time.Millisecond,
+	}
+	resp, err := rc.Post(base+"/v1/jobs?type=partition", "application/json", reqBody)
+	if err != nil {
+		return fmt.Errorf("job daemon submit: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("job daemon submit: status %d: %s", resp.StatusCode, data)
+	}
+	var jr mlpart.JobResponse
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return fmt.Errorf("job daemon submit decode: %v", err)
+	}
+
+	// Wait until the job is actually occupying a worker slot (the delay
+	// fault holds it there for 2s), so SIGTERM lands mid-job.
+	running := false
+	for deadline := time.Now().Add(jobDelay); time.Now().Before(deadline); {
+		resp, err := http.Get(base + "/v1/jobs/" + jr.ID)
+		if err != nil {
+			return err
+		}
+		pdata, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var poll mlpart.JobResponse
+		if err := json.Unmarshal(pdata, &poll); err != nil {
+			return fmt.Errorf("poll decode: %v\n%s", err, pdata)
+		}
+		if poll.State == mlpart.JobStateRunning {
+			running = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !running {
+		return fmt.Errorf("job %s never reached running before the delay elapsed", jr.ID)
+	}
+
+	sigAt := time.Now()
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("job daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		return fmt.Errorf("job daemon did not drain within 20s of SIGTERM")
+	}
+	waited := time.Since(sigAt)
+	if waited < jobDelay/4 {
+		return fmt.Errorf("daemon exited %s after SIGTERM — too fast to have waited for the %s job", waited, jobDelay)
+	}
+	if !strings.Contains(logBuf.String(), "jobs drained") {
+		return fmt.Errorf("daemon log missing %q — drain did not wait on job workers:\n%s", "jobs drained", logBuf.String())
+	}
+	fmt.Printf("drain waited %s for the running job before exit (jobs drained logged)\n", waited.Round(10*time.Millisecond))
 	return nil
 }

@@ -42,6 +42,28 @@ const (
 	WireKindRepartition = "repartition_result"
 	// WireKindError tags an ErrorResponse.
 	WireKindError = "error"
+	// WireKindJob tags a JobResponse.
+	WireKindJob = "job"
+	// WireKindBatch tags a BatchResponse.
+	WireKindBatch = "batch"
+)
+
+// Job lifecycle states as they appear in JobResponse.State. A job is
+// active while "queued" or "running"; "done", "failed" and "canceled"
+// are terminal. See docs/SERVICE.md for the polling contract.
+const (
+	JobStateQueued   = "queued"
+	JobStateRunning  = "running"
+	JobStateDone     = "done"
+	JobStateFailed   = "failed"
+	JobStateCanceled = "canceled"
+)
+
+// Job types accepted by POST /v1/jobs?type= and BatchJob.Type.
+const (
+	JobTypePartition   = "partition"
+	JobTypeOrder       = "order"
+	JobTypeRepartition = "repartition"
 )
 
 // Partition methods accepted by PartitionRequest.Method.
@@ -178,4 +200,60 @@ type ErrorResponse struct {
 	Kind          string `json:"kind"`
 	SchemaVersion int    `json:"schema_version"`
 	Error         string `json:"error"`
+}
+
+// JobResponse describes an asynchronous job's state. POST /v1/jobs
+// returns it with 202 Accepted; GET /v1/jobs/{id} returns it while the
+// job is active or canceled. Once the job is terminal with a result,
+// GET replays the stored wire body (a PartitionResponse, OrderResponse,
+// RepartitionResponse or ErrorResponse — byte-identical to what the
+// synchronous endpoint would have sent) instead, tagged with an
+// X-Job-State header. Additive type, same schema version.
+type JobResponse struct {
+	Kind          string `json:"kind"` // WireKindJob
+	SchemaVersion int    `json:"schema_version"`
+	// ID is the job's identifier, unique within one daemon boot.
+	ID string `json:"id"`
+	// Type is the computation kind: JobTypePartition, JobTypeOrder or
+	// JobTypeRepartition.
+	Type string `json:"type"`
+	// State is one of the JobState constants.
+	State string `json:"state"`
+	// Coalesced is true when this submission matched an already-active
+	// identical job and shares its execution (and id).
+	Coalesced bool `json:"coalesced,omitempty"`
+	// RetryAfterMS is the server's polling hint: wait at least this long
+	// before the next GET. Present only while the job is active.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Error is the short failure text of a failed or canceled job.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchJob is one entry of a BatchRequest. Type selects the computation
+// and exactly one of the matching request fields must be set.
+type BatchJob struct {
+	// Type is JobTypePartition (default when empty), JobTypeOrder or
+	// JobTypeRepartition.
+	Type        string              `json:"type,omitempty"`
+	Partition   *PartitionRequest   `json:"partition,omitempty"`
+	Order       *OrderRequest       `json:"order,omitempty"`
+	Repartition *RepartitionRequest `json:"repartition,omitempty"`
+}
+
+// BatchRequest submits many jobs in one POST /v1/jobs/batch call,
+// amortizing per-request ingest and admission overhead. Jobs are
+// admitted independently: a full store sheds individual entries (their
+// BatchResponse slot carries the error) without failing the batch.
+type BatchRequest struct {
+	Jobs []BatchJob `json:"jobs"`
+}
+
+// BatchResponse is the reply to a batch submission: one entry per
+// submitted job, in request order.
+type BatchResponse struct {
+	Kind          string `json:"kind"` // WireKindBatch
+	SchemaVersion int    `json:"schema_version"`
+	// Jobs[i] describes the i-th submission. A shed or invalid entry has
+	// an empty ID and a non-empty Error.
+	Jobs []JobResponse `json:"jobs"`
 }
