@@ -7,7 +7,10 @@
 //
 //	mlserved [-addr :8080] [-workers 0] [-queue 0] [-cache 256]
 //	         [-timeout 60s] [-drain 30s] [-ready-grace 0s] [-max-body 67108864]
-//	         [-jobs 1024] [-job-ttl 10m] [-faults ""]
+//	         [-jobs 1024] [-job-ttl 10m] [-max-batch 256]
+//	         [-state-dir ""] [-max-sessions 64] [-session-bytes 268435456]
+//	         [-resident-bytes 1073741824] [-delta-max 4096] [-session-ttl 30m]
+//	         [-snapshot-every 64] [-faults ""]
 //
 // Endpoints (see docs/SERVICE.md and docs/RELIABILITY.md):
 //
@@ -18,9 +21,16 @@
 //	POST /v1/jobs/batch   submit many jobs in one request
 //	GET  /v1/jobs/{id}    poll job state / fetch the finished result
 //	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	POST /v1/graphs       create a resident graph session
+//	GET  /v1/graphs/{id}  inspect a session (POST .../edges, .../repartition)
 //	GET  /healthz         liveness probe (200 for the process lifetime)
 //	GET  /readyz          readiness probe (503 while draining)
 //	GET  /varz            counters, queue depth, cache, jobs and latency stats
+//
+// -state-dir makes graph sessions durable: each session keeps an
+// append-only delta log plus periodic snapshots there and is recovered
+// on startup, so a SIGKILL'd daemon comes back with byte-identical
+// partitions.
 //
 // On SIGTERM or SIGINT the daemon flips /readyz to 503, waits -ready-grace
 // for load balancers to observe the flip, stops accepting connections,
@@ -59,6 +69,14 @@ func main() {
 	maxBody := flag.Int64("max-body", 64<<20, "request body limit in bytes")
 	jobCap := flag.Int("jobs", 1024, "async job store capacity (-1 sheds every /v1/jobs submission)")
 	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "finished job retention before eviction")
+	maxBatch := flag.Int("max-batch", 256, "max entries per /v1/jobs/batch submission (-1 = unlimited)")
+	stateDir := flag.String("state-dir", "", "session durability directory (empty = memory-only sessions)")
+	maxSessions := flag.Int("max-sessions", 64, "resident graph session limit (-1 disables the session API)")
+	sessionBytes := flag.Int64("session-bytes", 256<<20, "per-session resident memory budget in bytes")
+	residentBytes := flag.Int64("resident-bytes", 1<<30, "total session resident memory budget in bytes")
+	deltaMax := flag.Int("delta-max", 4096, "max ops per session delta batch")
+	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle window before a durable session is evicted to disk")
+	snapshotEvery := flag.Int("snapshot-every", 64, "delta-log records between session snapshot compactions")
 	faultPlan := flag.String("faults", os.Getenv("MLPART_FAULTS"), "deterministic fault-injection plan (chaos drills; see docs/RELIABILITY.md)")
 	flag.Parse()
 
@@ -69,16 +87,27 @@ func main() {
 	if inj != nil {
 		log.Printf("mlserved: fault injection active: %q", *faultPlan)
 	}
-	srv := service.New(service.Config{
-		Workers:       *workers,
-		QueueSize:     *queue,
-		CacheSize:     *cacheSize,
-		Timeout:       *timeout,
-		MaxBodyBytes:  *maxBody,
-		JobCapacity:   *jobCap,
-		JobTTL:        *jobTTL,
-		FaultInjector: inj,
+	srv, err := service.New(service.Config{
+		Workers:          *workers,
+		QueueSize:        *queue,
+		CacheSize:        *cacheSize,
+		Timeout:          *timeout,
+		MaxBodyBytes:     *maxBody,
+		JobCapacity:      *jobCap,
+		JobTTL:           *jobTTL,
+		MaxBatchJobs:     *maxBatch,
+		StateDir:         *stateDir,
+		MaxSessions:      *maxSessions,
+		MaxSessionBytes:  *sessionBytes,
+		MaxResidentBytes: *residentBytes,
+		MaxDeltaOps:      *deltaMax,
+		SessionTTL:       *sessionTTL,
+		SnapshotEvery:    *snapshotEvery,
+		FaultInjector:    inj,
 	})
+	if err != nil {
+		log.Fatalf("mlserved: %v", err)
+	}
 	cfg := srv.Config()
 
 	httpSrv := &http.Server{
@@ -92,6 +121,26 @@ func main() {
 	// handling) kills the process.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	// Idle-session sweeper: durable sessions past their TTL are flushed
+	// to disk and dropped from memory on a timer, not just under
+	// admission pressure.
+	if *maxSessions >= 0 && *sessionTTL > 0 {
+		go func() {
+			t := time.NewTicker(*sessionTTL / 2)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if n := srv.SweepSessions(); n > 0 {
+						log.Printf("mlserved: evicted %d idle session(s)", n)
+					}
+				}
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
@@ -126,6 +175,12 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("mlserved: jobs drained")
+	// Flush session snapshots last: every delta and repair that made it
+	// through the drain is on disk before the process exits.
+	if err := srv.CloseSessions(); err != nil {
+		fmt.Fprintf(os.Stderr, "mlserved: session flush incomplete: %v\n", err)
+		os.Exit(1)
+	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("mlserved: %v", err)
 	}

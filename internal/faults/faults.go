@@ -77,6 +77,16 @@ const (
 	// injected panic or error finishes the job as failed with the same
 	// wire error the synchronous endpoint would return.
 	SiteJobRun = "jobs/run"
+	// SiteSessionApply fires inside a resident graph session right before
+	// a delta batch mutates the graph; an injected error or panic rolls
+	// the whole batch back — the session's graph, partition and delta log
+	// are exactly as if the batch never arrived.
+	SiteSessionApply = "session/apply"
+	// SiteSessionRepair fires at the start of every session repair (any
+	// tier); an injected error or panic leaves the incumbent partition
+	// untouched, with the drift that triggered the repair still pending
+	// so a later batch or explicit repartition retries it.
+	SiteSessionRepair = "session/repair"
 )
 
 // Sites lists every known injection site, sorted.
@@ -93,6 +103,8 @@ func Sites() []string {
 		SiteServiceWorker,
 		SiteCycle,
 		SiteJobRun,
+		SiteSessionApply,
+		SiteSessionRepair,
 	}
 	sort.Strings(s)
 	return s

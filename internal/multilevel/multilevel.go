@@ -14,6 +14,7 @@ package multilevel
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -249,6 +250,9 @@ func (o Options) Validate() error {
 	}
 	if o.RefineWorkers < 0 {
 		return fmt.Errorf("multilevel: RefineWorkers = %d, want >= 0", o.RefineWorkers)
+	}
+	if math.IsNaN(o.Ubfactor) || math.IsInf(o.Ubfactor, 0) {
+		return fmt.Errorf("multilevel: Ubfactor = %v, want a finite value", o.Ubfactor)
 	}
 	if o.Ubfactor != 0 && o.Ubfactor < 1 {
 		return fmt.Errorf("multilevel: Ubfactor = %v, want >= 1 (or 0 for the default)", o.Ubfactor)

@@ -420,3 +420,101 @@ func retryAfter(v string) time.Duration {
 	}
 	return 0
 }
+
+// --- resident graph sessions ---
+
+// decodeSessionResponse parses a SessionResponse reply, turning a wire
+// error into a Go error.
+func decodeSessionResponse(resp *http.Response, want int) (*mlpart.SessionResponse, error) {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != want {
+		var we mlpart.ErrorResponse
+		if json.Unmarshal(body, &we) == nil && we.Error != "" {
+			return nil, fmt.Errorf("%s: %s", resp.Status, we.Error)
+		}
+		return nil, fmt.Errorf("unexpected status %s", resp.Status)
+	}
+	var sr mlpart.SessionResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return nil, fmt.Errorf("bad session response: %v", err)
+	}
+	return &sr, nil
+}
+
+// CreateSession registers a resident graph session and returns its
+// state; the session id is the graph's content fingerprint, so creating
+// the same graph twice fails with a 409 error.
+func (c *Client) CreateSession(ctx context.Context, req *mlpart.SessionCreateRequest) (*mlpart.SessionResponse, error) {
+	resp, err := c.postJSON(ctx, c.url("/v1/graphs"), req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSessionResponse(resp, http.StatusCreated)
+}
+
+// ApplyDeltas applies one atomic batch of graph mutations to a session.
+// The batch either applies in full (the returned state reflects it and
+// the triggered repair) or not at all.
+func (c *Client) ApplyDeltas(ctx context.Context, id string, ops []mlpart.DeltaOp) (*mlpart.SessionResponse, error) {
+	resp, err := c.postJSON(ctx, c.url("/v1/graphs/"+id+"/edges"), mlpart.SessionDeltaRequest{Ops: ops})
+	if err != nil {
+		return nil, err
+	}
+	return decodeSessionResponse(resp, http.StatusOK)
+}
+
+// RepairSession runs an explicit repartition of a session. Mode is
+// "auto" (or empty) for the drift ladder's choice, or "boundary",
+// "full", "vcycle" to force a tier. The reply includes the partition
+// vector.
+func (c *Client) RepairSession(ctx context.Context, id, mode string) (*mlpart.SessionResponse, error) {
+	resp, err := c.postJSON(ctx, c.url("/v1/graphs/"+id+"/repartition"), mlpart.SessionRepairRequest{Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	return decodeSessionResponse(resp, http.StatusOK)
+}
+
+// GetSession fetches a session's state; withWhere includes the
+// partition vector.
+func (c *Client) GetSession(ctx context.Context, id string, withWhere bool) (*mlpart.SessionResponse, error) {
+	url := c.url("/v1/graphs/" + id)
+	if withWhere {
+		url += "?where=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.retry().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSessionResponse(resp, http.StatusOK)
+}
+
+// DeleteSession drops a session from memory and disk.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/v1/graphs/"+id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.retry().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var we mlpart.ErrorResponse
+		if json.Unmarshal(body, &we) == nil && we.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, we.Error)
+		}
+		return fmt.Errorf("unexpected status %s", resp.Status)
+	}
+	return nil
+}

@@ -19,7 +19,11 @@ import (
 
 func benchServer(b *testing.B) *httptest.Server {
 	b.Helper()
-	ts := httptest.NewServer(New(Config{CacheSize: -1}))
+	s, err := New(Config{CacheSize: -1})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s)
 	b.Cleanup(ts.Close)
 	return ts
 }

@@ -36,7 +36,11 @@ func BenchmarkJobBatch(b *testing.B) {
 
 	newBenchServer := func(b *testing.B) *httptest.Server {
 		b.Helper()
-		ts := httptest.NewServer(New(Config{CacheSize: -1, JobCapacity: 4 * jobs}))
+		s, err := New(Config{CacheSize: -1, JobCapacity: 4 * jobs})
+		if err != nil {
+			b.Fatalf("New: %v", err)
+		}
+		ts := httptest.NewServer(s)
 		b.Cleanup(ts.Close)
 		return ts
 	}

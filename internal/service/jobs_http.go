@@ -173,6 +173,16 @@ func (s *Server) serveJobBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
+	// The cap is enforced before any entry is decoded: an unbounded batch
+	// must not buy graph decoding (and job-store slots) ahead of every
+	// other client.
+	if s.cfg.MaxBatchJobs > 0 && len(req.Jobs) > s.cfg.MaxBatchJobs {
+		s.met.jobsBatchOversize.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d entries exceeds the %d-entry limit; split the submission",
+			len(req.Jobs), s.cfg.MaxBatchJobs)
+		return
+	}
 	resp := mlpart.BatchResponse{
 		Kind:          mlpart.WireKindBatch,
 		SchemaVersion: mlpart.SchemaVersion,

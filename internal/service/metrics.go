@@ -112,9 +112,10 @@ type metrics struct {
 
 	// Asynchronous job counters. Per-state occupancy lives in the job
 	// store's gauges; these are the cumulative flows.
-	jobsSubmitted atomic.Int64 // accepted submissions (fresh jobs created)
-	jobsCoalesced atomic.Int64 // submissions absorbed by an identical active job
-	jobsShed      atomic.Int64 // submissions refused with 429 (store full)
+	jobsSubmitted     atomic.Int64 // accepted submissions (fresh jobs created)
+	jobsCoalesced     atomic.Int64 // submissions absorbed by an identical active job
+	jobsShed          atomic.Int64 // submissions refused with 429 (store full)
+	jobsBatchOversize atomic.Int64 // batch submissions refused with 413 (too many entries)
 
 	// jobQueueLatency is submit→start (time spent queued for a worker);
 	// jobRunLatency is start→finish (compute time in the worker slot).
@@ -202,12 +203,17 @@ type varz struct {
 	// cumulative submission flows, and the two lifecycle latency
 	// histograms (queued-for-worker and in-worker compute time).
 	Jobs struct {
-		Capacity  int   `json:"capacity"`
-		TTLMS     int64 `json:"ttl_ms"`
-		Submitted int64 `json:"submitted"`
-		Coalesced int64 `json:"coalesced"`
-		Shed      int64 `json:"shed"`
-		Expired   int64 `json:"expired"`
+		Capacity int   `json:"capacity"`
+		TTLMS    int64 `json:"ttl_ms"`
+		// MaxBatchJobs is the per-batch entry cap; 0 means unlimited.
+		MaxBatchJobs int   `json:"max_batch_jobs"`
+		Submitted    int64 `json:"submitted"`
+		Coalesced    int64 `json:"coalesced"`
+		Shed         int64 `json:"shed"`
+		// BatchOversize counts batch submissions refused with 413 for
+		// exceeding MaxBatchJobs.
+		BatchOversize int64 `json:"batch_oversize"`
+		Expired       int64 `json:"expired"`
 
 		Queued   int `json:"queued"`
 		Running  int `json:"running"`
@@ -218,6 +224,41 @@ type varz struct {
 		QueueLatency histogramVarz `json:"queue_latency"`
 		RunLatency   histogramVarz `json:"run_latency"`
 	} `json:"jobs"`
+
+	// Sessions is the resident graph session subsystem: occupancy against
+	// its budgets, delta/repair flows by ladder tier, shedding, eviction
+	// and crash-recovery counters. Disabled (all zero, enabled=false)
+	// when the session API is off.
+	Sessions struct {
+		Enabled          bool  `json:"enabled"`
+		Count            int   `json:"count"`
+		MaxSessions      int   `json:"max_sessions"`
+		ResidentBytes    int64 `json:"resident_bytes"`
+		MaxResidentBytes int64 `json:"max_resident_bytes"`
+
+		Created           int64 `json:"created"`
+		Recovered         int64 `json:"recovered"`
+		RecoveredDegraded int64 `json:"recovered_degraded"`
+		RecoverFailures   int64 `json:"recover_failures"`
+		EvictedIdle       int64 `json:"evicted_idle"`
+		Deleted           int64 `json:"deleted"`
+
+		DeltasApplied int64 `json:"deltas_applied"`
+		OpsApplied    int64 `json:"ops_applied"`
+		ShedBatch     int64 `json:"shed_batch"`
+		ShedMemory    int64 `json:"shed_memory"`
+		ApplyFailures int64 `json:"apply_failures"`
+
+		Repairs struct {
+			Boundary int64 `json:"boundary"`
+			Full     int64 `json:"full"`
+			VCycle   int64 `json:"vcycle"`
+			Failed   int64 `json:"failed"`
+		} `json:"repairs"`
+
+		WALErrors      int64 `json:"wal_errors"`
+		WALTruncations int64 `json:"wal_truncations"`
+	} `json:"sessions"`
 
 	Endpoints map[string]endpointVarz `json:"endpoints"`
 }

@@ -52,6 +52,7 @@ import (
 	"mlpart"
 	"mlpart/internal/faults"
 	"mlpart/internal/jobs"
+	"mlpart/internal/sessions"
 )
 
 // Config sizes the daemon. The zero value is production-safe: GOMAXPROCS
@@ -81,6 +82,35 @@ type Config struct {
 	// JobTTL is how long a finished job's result is retained for polling
 	// before eviction (0 means 10 minutes).
 	JobTTL time.Duration
+	// MaxBatchJobs caps the entries of one POST /v1/jobs/batch submission
+	// (0 means 256, negative means unlimited). Oversized batches are
+	// refused with 413 before any entry is decoded, so an unbounded batch
+	// can no longer exhaust memory ahead of admission control.
+	MaxBatchJobs int
+
+	// StateDir, when non-empty, makes graph sessions durable: each
+	// session keeps an append-only delta log plus periodic snapshots
+	// under this directory and is recovered on startup. Empty means
+	// sessions are memory-only.
+	StateDir string
+	// MaxSessions bounds resident graph sessions (0 means 64; negative
+	// disables the session API entirely — /v1/graphs replies 404).
+	MaxSessions int
+	// MaxSessionBytes bounds one session's estimated resident bytes
+	// (0 means 256 MiB); oversized graphs and batches get 413.
+	MaxSessionBytes int64
+	// MaxResidentBytes bounds the total across sessions (0 means 1 GiB);
+	// exceeding it after idle eviction gets 429.
+	MaxResidentBytes int64
+	// MaxDeltaOps bounds the ops of one session delta batch (0 means
+	// 4096); larger batches get 413.
+	MaxDeltaOps int
+	// SessionTTL is the idle window after which a session may be evicted
+	// to disk (0 means 30m; only durable sessions are evicted).
+	SessionTTL time.Duration
+	// SnapshotEvery compacts a session's delta log into a snapshot after
+	// this many records (0 means 64).
+	SnapshotEvery int
 	// FaultInjector, when non-nil, is threaded into every computation and
 	// consulted at the engine's named sites plus the service worker path.
 	// It is server-level (one injector, shared hit counters) so plans like
@@ -111,6 +141,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.MaxBatchJobs == 0 {
+		c.MaxBatchJobs = 256
+	}
 	return c
 }
 
@@ -128,6 +161,10 @@ type Server struct {
 	jobs  *jobs.Store
 	jobWG sync.WaitGroup // runner goroutines of spawned jobs
 
+	// sessions is the resident graph session registry; nil when the
+	// session API is disabled (MaxSessions < 0).
+	sessions *sessions.Manager
+
 	start        time.Time
 	buildVersion string
 
@@ -140,14 +177,16 @@ type Server struct {
 	hookCompute func(ctx context.Context)
 }
 
-// New returns a Server with cfg (zero value for defaults).
-func New(cfg Config) *Server {
+// New returns a Server with cfg (zero value for defaults). It fails
+// only on session-state problems: invalid session options or an
+// unusable StateDir.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:          cfg,
 		pool:         newPool(cfg.Workers, cfg.QueueSize),
 		cache:        newResultCache(cfg.CacheSize),
-		met:          newMetrics(epPartition, epOrder, epRepartition),
+		met:          newMetrics(epPartition, epOrder, epRepartition, epSessions),
 		inj:          cfg.FaultInjector,
 		bootID:       fmt.Sprintf("%08x", time.Now().UnixNano()&0xffffffff),
 		start:        time.Now(),
@@ -158,10 +197,28 @@ func New(cfg Config) *Server {
 		TTL:      cfg.JobTTL,
 		Prefix:   s.bootID + "-",
 	})
+	if cfg.MaxSessions >= 0 {
+		mgr, err := sessions.NewManager(sessions.Options{
+			StateDir:         cfg.StateDir,
+			MaxSessions:      cfg.MaxSessions,
+			MaxSessionBytes:  cfg.MaxSessionBytes,
+			MaxResidentBytes: cfg.MaxResidentBytes,
+			MaxDeltaOps:      cfg.MaxDeltaOps,
+			IdleTTL:          cfg.SessionTTL,
+			SnapshotEvery:    cfg.SnapshotEvery,
+			Injector:         cfg.FaultInjector,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.sessions = mgr
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/jobs", s.serveJobSubmit)
 	s.mux.HandleFunc("/v1/jobs/batch", s.serveJobBatch)
 	s.mux.HandleFunc("/v1/jobs/", s.serveJobByID)
+	s.mux.HandleFunc("/v1/graphs", s.serveSessions)
+	s.mux.HandleFunc("/v1/graphs/", s.serveSessionByID)
 	s.mux.HandleFunc("/v1/partition", func(w http.ResponseWriter, r *http.Request) {
 		s.serveCompute(w, r, epPartition, codec{json: decodePartition, binary: decodePartitionBinary})
 	})
@@ -174,7 +231,25 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.serveHealthz)
 	s.mux.HandleFunc("/readyz", s.serveReadyz)
 	s.mux.HandleFunc("/varz", s.serveVarz)
-	return s
+	return s, nil
+}
+
+// SweepSessions evicts idle graph sessions (durable mode); cmd/mlserved
+// calls it on a timer. Returns the number evicted.
+func (s *Server) SweepSessions() int {
+	if s.sessions == nil {
+		return 0
+	}
+	return s.sessions.Sweep()
+}
+
+// CloseSessions flushes every dirty session's snapshot and closes the
+// delta logs — the final step of drain choreography, after WaitJobs.
+func (s *Server) CloseSessions() error {
+	if s.sessions == nil {
+		return nil
+	}
+	return s.sessions.Close()
 }
 
 // ServeHTTP implements http.Handler.
@@ -286,9 +361,13 @@ func (s *Server) serveVarz(w http.ResponseWriter, r *http.Request) {
 	jg := s.jobs.Gauges()
 	v.Jobs.Capacity = s.jobs.Capacity()
 	v.Jobs.TTLMS = s.jobs.TTL().Milliseconds()
+	if s.cfg.MaxBatchJobs > 0 {
+		v.Jobs.MaxBatchJobs = s.cfg.MaxBatchJobs
+	}
 	v.Jobs.Submitted = m.jobsSubmitted.Load()
 	v.Jobs.Coalesced = m.jobsCoalesced.Load()
 	v.Jobs.Shed = m.jobsShed.Load()
+	v.Jobs.BatchOversize = m.jobsBatchOversize.Load()
 	v.Jobs.Expired = jg.Expired
 	v.Jobs.Queued = jg.Queued
 	v.Jobs.Running = jg.Running
@@ -297,6 +376,31 @@ func (s *Server) serveVarz(w http.ResponseWriter, r *http.Request) {
 	v.Jobs.Canceled = jg.Canceled
 	v.Jobs.QueueLatency = m.jobQueueLatency.varz()
 	v.Jobs.RunLatency = m.jobRunLatency.varz()
+	if s.sessions != nil {
+		sg := s.sessions.Stats()
+		v.Sessions.Enabled = true
+		v.Sessions.Count = sg.Sessions
+		v.Sessions.MaxSessions = sg.MaxSessions
+		v.Sessions.ResidentBytes = sg.ResidentBytes
+		v.Sessions.MaxResidentBytes = sg.MaxResidentBytes
+		v.Sessions.Created = sg.Created
+		v.Sessions.Recovered = sg.Recovered
+		v.Sessions.RecoveredDegraded = sg.RecoveredDegraded
+		v.Sessions.RecoverFailures = sg.RecoverFailures
+		v.Sessions.EvictedIdle = sg.EvictedIdle
+		v.Sessions.Deleted = sg.Deleted
+		v.Sessions.DeltasApplied = sg.DeltasApplied
+		v.Sessions.OpsApplied = sg.OpsApplied
+		v.Sessions.ShedBatch = sg.ShedBatch
+		v.Sessions.ShedMemory = sg.ShedMemory
+		v.Sessions.ApplyFailures = sg.ApplyFailures
+		v.Sessions.Repairs.Boundary = sg.RepairsBoundary
+		v.Sessions.Repairs.Full = sg.RepairsFull
+		v.Sessions.Repairs.VCycle = sg.RepairsVCycle
+		v.Sessions.Repairs.Failed = sg.RepairFailures
+		v.Sessions.WALErrors = sg.WALErrors
+		v.Sessions.WALTruncations = sg.WALTruncations
+	}
 	for name, ep := range m.endpoints {
 		v.Endpoints[name] = endpointVarz{
 			Requests:  ep.requests.Load(),

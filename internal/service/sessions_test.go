@@ -1,0 +1,334 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"mlpart"
+	"mlpart/internal/faults"
+)
+
+func getURL(t *testing.T, client *http.Client, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestSessionEndpointLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	c := &Client{Base: ts.URL, HTTP: &RetryClient{Client: ts.Client()}}
+	ctx := context.Background()
+
+	st, err := c.CreateSession(ctx, &mlpart.SessionCreateRequest{
+		Graph: gridGraph(12, 12), K: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	if st.Kind != mlpart.WireKindSession || st.Vertices != 144 || st.K != 2 || st.EdgeCut <= 0 {
+		t.Fatalf("bad create response: %+v", st)
+	}
+	if st.ID == "" || st.Where != nil {
+		t.Fatalf("id %q / where %v", st.ID, st.Where)
+	}
+
+	got, err := c.GetSession(ctx, st.ID, true)
+	if err != nil {
+		t.Fatalf("GetSession: %v", err)
+	}
+	if len(got.Where) != 144 {
+		t.Fatalf("where length %d", len(got.Where))
+	}
+
+	// Listing shows exactly this session.
+	resp, data := getURL(t, ts.Client(), ts.URL+"/v1/graphs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status %d: %s", resp.StatusCode, data)
+	}
+	var list mlpart.SessionListResponse
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	if list.Kind != mlpart.WireKindSessionList || len(list.Sessions) != 1 || list.Sessions[0].ID != st.ID {
+		t.Fatalf("list = %+v", list)
+	}
+
+	after, err := c.ApplyDeltas(ctx, st.ID, []mlpart.DeltaOp{
+		{Op: mlpart.DeltaOpAdd, U: 0, V: 143, W: 1},
+	})
+	if err != nil {
+		t.Fatalf("ApplyDeltas: %v", err)
+	}
+	if after.Seq != 1 || after.Deltas != 1 || after.LastRepair == "" {
+		t.Fatalf("delta response: %+v", after)
+	}
+
+	rep, err := c.RepairSession(ctx, st.ID, "full")
+	if err != nil {
+		t.Fatalf("RepairSession: %v", err)
+	}
+	if rep.LastRepair != "full" || len(rep.Where) != 144 {
+		t.Fatalf("repair response: %+v", rep)
+	}
+
+	if err := c.DeleteSession(ctx, st.ID); err != nil {
+		t.Fatalf("DeleteSession: %v", err)
+	}
+	if _, err := c.GetSession(ctx, st.ID, false); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("get after delete: %v", err)
+	}
+}
+
+func TestSessionBinaryCreate(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	wg := gridGraph(10, 10)
+	g, err := wg.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mlpart.WriteBinaryGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/graphs?k=2&seed=5",
+		mlpart.ContentTypeBinaryCSR, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var st mlpart.SessionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Vertices != 100 || st.K != 2 {
+		t.Fatalf("binary create: %+v", st)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/graphs/"+st.ID {
+		t.Fatalf("Location = %q", loc)
+	}
+}
+
+func TestSessionEndpointStatuses(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSessions: 1, MaxDeltaOps: 2})
+	c := &Client{Base: ts.URL, HTTP: &RetryClient{Client: ts.Client()}}
+	ctx := context.Background()
+	client := ts.Client()
+
+	st, err := c.CreateSession(ctx, &mlpart.SessionCreateRequest{Graph: gridGraph(8, 8), K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same graph again → 409.
+	resp, _ := postJSON(t, client, ts.URL+"/v1/graphs",
+		mlpart.SessionCreateRequest{Graph: gridGraph(8, 8), K: 2, Seed: 1})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate: status %d, want 409", resp.StatusCode)
+	}
+	// Session count budget exhausted → 429 with Retry-After.
+	resp, _ = postJSON(t, client, ts.URL+"/v1/graphs",
+		mlpart.SessionCreateRequest{Graph: gridGraph(9, 9), K: 2, Seed: 1})
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("over budget: status %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	// Invalid config → 400.
+	resp, _ = postJSON(t, client, ts.URL+"/v1/graphs",
+		mlpart.SessionCreateRequest{Graph: gridGraph(4, 4), K: 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("k=1: status %d, want 400", resp.StatusCode)
+	}
+	// Unknown session → 404.
+	resp, _ = getURL(t, client, ts.URL+"/v1/graphs/gdeadbeef00000000")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d, want 404", resp.StatusCode)
+	}
+	// Invalid op → 400, and the batch rolled back.
+	resp, _ = postJSON(t, client, ts.URL+"/v1/graphs/"+st.ID+"/edges",
+		mlpart.SessionDeltaRequest{Ops: []mlpart.DeltaOp{{Op: "remove", U: 0, V: 63}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad op: status %d, want 400", resp.StatusCode)
+	}
+	// Oversized delta batch → 413.
+	resp, _ = postJSON(t, client, ts.URL+"/v1/graphs/"+st.ID+"/edges",
+		mlpart.SessionDeltaRequest{Ops: []mlpart.DeltaOp{
+			{Op: "vwgt", U: 0, W: 2}, {Op: "vwgt", U: 1, W: 2}, {Op: "vwgt", U: 2, W: 2},
+		}})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: status %d, want 413", resp.StatusCode)
+	}
+	// Unknown repair mode → 400.
+	resp, _ = postJSON(t, client, ts.URL+"/v1/graphs/"+st.ID+"/repartition",
+		mlpart.SessionRepairRequest{Mode: "nonsense"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad mode: status %d, want 400", resp.StatusCode)
+	}
+	// Unknown subresource → 404.
+	resp, _ = postJSON(t, client, ts.URL+"/v1/graphs/"+st.ID+"/zap", struct{}{})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("bad subresource: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSessionOversizeGraphSheds(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSessionBytes: 64 << 10, MaxResidentBytes: 64 << 10})
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/graphs",
+		mlpart.SessionCreateRequest{Graph: gridGraph(50, 50), K: 2, Seed: 1})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", resp.StatusCode, data)
+	}
+}
+
+func TestSessionAPIDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSessions: -1})
+	resp, _ := getURL(t, ts.Client(), ts.URL+"/v1/graphs")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("list: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.Client(), ts.URL+"/v1/graphs",
+		mlpart.SessionCreateRequest{Graph: gridGraph(4, 4), K: 2})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("create: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSessionDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	c := &Client{Base: ts.URL, HTTP: &RetryClient{Client: ts.Client()}}
+	st, err := c.CreateSession(context.Background(), &mlpart.SessionCreateRequest{Graph: gridGraph(6, 6), K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.BeginDrain()
+	// Mutating POSTs are refused...
+	resp, _ := postJSON(t, ts.Client(), ts.URL+"/v1/graphs",
+		mlpart.SessionCreateRequest{Graph: gridGraph(7, 7), K: 2})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("create while draining: status %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.Client(), ts.URL+"/v1/graphs/"+st.ID+"/edges",
+		mlpart.SessionDeltaRequest{Ops: []mlpart.DeltaOp{{Op: "vwgt", U: 0, W: 2}}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("delta while draining: status %d", resp.StatusCode)
+	}
+	// ...but reads and deletes still work so clients can wind down.
+	if _, err := c.GetSession(context.Background(), st.ID, false); err != nil {
+		t.Fatalf("get while draining: %v", err)
+	}
+	if err := c.DeleteSession(context.Background(), st.ID); err != nil {
+		t.Fatalf("delete while draining: %v", err)
+	}
+}
+
+func TestSessionFaultIncident(t *testing.T) {
+	inj := faults.MustParse(faults.SiteSessionApply + "=error@1")
+	_, ts := newTestServer(t, Config{FaultInjector: inj})
+	c := &Client{Base: ts.URL, HTTP: &RetryClient{Client: ts.Client()}}
+	st, err := c.CreateSession(context.Background(), &mlpart.SessionCreateRequest{Graph: gridGraph(8, 8), K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/graphs/"+st.ID+"/edges",
+		mlpart.SessionDeltaRequest{Ops: []mlpart.DeltaOp{{Op: "add", U: 0, V: 63, W: 1}}})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("X-Incident-Id") == "" {
+		t.Fatal("no incident id on injected failure")
+	}
+	// The session survives the fault and the batch left no trace.
+	got, err := c.GetSession(context.Background(), st.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 0 || got.EdgeCut != st.EdgeCut {
+		t.Fatalf("state drifted: %+v vs %+v", got, st)
+	}
+}
+
+func TestSessionVarz(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSessions: 4, MaxDeltaOps: 2})
+	c := &Client{Base: ts.URL, HTTP: &RetryClient{Client: ts.Client()}}
+	ctx := context.Background()
+	st, err := c.CreateSession(ctx, &mlpart.SessionCreateRequest{Graph: gridGraph(8, 8), K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ApplyDeltas(ctx, st.ID, []mlpart.DeltaOp{{Op: "add", U: 0, V: 63, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// One shed batch for the counter.
+	postJSON(t, ts.Client(), ts.URL+"/v1/graphs/"+st.ID+"/edges",
+		mlpart.SessionDeltaRequest{Ops: []mlpart.DeltaOp{
+			{Op: "vwgt", U: 0, W: 2}, {Op: "vwgt", U: 1, W: 2}, {Op: "vwgt", U: 2, W: 2},
+		}})
+
+	resp, data := getURL(t, ts.Client(), ts.URL+"/varz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("varz status %d", resp.StatusCode)
+	}
+	var v varz
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("decode varz: %v", err)
+	}
+	sv := v.Sessions
+	if !sv.Enabled || sv.Count != 1 || sv.MaxSessions != 4 {
+		t.Fatalf("sessions varz: %+v", sv)
+	}
+	if sv.Created != 1 || sv.DeltasApplied != 1 || sv.OpsApplied != 1 || sv.ShedBatch != 1 {
+		t.Fatalf("sessions counters: %+v", sv)
+	}
+	if sv.ResidentBytes <= 0 {
+		t.Fatalf("resident bytes %d", sv.ResidentBytes)
+	}
+	if sv.Repairs.Boundary+sv.Repairs.Full+sv.Repairs.VCycle != 1 {
+		t.Fatalf("repair counters: %+v", sv.Repairs)
+	}
+	if _, ok := v.Endpoints["sessions"]; !ok {
+		t.Fatalf("no sessions endpoint block: %v", v.Endpoints)
+	}
+}
+
+func TestJobsBatchCap(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatchJobs: 2})
+	entries := make([]mlpart.BatchJob, 3)
+	for i := range entries {
+		r := mlpart.PartitionRequest{Graph: gridGraph(4, 4), K: 2, Options: &mlpart.Options{Seed: int64(i + 1)}}
+		entries[i] = mlpart.BatchJob{Partition: &r}
+	}
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/jobs/batch", mlpart.BatchRequest{Jobs: entries})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", resp.StatusCode, data)
+	}
+	// Two entries fit.
+	resp, data = postJSON(t, ts.Client(), ts.URL+"/v1/jobs/batch", mlpart.BatchRequest{Jobs: entries[:2]})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	vresp, vdata := getURL(t, ts.Client(), ts.URL+"/varz")
+	if vresp.StatusCode != http.StatusOK {
+		t.Fatal("varz unavailable")
+	}
+	var v varz
+	if err := json.Unmarshal(vdata, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Jobs.MaxBatchJobs != 2 || v.Jobs.BatchOversize != 1 {
+		t.Fatalf("jobs varz: max_batch_jobs %d, batch_oversize %d", v.Jobs.MaxBatchJobs, v.Jobs.BatchOversize)
+	}
+}

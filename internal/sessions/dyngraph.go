@@ -1,0 +1,144 @@
+package sessions
+
+import (
+	"sort"
+
+	"mlpart/internal/graph"
+)
+
+// dynGraph is the mutable adjacency form of a resident graph. The CSR
+// form the engine consumes is immutable by design (slices aliased by
+// zero-copy decoders, fingerprints over the raw arrays), so sessions
+// keep a map-based undirected adjacency that absorbs delta batches in
+// O(1) per edge and lazily re-materializes a deterministic CSR snapshot
+// when a repair needs one.
+type dynGraph struct {
+	vwgt []int
+	// adj[u] maps neighbor -> edge weight; every undirected edge appears
+	// in both endpoints' maps (the same invariant CSR keeps).
+	adj []map[int]int
+	// dir is the number of directed adjacency entries (2× the undirected
+	// edge count), maintained incrementally.
+	dir int
+	// totVwgt is the sum of vertex weights, maintained incrementally.
+	totVwgt int
+	// csr caches the materialized snapshot; nil after any mutation.
+	csr *graph.Graph
+}
+
+// newDynGraph copies g into mutable form. g is not retained.
+func newDynGraph(g *graph.Graph) *dynGraph {
+	n := g.NumVertices()
+	d := &dynGraph{
+		vwgt: make([]int, n),
+		adj:  make([]map[int]int, n),
+	}
+	for u := 0; u < n; u++ {
+		w := 1
+		if len(g.Vwgt) > 0 {
+			w = g.Vwgt[u]
+		}
+		d.vwgt[u] = w
+		d.totVwgt += w
+		deg := int(g.Xadj[u+1] - g.Xadj[u])
+		m := make(map[int]int, deg)
+		for i := g.Xadj[u]; i < g.Xadj[u+1]; i++ {
+			ew := 1
+			if len(g.Adjwgt) > 0 {
+				ew = g.Adjwgt[i]
+			}
+			m[g.Adjncy[i]] = ew
+		}
+		d.adj[u] = m
+		d.dir += len(m)
+	}
+	return d
+}
+
+func (d *dynGraph) numVertices() int { return len(d.vwgt) }
+
+// edgeWeight returns the weight of edge (u,v) and whether it exists.
+func (d *dynGraph) edgeWeight(u, v int) (int, bool) {
+	w, ok := d.adj[u][v]
+	return w, ok
+}
+
+// setEdge inserts or reweights the undirected edge (u,v). Callers
+// validate u != v and w > 0.
+func (d *dynGraph) setEdge(u, v, w int) {
+	if _, ok := d.adj[u][v]; !ok {
+		d.dir += 2
+	}
+	d.adj[u][v] = w
+	d.adj[v][u] = w
+	d.csr = nil
+}
+
+// delEdge removes the undirected edge (u,v). Callers validate it exists.
+func (d *dynGraph) delEdge(u, v int) {
+	delete(d.adj[u], v)
+	delete(d.adj[v], u)
+	d.dir -= 2
+	d.csr = nil
+}
+
+// setVwgt replaces vertex u's weight. Callers validate w > 0.
+func (d *dynGraph) setVwgt(u, w int) {
+	d.totVwgt += w - d.vwgt[u]
+	d.vwgt[u] = w
+	// CSR carries vertex weights too.
+	d.csr = nil
+}
+
+// snapshot materializes (and caches) the CSR form. Neighbor lists are
+// emitted in ascending vertex order so the same adjacency state always
+// yields the same CSR arrays — the determinism the delta-log replay and
+// the fingerprint both rely on.
+func (d *dynGraph) snapshot() *graph.Graph {
+	if d.csr != nil {
+		return d.csr
+	}
+	n := len(d.vwgt)
+	g := &graph.Graph{
+		Xadj:   make([]int, n+1),
+		Adjncy: make([]int, 0, d.dir),
+		Adjwgt: make([]int, 0, d.dir),
+		Vwgt:   append([]int(nil), d.vwgt...),
+	}
+	nbrs := make([]int, 0, 64)
+	for u := 0; u < n; u++ {
+		nbrs = nbrs[:0]
+		for v := range d.adj[u] {
+			nbrs = append(nbrs, v)
+		}
+		sort.Ints(nbrs)
+		for _, v := range nbrs {
+			g.Adjncy = append(g.Adjncy, v)
+			g.Adjwgt = append(g.Adjwgt, d.adj[u][v])
+		}
+		g.Xadj[u+1] = len(g.Adjncy)
+	}
+	d.csr = g
+	return g
+}
+
+// Per-element byte estimates behind the session memory accounting.
+// Go maps cost roughly 50 bytes per int->int entry once bucket overhead
+// and load factor are amortized; each undirected edge owns two entries.
+// The vertex figure covers the map header, the vwgt element and the
+// session's where slot. The CSR cache, when materialized, adds its
+// array bytes on top.
+const (
+	bytesPerVertex   = 96
+	bytesPerDirEntry = 56
+)
+
+// bytes estimates the resident heap footprint of the dynamic form plus
+// the cached CSR snapshot (if any).
+func (d *dynGraph) bytes() int64 {
+	b := int64(len(d.vwgt))*bytesPerVertex + int64(d.dir)*bytesPerDirEntry
+	if d.csr != nil {
+		b += int64(len(d.csr.Xadj)+len(d.csr.Adjncy)+len(d.csr.Adjwgt)+len(d.csr.Vwgt)) * 8
+	}
+	return b
+}

@@ -1,0 +1,212 @@
+package sessions
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"mlpart/internal/graph"
+)
+
+// Durability layout, one directory per session under the manager's state
+// dir:
+//
+//	<state-dir>/<session-id>/snapshot.bin   atomic full state (csrb + meta)
+//	<state-dir>/<session-id>/deltas.log     append-only checksummed records
+//
+// A delta record stores the ops of one batch plus the repair tier the
+// live run executed and the edge-cut it reached. Replay re-applies the
+// ops and re-runs the repair at the recorded tier with the session's
+// seed — repairs are deterministic, so the recovered partition is
+// byte-identical to the pre-crash one; the recorded cut cross-checks
+// that. Records are length-prefixed and FNV-checksummed; a torn tail
+// (the one partial record a SIGKILL mid-append can leave) is detected
+// and truncated, never fatal.
+
+const (
+	recordMagic   = 0x4d4c5344 // "MLSD"
+	snapshotMagic = "MLSSNP01"
+	// maxRecordLen bounds a record's payload so a corrupt length prefix
+	// can't ask the decoder for gigabytes.
+	maxRecordLen = 64 << 20
+
+	snapshotFile = "snapshot.bin"
+	deltaLogFile = "deltas.log"
+)
+
+// walRecord is the JSON payload of one delta-log record.
+type walRecord struct {
+	// Ops is the delta batch, in application order. Empty for records
+	// that log an explicit repartition with no graph change.
+	Ops []Op `json:"ops,omitempty"`
+	// Tier is the repair tier the live run executed after applying Ops:
+	// TierNone (-1) when no repair ran (or the repair failed and left
+	// the partition untouched).
+	Tier Tier `json:"tier"`
+	// Cut is the session's edge-cut after the batch and repair; replay
+	// verifies it and degrades to a fresh V-cycle on mismatch.
+	Cut int `json:"cut"`
+}
+
+// encodeRecord frames one record: magic, payload length, sequence
+// number, FNV-64a of the payload, payload.
+func encodeRecord(seq uint64, rec walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write(payload)
+	buf := make([]byte, 24+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], recordMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(buf[8:16], seq)
+	binary.LittleEndian.PutUint64(buf[16:24], h.Sum64())
+	copy(buf[24:], payload)
+	return buf, nil
+}
+
+// decodedRecord is one successfully decoded delta-log record.
+type decodedRecord struct {
+	Seq uint64
+	Rec walRecord
+}
+
+// decodeRecords parses as many whole, checksummed records as data
+// holds. It returns the records and the byte offset of the first
+// byte it could not account for: offset == len(data) means the log is
+// clean; anything shorter marks a torn or corrupt tail the caller
+// should truncate away. It never returns an error and never panics on
+// arbitrary input (FuzzDeltaLog holds it to that).
+func decodeRecords(data []byte) (recs []decodedRecord, goodLen int) {
+	off := 0
+	for {
+		if len(data)-off < 24 {
+			return recs, off
+		}
+		if binary.LittleEndian.Uint32(data[off:off+4]) != recordMagic {
+			return recs, off
+		}
+		plen := int(binary.LittleEndian.Uint32(data[off+4 : off+8]))
+		if plen < 0 || plen > maxRecordLen || len(data)-off-24 < plen {
+			return recs, off
+		}
+		seq := binary.LittleEndian.Uint64(data[off+8 : off+16])
+		sum := binary.LittleEndian.Uint64(data[off+16 : off+24])
+		payload := data[off+24 : off+24+plen]
+		h := fnv.New64a()
+		h.Write(payload)
+		if h.Sum64() != sum {
+			return recs, off
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, off
+		}
+		recs = append(recs, decodedRecord{Seq: seq, Rec: rec})
+		off += 24 + plen
+	}
+}
+
+// snapshotMeta is the JSON header of a snapshot file.
+type snapshotMeta struct {
+	// Seq is the delta-log sequence number the snapshot captures; replay
+	// skips records with Seq <= this.
+	Seq uint64 `json:"seq"`
+	K   int    `json:"k"`
+	// Seed and Ubfactor reproduce the session's repair configuration.
+	Seed     int64   `json:"seed"`
+	Ubfactor float64 `json:"ubfactor"`
+	// BaselineCut is the drift baseline at snapshot time.
+	BaselineCut int `json:"baseline_cut"`
+	// CreatedUnix is the session creation time (seconds).
+	CreatedUnix int64 `json:"created_unix"`
+}
+
+// encodeSnapshot frames a full session state: magic, meta length, meta
+// JSON, csrb graph+partition payload, trailing FNV-64a over everything
+// before it.
+func encodeSnapshot(meta snapshotMeta, g *graph.Graph, where []int) ([]byte, error) {
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagic)
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], uint32(len(mb)))
+	buf.Write(lenb[:])
+	buf.Write(mb)
+	if err := graph.EncodeBinaryPart(&buf, g, where); err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write(buf.Bytes())
+	var sumb [8]byte
+	binary.LittleEndian.PutUint64(sumb[:], h.Sum64())
+	buf.Write(sumb[:])
+	return buf.Bytes(), nil
+}
+
+// decodeSnapshot parses a snapshot file body.
+func decodeSnapshot(data []byte) (snapshotMeta, *graph.Graph, []int, error) {
+	var meta snapshotMeta
+	if len(data) < len(snapshotMagic)+4+8 || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return meta, nil, nil, errors.New("sessions: bad snapshot header")
+	}
+	h := fnv.New64a()
+	h.Write(data[:len(data)-8])
+	if h.Sum64() != binary.LittleEndian.Uint64(data[len(data)-8:]) {
+		return meta, nil, nil, errors.New("sessions: snapshot checksum mismatch")
+	}
+	off := len(snapshotMagic)
+	mlen := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	off += 4
+	if mlen < 0 || len(data)-off-8 < mlen {
+		return meta, nil, nil, errors.New("sessions: snapshot meta truncated")
+	}
+	if err := json.Unmarshal(data[off:off+mlen], &meta); err != nil {
+		return meta, nil, nil, fmt.Errorf("sessions: snapshot meta: %w", err)
+	}
+	off += mlen
+	g, where, err := graph.DecodeBinaryPart(data[off : len(data)-8])
+	if err != nil {
+		return meta, nil, nil, fmt.Errorf("sessions: snapshot graph: %w", err)
+	}
+	return meta, g, where, nil
+}
+
+// writeFileAtomic writes data to path via a temp file + rename, fsyncing
+// the file so the rename publishes durable bytes.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-snap-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package sessions
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mlpart/internal/matgen"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []walRecord{
+		{Ops: []Op{{Op: OpAdd, U: 1, V: 2, W: 3}}, Tier: TierBoundary, Cut: 12},
+		{Ops: []Op{{Op: OpRemove, U: 1, V: 2}, {Op: OpVwgt, U: 0, W: 7}}, Tier: TierFull, Cut: 9},
+		{Tier: TierVCycle, Cut: 4},                                    // explicit repair, no ops
+		{Ops: []Op{{Op: OpVwgt, U: 5, W: 1}}, Tier: TierNone, Cut: 4}, // failed repair
+	}
+	var log []byte
+	for i, r := range recs {
+		buf, err := encodeRecord(uint64(i+1), r)
+		if err != nil {
+			t.Fatalf("encodeRecord %d: %v", i, err)
+		}
+		log = append(log, buf...)
+	}
+	got, good := decodeRecords(log)
+	if good != len(log) {
+		t.Fatalf("goodLen = %d, want %d (clean log)", good, len(log))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i, d := range got {
+		if d.Seq != uint64(i+1) {
+			t.Errorf("record %d: seq = %d, want %d", i, d.Seq, i+1)
+		}
+		if d.Rec.Tier != recs[i].Tier || d.Rec.Cut != recs[i].Cut || len(d.Rec.Ops) != len(recs[i].Ops) {
+			t.Errorf("record %d: %+v != %+v", i, d.Rec, recs[i])
+		}
+	}
+}
+
+func TestDecodeRecordsTornTail(t *testing.T) {
+	whole, err := encodeRecord(1, walRecord{Ops: []Op{{Op: OpAdd, U: 0, V: 1, W: 2}}, Tier: TierBoundary, Cut: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn, err := encodeRecord(2, walRecord{Tier: TierFull, Cut: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation point of the second record must decode exactly the
+	// first and report the tear at the boundary between them.
+	for cut := 0; cut < len(torn); cut++ {
+		log := append(append([]byte(nil), whole...), torn[:cut]...)
+		recs, good := decodeRecords(log)
+		if len(recs) != 1 || recs[0].Seq != 1 {
+			t.Fatalf("cut %d: decoded %d records", cut, len(recs))
+		}
+		if good != len(whole) {
+			t.Fatalf("cut %d: goodLen = %d, want %d", cut, good, len(whole))
+		}
+	}
+}
+
+func TestDecodeRecordsChecksumCorruption(t *testing.T) {
+	first, err := encodeRecord(1, walRecord{Tier: TierBoundary, Cut: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := encodeRecord(2, walRecord{Tier: TierBoundary, Cut: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := append(append([]byte(nil), first...), second...)
+	// Flip one payload byte in the second record: decode stops before it.
+	log[len(first)+24] ^= 0xff
+	recs, good := decodeRecords(log)
+	if len(recs) != 1 || good != len(first) {
+		t.Fatalf("decoded %d records, goodLen %d; want 1, %d", len(recs), good, len(first))
+	}
+	// A corrupt length prefix must not make the decoder trust a bogus
+	// gigabyte ask.
+	binary.LittleEndian.PutUint32(log[len(first)+4:], 1<<30)
+	recs, good = decodeRecords(log)
+	if len(recs) != 1 || good != len(first) {
+		t.Fatalf("after length corruption: %d records, goodLen %d", len(recs), good)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := matgen.Grid2D(6, 7)
+	where := make([]int, g.NumVertices())
+	for v := range where {
+		where[v] = v % 3
+	}
+	meta := snapshotMeta{Seq: 42, K: 3, Seed: 9, Ubfactor: 1.07, BaselineCut: 17, CreatedUnix: 1_700_000_000}
+	data, err := encodeSnapshot(meta, g, where)
+	if err != nil {
+		t.Fatalf("encodeSnapshot: %v", err)
+	}
+	gotMeta, gotG, gotWhere, err := decodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("decodeSnapshot: %v", err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta = %+v, want %+v", gotMeta, meta)
+	}
+	if gotG.NumVertices() != g.NumVertices() || gotG.NumEdges() != g.NumEdges() {
+		t.Fatalf("graph %d/%d, want %d/%d", gotG.NumVertices(), gotG.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	if !bytes.Equal(intsToBytes(gotWhere), intsToBytes(where)) {
+		t.Fatal("where vector did not round-trip")
+	}
+}
+
+func intsToBytes(xs []int) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(x))
+	}
+	return b
+}
+
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	g := matgen.Grid2D(4, 4)
+	where := make([]int, 16)
+	data, err := encodeSnapshot(snapshotMeta{Seq: 1, K: 2}, g, where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("XXSSNP01"), data[8:]...),
+		"truncated":   data[:len(data)/2],
+		"bit flip":    flipByte(data, len(data)/2),
+		"sum clobber": flipByte(data, len(data)-1),
+	}
+	for name, d := range cases {
+		if _, _, _, err := decodeSnapshot(d); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}
+
+func flipByte(data []byte, i int) []byte {
+	out := append([]byte(nil), data...)
+	out[i] ^= 0xff
+	return out
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	if err := writeFileAtomic(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileAtomic(path, []byte("v2-longer")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2-longer" {
+		t.Fatalf("content = %q", got)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}

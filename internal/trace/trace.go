@@ -57,6 +57,13 @@ const (
 	// events from the job's computation interleave with the job events
 	// when the submission requested tracing.
 	KindJob Kind = "job"
+	// KindSession reports a resident graph session transition in the
+	// service daemon: Phase carries the transition ("created",
+	// "recovered", "delta", "repair", "evicted", "deleted"), Session the
+	// session id, Algorithm the repair tier that ran ("boundary", "full",
+	// "vcycle") when one did, Cut the session's edge-cut after the
+	// transition and ElapsedNS the wall time of the step.
+	KindSession Kind = "session"
 )
 
 // Degradation records one graceful fallback taken during a run: which
@@ -132,6 +139,8 @@ type Event struct {
 	Reason string `json:"reason,omitempty"`
 	// Job is the job id of a KindJob event.
 	Job string `json:"job,omitempty"`
+	// Session is the session id of a KindSession event.
+	Session string `json:"session,omitempty"`
 	// ElapsedNS is the wall time of the step in nanoseconds.
 	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
 }

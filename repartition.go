@@ -2,6 +2,7 @@ package mlpart
 
 import (
 	"fmt"
+	"math"
 
 	"mlpart/internal/kway"
 )
@@ -30,8 +31,14 @@ func (o *RepartitionOptions) Validate() error {
 	if o == nil {
 		return nil
 	}
+	if math.IsNaN(o.Ubfactor) || math.IsInf(o.Ubfactor, 0) {
+		return fmt.Errorf("mlpart: RepartitionOptions.Ubfactor = %v, want a finite value", o.Ubfactor)
+	}
 	if o.Ubfactor != 0 && o.Ubfactor < 1 {
 		return fmt.Errorf("mlpart: RepartitionOptions.Ubfactor = %v, want >= 1 (or 0 for the default 1.05)", o.Ubfactor)
+	}
+	if math.IsNaN(o.MigrationWeight) || math.IsInf(o.MigrationWeight, 0) {
+		return fmt.Errorf("mlpart: RepartitionOptions.MigrationWeight = %v, want a finite value", o.MigrationWeight)
 	}
 	if o.MigrationWeight < 0 {
 		return fmt.Errorf("mlpart: RepartitionOptions.MigrationWeight = %v, want >= 0 (0 means the default 1.0)", o.MigrationWeight)

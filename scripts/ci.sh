@@ -26,16 +26,17 @@ go test ./...
 
 echo "== go test -race (concurrent packages, parity + fuzz seeds)"
 go test -race ./internal/coarsen/ ./internal/multilevel/ ./internal/kway/ \
-    ./internal/trace/ ./internal/graph/ ./internal/service/ ./internal/jobs/
+    ./internal/trace/ ./internal/graph/ ./internal/service/ ./internal/jobs/ \
+    ./internal/sessions/
 
 echo "== chaos (fault-injection suite under -race, multiple seeds)"
 for seed in 1 7 42; do
     echo "-- CHAOS_SEED=$seed"
     CHAOS_SEED=$seed go test -race -run 'Chaos' -count=1 \
-        ./internal/service/ ./internal/multilevel/
+        ./internal/service/ ./internal/multilevel/ ./internal/sessions/
 done
 
-echo "== service smoke (live daemon vs CLI, async batch jobs, healthz, readyz drain, cache, SIGTERM)"
+echo "== service smoke (live daemon vs CLI, async batch jobs, healthz, readyz drain, cache, SIGTERM, session kill-and-recover)"
 go run ./scripts/servicesmoke
 
 echo "== perf report (refine + ingest + cycle benchmarks vs committed baseline, non-fatal)"
@@ -54,9 +55,10 @@ else
 fi
 rm -f "$perf_now"
 
-echo "== fuzz smoke (graph readers + binary decoder)"
+echo "== fuzz smoke (graph readers + binary decoder + session delta log)"
 go test -fuzz '^FuzzRead$' -fuzztime 10s -run '^$' ./internal/graph/
 go test -fuzz '^FuzzReadMatrixMarket$' -fuzztime 10s -run '^$' ./internal/graph/
 go test -fuzz '^FuzzDecodeBinary$' -fuzztime 10s -run '^$' ./internal/graph/
+go test -fuzz '^FuzzDeltaLog$' -fuzztime 10s -run '^$' ./internal/sessions/
 
 echo "CI OK"

@@ -11,8 +11,12 @@
 // while /healthz stays 200 for the -ready-grace window, then the daemon
 // exits 0. A second daemon run with a delay fault at jobs/run proves the
 // drain path waits for a running async job ("jobs drained" in its log)
-// instead of abandoning it. It exits non-zero with a diagnostic on any
-// mismatch.
+// instead of abandoning it. A third run exercises durable graph
+// sessions: it creates a session, streams delta batches, forces a
+// repartition, SIGKILLs the daemon mid-flight, restarts it on the same
+// -state-dir and requires the recovered partition vector and edge-cut
+// to be byte-identical to the pre-kill state. It exits non-zero with a
+// diagnostic on any mismatch.
 //
 // All traffic goes through service.RetryClient, so the startup wait and
 // the POSTs double as an exercise of the backoff path.
@@ -336,7 +340,10 @@ func run() error {
 		return fmt.Errorf("daemon did not drain within %s of SIGTERM", 15*time.Second+readyGrace)
 	}
 
-	return drainWaitsForJobs(mlserved, reqBody)
+	if err := drainWaitsForJobs(mlserved, reqBody); err != nil {
+		return err
+	}
+	return sessionsSurviveKill(mlserved, g)
 }
 
 // drainWaitsForJobs starts a second daemon with a 2s delay fault wired
@@ -428,5 +435,131 @@ func drainWaitsForJobs(mlserved string, reqBody []byte) error {
 		return fmt.Errorf("daemon log missing %q — drain did not wait on job workers:\n%s", "jobs drained", logBuf.String())
 	}
 	fmt.Printf("drain waited %s for the running job before exit (jobs drained logged)\n", waited.Round(10*time.Millisecond))
+	return nil
+}
+
+// sessionsSurviveKill is the crash-recovery drill for resident graph
+// sessions: create a durable session, stream delta batches, force a full
+// repartition, then SIGKILL the daemon — no drain, no snapshot flush —
+// and restart it on the same -state-dir. The recovered session must
+// report the same sequence number and edge-cut, and its partition vector
+// must be byte-identical: recovery replays the delta log and re-runs
+// each repair at its recorded tier with the session seed, so any
+// divergence is a determinism bug, not noise.
+func sessionsSurviveKill(mlserved string, g *mlpart.Graph) error {
+	stateDir, err := os.MkdirTemp("", "mlsmoke-state")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(stateDir)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	base := "http://" + addr
+
+	startDaemon := func() (*exec.Cmd, error) {
+		d := exec.Command(mlserved, "-addr", addr, "-workers", "2", "-state-dir", stateDir)
+		d.Stderr = os.Stderr
+		if err := d.Start(); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	rc := &service.RetryClient{
+		MaxAttempts: 40,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    400 * time.Millisecond,
+	}
+	sdk := &service.Client{Base: base, HTTP: rc}
+	ctx := context.Background()
+
+	daemon, err := startDaemon()
+	if err != nil {
+		return err
+	}
+	defer daemon.Process.Kill()
+
+	st, err := sdk.CreateSession(ctx, &mlpart.SessionCreateRequest{
+		Graph: *mlpart.NewWireGraph(g), K: 4, Seed: 11,
+	})
+	if err != nil {
+		return fmt.Errorf("CreateSession: %v", err)
+	}
+	// Stream a few delta batches: edge weight bumps on existing edges
+	// plus vertex reweights, enough to leave real WAL records behind.
+	n := st.Vertices
+	for batch := 0; batch < 4; batch++ {
+		ops := []mlpart.DeltaOp{
+			{Op: mlpart.DeltaOpVwgt, U: (batch * 13) % n, W: 2 + batch},
+			{Op: mlpart.DeltaOpVwgt, U: (batch*13 + 7) % n, W: 1 + batch},
+		}
+		if _, err := sdk.ApplyDeltas(ctx, st.ID, ops); err != nil {
+			return fmt.Errorf("ApplyDeltas %d: %v", batch, err)
+		}
+	}
+	if _, err := sdk.RepairSession(ctx, st.ID, "full"); err != nil {
+		return fmt.Errorf("RepairSession: %v", err)
+	}
+	want, err := sdk.GetSession(ctx, st.ID, true)
+	if err != nil {
+		return fmt.Errorf("GetSession pre-kill: %v", err)
+	}
+
+	// SIGKILL: no drain handler runs, no final snapshot is written. The
+	// delta log is all the second daemon gets.
+	if err := daemon.Process.Kill(); err != nil {
+		return err
+	}
+	daemon.Wait()
+
+	daemon2, err := startDaemon()
+	if err != nil {
+		return err
+	}
+	defer daemon2.Process.Kill()
+	got, err := sdk.GetSession(ctx, st.ID, true)
+	if err != nil {
+		return fmt.Errorf("GetSession post-restart: %v", err)
+	}
+	if !got.Recovered {
+		return fmt.Errorf("recovered session not flagged recovered: %+v", got)
+	}
+	if got.Degraded {
+		return fmt.Errorf("recovery degraded — the replayed cuts did not verify")
+	}
+	if got.Seq != want.Seq || got.EdgeCut != want.EdgeCut {
+		return fmt.Errorf("recovery mismatch: seq %d/cut %d, want seq %d/cut %d",
+			got.Seq, got.EdgeCut, want.Seq, want.EdgeCut)
+	}
+	if len(got.Where) != len(want.Where) {
+		return fmt.Errorf("recovered partition has %d entries, want %d", len(got.Where), len(want.Where))
+	}
+	for i := range want.Where {
+		if got.Where[i] != want.Where[i] {
+			return fmt.Errorf("recovered partition diverges at vertex %d: %d != %d — recovery is not byte-identical",
+				i, got.Where[i], want.Where[i])
+		}
+	}
+	fmt.Printf("session kill-and-recover: %d vertices, seq %d, cut %d byte-identical after SIGKILL\n",
+		got.Vertices, got.Seq, got.EdgeCut)
+
+	// Clean shutdown of the recovery daemon.
+	if err := daemon2.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon2.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("recovery daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		return fmt.Errorf("recovery daemon did not drain within 20s of SIGTERM")
+	}
 	return nil
 }

@@ -46,6 +46,10 @@ const (
 	WireKindJob = "job"
 	// WireKindBatch tags a BatchResponse.
 	WireKindBatch = "batch"
+	// WireKindSession tags a SessionResponse.
+	WireKindSession = "session"
+	// WireKindSessionList tags a SessionListResponse.
+	WireKindSessionList = "session_list"
 )
 
 // Job lifecycle states as they appear in JobResponse.State. A job is
@@ -256,4 +260,96 @@ type BatchResponse struct {
 	// Jobs[i] describes the i-th submission. A shed or invalid entry has
 	// an empty ID and a non-empty Error.
 	Jobs []JobResponse `json:"jobs"`
+}
+
+// Delta op names for SessionDeltaRequest entries.
+const (
+	// DeltaOpAdd inserts the undirected edge (U,V) with weight W, or
+	// reweights it if present.
+	DeltaOpAdd = "add"
+	// DeltaOpRemove deletes the undirected edge (U,V); it must exist.
+	DeltaOpRemove = "remove"
+	// DeltaOpVwgt sets vertex U's weight to W.
+	DeltaOpVwgt = "vwgt"
+)
+
+// DeltaOp is one graph mutation inside a session delta batch.
+type DeltaOp struct {
+	// Op is DeltaOpAdd, DeltaOpRemove or DeltaOpVwgt.
+	Op string `json:"op"`
+	U  int    `json:"u"`
+	V  int    `json:"v,omitempty"`
+	W  int    `json:"w,omitempty"`
+}
+
+// SessionCreateRequest registers a resident graph session via
+// POST /v1/graphs (JSON form; the csrb form ships the graph as the body
+// with k/seed/ubfactor in the query string). The session id is the
+// graph's content fingerprint, so identical graphs collide (409) rather
+// than duplicate.
+type SessionCreateRequest struct {
+	Graph WireGraph `json:"graph"`
+	K     int       `json:"k"`
+	// Seed fixes every repair of this session deterministically (crash
+	// recovery replays repairs with it).
+	Seed int64 `json:"seed,omitempty"`
+	// Ubfactor is the balance target (0 means 1.05).
+	Ubfactor float64 `json:"ubfactor,omitempty"`
+}
+
+// SessionDeltaRequest applies one atomic batch of graph mutations via
+// POST /v1/graphs/{id}/edges. The server bounds len(Ops); oversized
+// batches get 413.
+type SessionDeltaRequest struct {
+	Ops []DeltaOp `json:"ops"`
+}
+
+// SessionRepairRequest asks for an explicit repartition of a session
+// via POST /v1/graphs/{id}/repartition. Mode is "auto" (or empty) for
+// the drift ladder's choice, or "boundary", "full", "vcycle" to force a
+// tier.
+type SessionRepairRequest struct {
+	Mode string `json:"mode,omitempty"`
+}
+
+// SessionResponse describes a resident graph session. Where is present
+// on GET ?where=true and on repartition replies.
+type SessionResponse struct {
+	Kind          string `json:"kind"` // WireKindSession
+	SchemaVersion int    `json:"schema_version"`
+	// ID is the session id ("g" + 16 hex digits of the fingerprint).
+	ID          string  `json:"id"`
+	Vertices    int     `json:"vertices"`
+	Edges       int     `json:"edges"`
+	K           int     `json:"k"`
+	EdgeCut     int     `json:"edge_cut"`
+	BaselineCut int     `json:"baseline_cut"`
+	Balance     float64 `json:"balance"`
+	PartWeights []int   `json:"part_weights,omitempty"`
+	Where       []int   `json:"where,omitempty"`
+	// Seq is the session's durable sequence number (delta batches plus
+	// explicit repairs).
+	Seq uint64 `json:"seq"`
+	// Deltas is the number of delta batches applied this residency.
+	Deltas int64 `json:"deltas"`
+	// ResidentBytes is the session's estimated memory footprint.
+	ResidentBytes int64 `json:"resident_bytes"`
+	// LastRepair names the tier of the most recent successful repair:
+	// "none", "boundary", "full" or "vcycle".
+	LastRepair string `json:"last_repair"`
+	// RepairFailed reports the most recent repair attempt failed and its
+	// drift is still pending.
+	RepairFailed bool `json:"repair_failed,omitempty"`
+	// Recovered reports this session was rebuilt from the state dir.
+	Recovered bool `json:"recovered,omitempty"`
+	// Degraded reports recovery could not verify the delta log and fell
+	// back to a fresh V-cycle.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// SessionListResponse is the reply to GET /v1/graphs.
+type SessionListResponse struct {
+	Kind          string            `json:"kind"` // WireKindSessionList
+	SchemaVersion int               `json:"schema_version"`
+	Sessions      []SessionResponse `json:"sessions"`
 }
