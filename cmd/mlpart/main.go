@@ -6,12 +6,18 @@
 // Usage:
 //
 //	mlpart -k 32 [-match HEM] [-init GGGP] [-refine BKLGR] [-seed 0]
+//	       [-max-cluster-weight N] [-lp-rounds N]
 //	       [-parallel] [-ncuts 4] [-coarsen-workers 4] [-refine-workers 4] [-direct]
 //	       [-weighted 4,2,1,1] [-ordering degree] [-stats] [-trace] [-json]
 //	       [-timeout 30s] [-o out.part] graph.file(.graph, .mtx or .csrb)
 //
 // With -gen NAME the input file is replaced by a generated workload (see
 // mlpart.WorkloadNames), e.g. `mlpart -k 32 -gen 4ELT`.
+//
+// -match accepts any registered coarsening scheme (run -help for the live
+// list): the matching family (RM, HEM, LEM, HCM) plus the aggregation
+// scheme GCLP, whose cluster size cap and round count are tuned with
+// -max-cluster-weight and -lp-rounds.
 //
 // A `.csrb` input is the binary CSR format (docs/WIRE.md), memory-mapped
 // and decoded zero-copy. With -convert OUT the loaded graph is written to
@@ -50,9 +56,24 @@ import (
 // "wrong input".
 const exitTimeout = 3
 
+// schemeSummary renders the registered coarsening schemes for -match's help
+// text, so new schemes show up in -help without touching this file.
+func schemeSummary() string {
+	var b strings.Builder
+	for i, s := range mlpart.CoarseningSchemes() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s (%s)", s.Name, s.Family)
+	}
+	return b.String()
+}
+
 func main() {
 	k := flag.Int("k", 2, "number of parts")
-	match := flag.String("match", "HEM", "matching scheme: RM, HEM, LEM, HCM")
+	match := flag.String("match", "HEM", "coarsening scheme: "+schemeSummary())
+	maxClusterWeight := flag.Int("max-cluster-weight", 0, "GCLP only: cluster weight cap (0 = derived from the coarsening target)")
+	lpRounds := flag.Int("lp-rounds", 0, "GCLP only: label-propagation rounds per level (0 = default)")
 	init := flag.String("init", "GGGP", "initial partitioner: GGGP, GGP, SBP")
 	ref := flag.String("refine", "BKLGR", "refinement: NONE, GR, KLR, BGR, BKLR, BKLGR, BKWAY")
 	preset := flag.String("preset", "", "quality preset: fast (1 cycle), eco (2), strong (4); empty = fast")
@@ -100,7 +121,11 @@ func main() {
 	}
 
 	opts := &mlpart.Options{
-		Matching:            *match,
+		Coarsening: &mlpart.CoarseningOptions{
+			Scheme:           *match,
+			MaxClusterWeight: *maxClusterWeight,
+			LPRounds:         *lpRounds,
+		},
 		InitPart:            *init,
 		Refinement:          *ref,
 		Seed:                *seed,
@@ -272,6 +297,8 @@ func writeGraphFile(path string, g *mlpart.Graph) error {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mlpart:", err)
+	// Entry-point errors already carry the package prefix; don't print
+	// "mlpart: mlpart: ...".
+	fmt.Fprintln(os.Stderr, "mlpart:", strings.TrimPrefix(err.Error(), "mlpart: "))
 	os.Exit(1)
 }

@@ -2,7 +2,10 @@
 // (§3.1 of the paper): maximal matchings computed by one of four heuristics
 // — random matching (RM), heavy-edge matching (HEM), light-edge matching
 // (LEM) and heavy-clique matching (HCM) — and the contraction that collapses
-// each matched pair into a multinode of the next-coarser graph.
+// each matched pair into a multinode of the next-coarser graph. A second
+// coarsening family, GCLP (size-constrained label-propagation clustering,
+// gclp.go), contracts arbitrary-size clusters instead of pairs, which keeps
+// shrinking power-law graphs where maximal matchings stall.
 //
 // Contraction preserves the evaluation invariant the paper relies on: a
 // partition of the coarse graph has exactly the same edge-cut as the
@@ -14,6 +17,7 @@ package coarsen
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"mlpart/internal/faults"
@@ -22,7 +26,8 @@ import (
 	"mlpart/internal/workspace"
 )
 
-// Scheme selects the matching heuristic used at each coarsening level.
+// Scheme selects the coarsening heuristic used at each level: one of the
+// paper's four matchings, or the GCLP cluster aggregation.
 type Scheme int
 
 const (
@@ -39,9 +44,28 @@ const (
 	// HCM matches the pair whose merged multinode has the highest edge
 	// density, approximating coarsening by highly-connected components.
 	HCM
+	// GCLP groups vertices into arbitrary-size clusters by size-constrained
+	// label propagation and contracts whole clusters, not pairs. On
+	// power-law graphs (social networks, web graphs) maximal matchings
+	// leave most vertices unmatched around hubs and coarsening stalls; GCLP
+	// lets a hub absorb many leaves per level, so the hierarchy keeps
+	// shrinking. See gclp.go.
+	GCLP
 )
 
-// String returns the scheme's abbreviation as used in the paper.
+// Scheme families as reported by SchemeInfo.Family.
+const (
+	// FamilyMatching marks the paper's pairwise matchings (RM, HEM, LEM,
+	// HCM): each level at best halves the vertex count.
+	FamilyMatching = "matching"
+	// FamilyAggregation marks cluster coarseners (GCLP): each level can
+	// shrink the graph by an arbitrary factor bounded by the cluster
+	// weight cap.
+	FamilyAggregation = "aggregation"
+)
+
+// String returns the scheme's abbreviation as used in the paper (GCLP is
+// this package's extension).
 func (s Scheme) String() string {
 	switch s {
 	case RM:
@@ -52,18 +76,32 @@ func (s Scheme) String() string {
 		return "LEM"
 	case HCM:
 		return "HCM"
+	case GCLP:
+		return "GCLP"
 	}
 	return fmt.Sprintf("Scheme(%d)", int(s))
 }
 
+// Family returns the scheme's family: FamilyMatching for the pairwise
+// matchings, FamilyAggregation for GCLP.
+func (s Scheme) Family() string {
+	if s == GCLP {
+		return FamilyAggregation
+	}
+	return FamilyMatching
+}
+
 // Valid reports whether s is one of the defined schemes; Match panics on
 // anything else, so user-reachable entry points must gate on this.
-func (s Scheme) Valid() bool { return s >= RM && s <= HCM }
+func (s Scheme) Valid() bool { return s >= RM && s <= GCLP }
 
-// ParseScheme converts an abbreviation ("RM", "HEM", "LEM", "HCM",
-// case-sensitive) to a Scheme.
+// ParseScheme converts an abbreviation ("RM", "HEM", "LEM", "HCM", "GCLP")
+// to a Scheme. Parsing is the single normalization point for every surface
+// that accepts a scheme name — CLI flags, JSON options, query parameters —
+// so case and surrounding whitespace are forgiven here once ("hem" and
+// " HEM " both parse) instead of inconsistently per caller.
 func ParseScheme(s string) (Scheme, error) {
-	switch s {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
 	case "RM":
 		return RM, nil
 	case "HEM":
@@ -72,8 +110,37 @@ func ParseScheme(s string) (Scheme, error) {
 		return LEM, nil
 	case "HCM":
 		return HCM, nil
+	case "GCLP":
+		return GCLP, nil
 	}
-	return 0, fmt.Errorf("coarsen: unknown matching scheme %q", s)
+	return 0, fmt.Errorf("coarsen: unknown coarsening scheme %q (want RM, HEM, LEM, HCM or GCLP)", s)
+}
+
+// SchemeInfo describes one coarsening scheme for discovery surfaces: the
+// CLI help text, mlbench tables and the service's /v1/capabilities endpoint
+// all render the same registry instead of hardcoding scheme lists.
+type SchemeInfo struct {
+	Scheme      Scheme
+	Name        string
+	Description string
+	Family      string
+}
+
+// schemeRegistry is the registry behind AllSchemes, in Scheme order.
+var schemeRegistry = [...]SchemeInfo{
+	{RM, "RM", "random matching: match each vertex with a random unmatched neighbor", FamilyMatching},
+	{HEM, "HEM", "heavy-edge matching: match across the heaviest incident edge (the paper's choice)", FamilyMatching},
+	{LEM, "LEM", "light-edge matching: match across the lightest incident edge (the paper's control)", FamilyMatching},
+	{HCM, "HCM", "heavy-clique matching: match the pair with the densest merged multinode", FamilyMatching},
+	{GCLP, "GCLP", "size-constrained label-propagation clustering: contract arbitrary-size clusters, built for power-law graphs where matchings stall", FamilyAggregation},
+}
+
+// AllSchemes lists every supported coarsening scheme with its name,
+// description and family, in Scheme order. The returned slice is a copy.
+func AllSchemes() []SchemeInfo {
+	out := make([]SchemeInfo, len(schemeRegistry))
+	copy(out, schemeRegistry[:])
+	return out
 }
 
 // Match computes a maximal matching of g in O(|E|) using the given scheme.
@@ -344,12 +411,22 @@ func releaseGraph(ws *workspace.Workspace, g *graph.Graph) {
 
 // Options configures Coarsen.
 type Options struct {
-	// Scheme is the matching heuristic (default RM for the zero value).
+	// Scheme is the coarsening heuristic (default RM for the zero value).
 	Scheme Scheme
 	// CoarsenTo stops coarsening once the graph has at most this many
 	// vertices. The paper coarsens "down to a few hundred vertices";
 	// callers typically pass 100.
 	CoarsenTo int
+	// MaxClusterWeight caps the total vertex weight of one GCLP cluster.
+	// <= 0 derives the cap from the finest graph: total weight divided by
+	// CoarsenTo, which guarantees the coarsest graph keeps at least
+	// ~CoarsenTo vertices however aggressively clusters grow. Ignored by
+	// the matching schemes.
+	MaxClusterWeight int
+	// LPRounds is the number of label-propagation propose/commit rounds
+	// GCLP runs per level (<= 0 means 8). Propagation also stops early the
+	// first round no vertex moves. Ignored by the matching schemes.
+	LPRounds int
 	// MaxLevels bounds the number of coarsening levels (safety net for
 	// graphs that barely contract); <=0 means no bound.
 	MaxLevels int
@@ -374,23 +451,32 @@ type Options struct {
 	// forces the stall path). A nil Injector costs one nil check.
 	Injector *faults.Injector
 	// Degradations, when non-nil, receives a record for every graceful
-	// fallback taken — currently a stalled HCM matching retried as HEM.
+	// fallback taken — a stalled HCM or GCLP level retried as HEM.
 	Degradations *[]trace.Degradation
 }
 
 // emitLevel reports a new hierarchy level to tr. fine is the level the
-// contraction started from (nil for the finest level's own event).
-func emitLevel(tr trace.Tracer, level int, fine, cur *graph.Graph, elapsed time.Duration) {
+// contraction started from (nil for the finest level's own event); scheme
+// is the heuristic that produced the contraction (after any stall
+// fallback), carried in the event's Algorithm field.
+func emitLevel(tr trace.Tracer, level int, fine, cur *graph.Graph, scheme Scheme, elapsed time.Duration) {
 	ev := trace.Event{
 		Kind:      trace.KindLevel,
 		Level:     level,
+		Algorithm: scheme.String(),
 		Vertices:  cur.NumVertices(),
 		Edges:     cur.NumEdges(),
 		ElapsedNS: elapsed.Nanoseconds(),
 	}
 	if fine != nil && fine.NumVertices() > 0 {
-		// Fraction of the finer level's vertices absorbed into pairs.
-		ev.MatchRate = 2 * float64(fine.NumVertices()-cur.NumVertices()) / float64(fine.NumVertices())
+		if scheme == GCLP {
+			// Fraction of the finer level's vertices absorbed into
+			// clusters; pairs can't express arbitrary-size merges.
+			ev.MatchRate = float64(fine.NumVertices()-cur.NumVertices()) / float64(fine.NumVertices())
+		} else {
+			// Fraction of the finer level's vertices absorbed into pairs.
+			ev.MatchRate = 2 * float64(fine.NumVertices()-cur.NumVertices()) / float64(fine.NumVertices())
+		}
 	}
 	tr.Event(ev)
 }
@@ -398,31 +484,66 @@ func emitLevel(tr trace.Tracer, level int, fine, cur *graph.Graph, elapsed time.
 // Coarsen builds the full hierarchy for g. Coarsening stops when the graph
 // has at most opts.CoarsenTo vertices, when a level shrinks the graph by
 // less than 10% (matchings have become ineffective, e.g. star graphs), or
-// when the graph has no edges left. A stalled HCM matching is retried once
-// per level with HEM (recorded in opts.Degradations); only if HEM stalls
-// too does coarsening stop early.
+// when the graph has no edges left. A stalled HCM or GCLP level is retried
+// once per level with HEM (recorded in opts.Degradations); only if HEM
+// stalls too does coarsening stop early.
 func Coarsen(g *graph.Graph, opts Options, rng *rand.Rand) *Hierarchy {
-	return buildHierarchy(g, opts, func(cur *graph.Graph, scheme Scheme, cew, respect []int) []int {
+	return buildHierarchy(g, opts, rng, 1, func(cur *graph.Graph, scheme Scheme, cew, respect []int) []int {
 		return MatchWS(cur, scheme, cew, respect, rng, opts.Workspace)
 	})
 }
 
-// matchFunc computes one level's matching under a scheme; Coarsen and
-// ParallelCoarsen differ only in which matcher they plug in.
+// matchFunc computes one level's matching under a matching-family scheme;
+// Coarsen and ParallelCoarsen differ only in which matcher they plug in.
+// GCLP levels bypass it: label propagation is propose-parallel/
+// commit-serial by construction, so one implementation serves both paths
+// bit-identically (see clusterLPWS).
 type matchFunc func(cur *graph.Graph, scheme Scheme, cew, respect []int) []int
 
 // buildHierarchy is the shared coarsening loop behind Coarsen and
-// ParallelCoarsen: match, contract, check for stalls (with the HCM->HEM
-// fallback), consult the fault injector at each level boundary.
-func buildHierarchy(g *graph.Graph, opts Options, matchLevel matchFunc) *Hierarchy {
+// ParallelCoarsen: cluster or match, contract, check for stalls (with the
+// HCM/GCLP -> HEM fallback), consult the fault injector at each level
+// boundary. workers only affects how GCLP's propose phase is chunked,
+// never the result.
+func buildHierarchy(g *graph.Graph, opts Options, rng *rand.Rand, workers int, matchLevel matchFunc) *Hierarchy {
 	if opts.CoarsenTo <= 0 {
 		opts.CoarsenTo = 100
 	}
+	maxClusterW := opts.MaxClusterWeight
+	if maxClusterW <= 0 {
+		// Derived cap: clusters of at most total/CoarsenTo weight keep at
+		// least ~CoarsenTo coarse vertices however fast GCLP aggregates.
+		maxClusterW = g.TotalVertexWeight() / opts.CoarsenTo
+		if maxClusterW < 1 {
+			maxClusterW = 1
+		}
+	}
+	lpRounds := opts.LPRounds
+	if lpRounds <= 0 {
+		lpRounds = defaultLPRounds
+	}
 	ws := opts.Workspace
+	// step contracts one level under the given scheme: cluster contraction
+	// for GCLP, matching contraction for the paper's four schemes.
+	step := func(cur *graph.Graph, scheme Scheme, cew, respect []int) (*graph.Graph, []int, []int) {
+		if scheme == GCLP {
+			cmap, cn := clusterLPWS(cur, respect, lpConfig{
+				maxWeight: maxClusterW,
+				rounds:    lpRounds,
+				workers:   workers,
+			}, rng, ws)
+			next, ccew := ContractClustersWS(cur, cmap, cn, cew, ws)
+			return next, cmap, ccew
+		}
+		match := matchLevel(cur, scheme, cew, respect)
+		next, cmap, ccew := ContractWS(cur, match, cew, ws)
+		ws.PutInt(match)
+		return next, cmap, ccew
+	}
 	h := &Hierarchy{pooled: ws != nil}
 	cur := g
 	if opts.Tracer != nil {
-		emitLevel(opts.Tracer, 0, nil, g, 0)
+		emitLevel(opts.Tracer, 0, nil, g, opts.Scheme, 0)
 	}
 	scheme := opts.Scheme
 	var cew []int // zero at the finest level
@@ -446,16 +567,15 @@ func buildHierarchy(g *graph.Graph, opts Options, matchLevel matchFunc) *Hierarc
 			t0 = time.Now()
 		}
 		stallErr := opts.Injector.Fire(faults.SiteCoarsenMatch)
-		match := matchLevel(cur, scheme, cew, respect)
-		next, cmap, ccew := ContractWS(cur, match, cew, ws)
-		ws.PutInt(match)
+		next, cmap, ccew := step(cur, scheme, cew, respect)
 		stalled := stallErr != nil || next.NumVertices() > cur.NumVertices()*9/10
-		if stalled && scheme == HCM {
+		if stalled && (scheme == HCM || scheme == GCLP) {
 			// HCM's density criterion can stop matching on graphs HEM
-			// still coarsens (dense multinodes make every merge look
-			// bad). Fall back to HEM for this and all deeper levels
-			// rather than abandoning the hierarchy at a coarse size the
-			// initial partitioner handles poorly.
+			// still coarsens (dense multinodes make every merge look bad),
+			// and GCLP's weight cap can freeze label propagation once every
+			// neighboring cluster is full. Fall back to HEM for this and
+			// all deeper levels rather than abandoning the hierarchy at a
+			// coarse size the initial partitioner handles poorly.
 			if ws != nil {
 				releaseGraph(ws, next)
 				ws.PutInt(cmap)
@@ -464,24 +584,24 @@ func buildHierarchy(g *graph.Graph, opts Options, matchLevel matchFunc) *Hierarc
 			reason := "matching stalled"
 			if stallErr != nil {
 				reason = stallErr.Error()
+			} else if scheme == GCLP {
+				reason = "clustering stalled"
 			}
 			if opts.Degradations != nil {
 				*opts.Degradations = append(*opts.Degradations, trace.Degradation{
 					Phase:  "coarsen",
-					From:   HCM.String(),
+					From:   scheme.String(),
 					To:     HEM.String(),
 					Level:  len(h.Levels) - 1,
 					Reason: reason,
 				})
 			}
 			scheme = HEM
-			match = matchLevel(cur, scheme, cew, respect)
-			next, cmap, ccew = ContractWS(cur, match, cew, ws)
-			ws.PutInt(match)
+			next, cmap, ccew = step(cur, scheme, cew, respect)
 			stalled = next.NumVertices() > cur.NumVertices()*9/10
 		}
 		if stalled {
-			// Matching stalled; further levels would waste time.
+			// Coarsening stalled; further levels would waste time.
 			if ws != nil {
 				releaseGraph(ws, next)
 				ws.PutInt(cmap)
@@ -490,14 +610,15 @@ func buildHierarchy(g *graph.Graph, opts Options, matchLevel matchFunc) *Hierarc
 			break
 		}
 		if opts.Tracer != nil {
-			emitLevel(opts.Tracer, len(h.Levels), cur, next, time.Since(t0))
+			emitLevel(opts.Tracer, len(h.Levels), cur, next, scheme, time.Since(t0))
 		}
 		h.Levels[len(h.Levels)-1].Cmap = cmap
 		ws.PutInt(cew) // the previous level's cew is dead once contracted
 		if respect != nil {
 			// Project the grouping onto the coarse level. Well-defined
-			// because the matching never pairs vertices of different groups,
-			// so every fine vertex of a multinode agrees on the group.
+			// because neither matchings nor label propagation ever merge
+			// vertices of different groups, so every fine vertex of a
+			// multinode agrees on the group.
 			cr := ws.Int(next.NumVertices())
 			for v, c := range cmap {
 				cr[c] = respect[v]

@@ -193,10 +193,13 @@ func ParallelMatchWS(g *graph.Graph, scheme Scheme, cew, respect []int, rnd *ran
 
 // ParallelCoarsen builds the hierarchy like Coarsen but computes each
 // level's matching with ParallelMatch. The result is identical for any
-// worker count (but differs from Coarsen's sequential matching order).
-// Stall handling (including the HCM->HEM fallback) matches Coarsen's.
+// worker count, but differs from Coarsen's sequential matching order —
+// except under GCLP, whose propose-parallel/commit-serial rounds make
+// ParallelCoarsen bit-identical to Coarsen for every worker count as long
+// as GCLP is active (once a stall falls back to HEM, each path uses its own
+// HEM matcher again). Stall handling itself matches Coarsen's.
 func ParallelCoarsen(g *graph.Graph, opts Options, rnd *rand.Rand, workers int) *Hierarchy {
-	return buildHierarchy(g, opts, func(cur *graph.Graph, scheme Scheme, cew, respect []int) []int {
+	return buildHierarchy(g, opts, rnd, workers, func(cur *graph.Graph, scheme Scheme, cew, respect []int) []int {
 		return ParallelMatchWS(cur, scheme, cew, respect, rnd, workers, opts.Workspace)
 	})
 }

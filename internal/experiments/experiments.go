@@ -43,6 +43,22 @@ func OrderingNames() []string {
 	}
 }
 
+// TableSchemes returns the coarsening schemes swept by Tables 2 and 3, in
+// registry order. The sweep is derived from coarsen.AllSchemes() so a newly
+// registered scheme (e.g. the GCLP aggregation scheme) shows up in mlbench
+// without touching this package.
+func TableSchemes() []coarsen.Scheme {
+	var schemes []coarsen.Scheme
+	for _, info := range coarsen.AllSchemes() {
+		s, err := coarsen.ParseScheme(info.Name)
+		if err != nil {
+			panic(err)
+		}
+		schemes = append(schemes, s)
+	}
+	return schemes
+}
+
 // MatchingRow is one (graph, scheme) cell group of Table 2: the edge-cut of
 // a 32-way partition plus the coarsening and uncoarsening times.
 type MatchingRow struct {
@@ -58,7 +74,7 @@ type MatchingRow struct {
 func Table2(workloads []matgen.Named, k int, seed int64) []MatchingRow {
 	var rows []MatchingRow
 	for _, w := range workloads {
-		for _, s := range []coarsen.Scheme{coarsen.RM, coarsen.HEM, coarsen.LEM, coarsen.HCM} {
+		for _, s := range TableSchemes() {
 			opts := multilevel.Options{Seed: seed}.WithMatching(s)
 			res, err := multilevel.Partition(w.Graph, k, opts)
 			if err != nil {
@@ -81,7 +97,7 @@ func Table2(workloads []matgen.Named, k int, seed int64) []MatchingRow {
 func Table3(workloads []matgen.Named, k int, seed int64) []MatchingRow {
 	var rows []MatchingRow
 	for _, w := range workloads {
-		for _, s := range []coarsen.Scheme{coarsen.RM, coarsen.HEM, coarsen.LEM, coarsen.HCM} {
+		for _, s := range TableSchemes() {
 			opts := multilevel.Options{Seed: seed}.
 				WithMatching(s).
 				WithRefinement(refine.NoRefine)

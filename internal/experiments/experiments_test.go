@@ -17,8 +17,8 @@ func tinySuite() []matgen.Named {
 
 func TestTable2Shape(t *testing.T) {
 	rows := Table2(tinySuite(), 8, 1)
-	if len(rows) != 2*4 {
-		t.Fatalf("got %d rows, want 8", len(rows))
+	if want := 2 * len(TableSchemes()); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
 	}
 	for _, r := range rows {
 		if r.EC32 <= 0 {

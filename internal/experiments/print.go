@@ -26,7 +26,7 @@ func PrintTable1(w io.Writer, workloads []matgen.Named) {
 // paper's Table 2: one row per graph, one (32EC, CTime, UTime) column group
 // per scheme.
 func PrintTable2(w io.Writer, rows []MatchingRow) {
-	schemes := []coarsen.Scheme{coarsen.RM, coarsen.HEM, coarsen.LEM, coarsen.HCM}
+	schemes := schemesOf(rows)
 	fmt.Fprintf(w, "%-8s", "")
 	for _, s := range schemes {
 		fmt.Fprintf(w, " | %-26s", s)
@@ -51,7 +51,7 @@ func PrintTable2(w io.Writer, rows []MatchingRow) {
 // PrintTable3 writes the no-refinement edge-cuts in the layout of the
 // paper's Table 3.
 func PrintTable3(w io.Writer, rows []MatchingRow) {
-	schemes := []coarsen.Scheme{coarsen.RM, coarsen.HEM, coarsen.LEM, coarsen.HCM}
+	schemes := schemesOf(rows)
 	fmt.Fprintf(w, "%-8s", "Graph")
 	for _, s := range schemes {
 		fmt.Fprintf(w, " %10s", s)
@@ -170,6 +170,20 @@ func PrintOrdering(w io.Writer, rows []OrderingRow) {
 	}
 	fmt.Fprintf(w, "%-8s %9s %14.4g %9.2f %9.2f\n",
 		"TOTAL", "", totML, totMMD/totML, totSND/totML)
+}
+
+// schemesOf lists the distinct schemes present in rows, in first-seen order,
+// so the table columns follow whatever sweep actually ran.
+func schemesOf(rows []MatchingRow) []coarsen.Scheme {
+	var schemes []coarsen.Scheme
+	seen := map[coarsen.Scheme]bool{}
+	for _, r := range rows {
+		if !seen[r.Scheme] {
+			seen[r.Scheme] = true
+			schemes = append(schemes, r.Scheme)
+		}
+	}
+	return schemes
 }
 
 func groupMatching(rows []MatchingRow) map[string]map[coarsen.Scheme]MatchingRow {

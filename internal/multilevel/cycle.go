@@ -39,13 +39,15 @@ func (e *engine) phaseCoarsen(g *graph.Graph, k int, respect []int, rng *rand.Ra
 	}
 	t0 := time.Now()
 	copts := coarsen.Options{
-		Scheme:       e.opts.Matching,
-		CoarsenTo:    coarsenTo,
-		Respect:      respect,
-		Workspace:    ws,
-		Tracer:       tr,
-		Injector:     e.inj,
-		Degradations: &stats.Degradations,
+		Scheme:           e.opts.Matching,
+		CoarsenTo:        coarsenTo,
+		MaxClusterWeight: e.opts.MaxClusterWeight,
+		LPRounds:         e.opts.LPRounds,
+		Respect:          respect,
+		Workspace:        ws,
+		Tracer:           tr,
+		Injector:         e.inj,
+		Degradations:     &stats.Degradations,
 	}
 	var h *coarsen.Hierarchy
 	if e.opts.CoarsenWorkers > 1 {

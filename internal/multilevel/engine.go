@@ -358,12 +358,14 @@ func (e *engine) bisectOnce(g *graph.Graph, target0 int, rng *rand.Rand, seed in
 
 	t0 := time.Now()
 	copts := coarsen.Options{
-		Scheme:       opts.Matching,
-		CoarsenTo:    opts.CoarsenTo,
-		Workspace:    ws,
-		Tracer:       tr,
-		Injector:     e.inj,
-		Degradations: &stats.Degradations,
+		Scheme:           opts.Matching,
+		CoarsenTo:        opts.CoarsenTo,
+		MaxClusterWeight: opts.MaxClusterWeight,
+		LPRounds:         opts.LPRounds,
+		Workspace:        ws,
+		Tracer:           tr,
+		Injector:         e.inj,
+		Degradations:     &stats.Degradations,
 	}
 	var h *coarsen.Hierarchy
 	if opts.CoarsenWorkers > 1 {

@@ -120,6 +120,33 @@ func TestChaosDegradeHCMToHEM(t *testing.T) {
 	}
 }
 
+// TestChaosDegradeGCLPToHEM forces the cluster coarsener off its happy
+// path with the same coarsen/match fault the HCM test uses: the whole run
+// must complete on HEM with the GCLP->HEM degradation recorded.
+func TestChaosDegradeGCLPToHEM(t *testing.T) {
+	g := matgen.Mesh2DTri(24, 24, 0.02, 2)
+	tr := &collectTracer{}
+	res, err := Partition(g, 2, Options{
+		Seed:     3,
+		Injector: faults.MustParse("coarsen/match=error@1"),
+		Tracer:   tr,
+	}.WithMatching(coarsen.GCLP))
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	verifyResult(t, res, g.NumVertices(), 2)
+	d := findDegradation(res.Stats.Degradations, "coarsen", "HEM")
+	if d == nil {
+		t.Fatalf("no coarsen->HEM degradation recorded: %+v", res.Stats.Degradations)
+	}
+	if d.From != "GCLP" {
+		t.Errorf("degradation From = %q, want GCLP", d.From)
+	}
+	if len(tr.degraded()) == 0 {
+		t.Error("no degraded trace event emitted")
+	}
+}
+
 func TestChaosDegradeRefineToProjected(t *testing.T) {
 	g := matgen.Grid2D(24, 24)
 	tr := &collectTracer{}

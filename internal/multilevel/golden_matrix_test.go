@@ -68,6 +68,73 @@ func TestGoldenMatrix(t *testing.T) {
 	}
 }
 
+// TestGoldenGCLPMatrix pins the fixed-seed edge-cut of GCLP cluster
+// coarsening on the two mesh workloads of TestGoldenMatrix plus a power-law
+// social graph — the workload class GCLP exists for. The mesh rows guard
+// GCLP's own determinism; TestGoldenMatrix above guards that adding the
+// scheme never moved a cut of the matching family.
+func TestGoldenGCLPMatrix(t *testing.T) {
+	graphs := map[string]*matgen.Named{}
+	for _, name := range []string{"BRCK", "WAVE"} {
+		w, err := matgen.Generate(name, 0.04)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs[name] = &w
+	}
+	soc := matgen.SocialNetwork(4096, 4, 23)
+	graphs["SOC"] = &matgen.Named{Name: "SOC", Graph: soc}
+	cases := []struct {
+		workload string
+		policy   refine.Policy
+		wantCut  int
+	}{
+		{"BRCK", refine.GR, 486},
+		{"BRCK", refine.BKLGR, 481},
+		{"WAVE", refine.GR, 920},
+		{"WAVE", refine.BKLGR, 913},
+		{"SOC", refine.GR, 9000},
+		{"SOC", refine.BKLGR, 9013},
+	}
+	for _, tc := range cases {
+		res, err := Partition(graphs[tc.workload].Graph, 8,
+			Options{Seed: 3}.WithMatching(coarsen.GCLP).WithRefinement(tc.policy))
+		if err != nil {
+			t.Fatalf("%s/GCLP/%s: %v", tc.workload, tc.policy, err)
+		}
+		if res.EdgeCut != tc.wantCut {
+			t.Errorf("%s/GCLP/%s: cut=%d, want %d",
+				tc.workload, tc.policy, res.EdgeCut, tc.wantCut)
+		}
+	}
+}
+
+// TestGoldenGCLPRefineWorkersParity asserts the RefineWorkers parity
+// contract holds under GCLP coarsening too: the direct k-way BKWAY result
+// is identical for every worker count.
+func TestGoldenGCLPRefineWorkersParity(t *testing.T) {
+	soc := matgen.SocialNetwork(4096, 4, 23)
+	serial, err := PartitionKWay(soc, 16,
+		Options{Seed: 3}.WithMatching(coarsen.GCLP).WithRefinement(refine.BKWAY))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		par, err := PartitionKWay(soc, 16,
+			Options{Seed: 3, RefineWorkers: workers}.
+				WithMatching(coarsen.GCLP).WithRefinement(refine.BKWAY))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.EdgeCut != serial.EdgeCut {
+			t.Errorf("RefineWorkers=%d: cut=%d, serial %d", workers, par.EdgeCut, serial.EdgeCut)
+		}
+		if !reflect.DeepEqual(par.Where, serial.Where) {
+			t.Errorf("RefineWorkers=%d: partition vector diverges from serial", workers)
+		}
+	}
+}
+
 // TestGoldenBKWAYDirectParity pins the direct k-way BKWAY result and
 // asserts the engine's parity contract end-to-end: RefineWorkers changes
 // scheduling only, never the partition.

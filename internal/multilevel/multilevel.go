@@ -143,6 +143,13 @@ type Options struct {
 	// of the worker count. The paper observes that coarsening is the easy
 	// phase to parallelize; this is that observation for shared memory.
 	CoarsenWorkers int
+	// MaxClusterWeight caps one GCLP cluster's total vertex weight; <= 0
+	// derives the cap from the graph (total weight / CoarsenTo). Ignored
+	// by the matching schemes.
+	MaxClusterWeight int
+	// LPRounds bounds GCLP's label-propagation rounds per level (<= 0
+	// means the coarsener's default of 8). Ignored by the matching schemes.
+	LPRounds int
 	// Preset selects the number of multilevel cycles: fast (the zero
 	// value) is a single V-cycle, eco adds one partition-seeded extra
 	// cycle, strong runs four cycles best-of-N. Extra cycles apply to
@@ -250,6 +257,12 @@ func (o Options) Validate() error {
 	}
 	if o.RefineWorkers < 0 {
 		return fmt.Errorf("multilevel: RefineWorkers = %d, want >= 0", o.RefineWorkers)
+	}
+	if o.MaxClusterWeight < 0 {
+		return fmt.Errorf("multilevel: MaxClusterWeight = %d, want >= 0", o.MaxClusterWeight)
+	}
+	if o.LPRounds < 0 {
+		return fmt.Errorf("multilevel: LPRounds = %d, want >= 0", o.LPRounds)
 	}
 	if math.IsNaN(o.Ubfactor) || math.IsInf(o.Ubfactor, 0) {
 		return fmt.Errorf("multilevel: Ubfactor = %v, want a finite value", o.Ubfactor)

@@ -421,6 +421,38 @@ func retryAfter(v string) time.Duration {
 	return 0
 }
 
+// Capabilities fetches the server's supported algorithm names from
+// GET /v1/capabilities: coarsening schemes (with family metadata), initial
+// partitioners, refinements, presets, orderings and workloads. The document
+// is static for a given server build, so callers may fetch once and reuse.
+func (c *Client) Capabilities(ctx context.Context) (*mlpart.CapabilitiesResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/capabilities"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.retry().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var we mlpart.ErrorResponse
+		if json.Unmarshal(body, &we) == nil && we.Error != "" {
+			return nil, fmt.Errorf("%s: %s", resp.Status, we.Error)
+		}
+		return nil, fmt.Errorf("unexpected status %s", resp.Status)
+	}
+	var cr mlpart.CapabilitiesResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		return nil, fmt.Errorf("bad capabilities response: %v", err)
+	}
+	return &cr, nil
+}
+
 // --- resident graph sessions ---
 
 // decodeSessionResponse parses a SessionResponse reply, turning a wire

@@ -409,6 +409,19 @@ func optionsFromQuery(q url.Values) (*mlpart.Options, error) {
 		Preset:     q.Get("preset"),
 		Ordering:   q.Get("ordering"),
 	}
+	// The structured coarsening options travel as flat parameters; any of
+	// the three present materializes the object (Validate then enforces the
+	// same rules as the JSON form, e.g. GCLP-only knobs).
+	if q.Get("coarsening") != "" || q.Get("max_cluster_weight") != "" || q.Get("lp_rounds") != "" {
+		co := &mlpart.CoarseningOptions{Scheme: q.Get("coarsening")}
+		if err := queryInt(q, "max_cluster_weight", &co.MaxClusterWeight); err != nil {
+			return nil, err
+		}
+		if err := queryInt(q, "lp_rounds", &co.LPRounds); err != nil {
+			return nil, err
+		}
+		o.Coarsening = co
+	}
 	for name, dst := range map[string]*int{
 		"coarsen_to":            &o.CoarsenTo,
 		"parallel_depth":        &o.ParallelDepth,
@@ -464,8 +477,14 @@ func canonicalOptions(o *mlpart.Options) string {
 	if o != nil {
 		c = *o
 	}
-	if c.Matching == "" {
-		c.Matching = mlpart.MatchHEM
+	// The matching/coarsening pair canonicalizes through EffectiveCoarsening,
+	// so the deprecated `matching` alias and the structured `coarsening`
+	// field produce identical keys (and share cache entries). Validate
+	// rejects unparseable configurations before any key is built; the
+	// fallback below only keeps an impossible call stable.
+	co, err := o.EffectiveCoarsening()
+	if err != nil {
+		co = mlpart.CoarseningOptions{Scheme: c.Matching}
 	}
 	if c.InitPart == "" {
 		c.InitPart = mlpart.InitGGGP
@@ -488,9 +507,16 @@ func canonicalOptions(o *mlpart.Options) string {
 	if c.Ordering == "" {
 		c.Ordering = mlpart.OrderingNone
 	}
-	return fmt.Sprintf("m=%s i=%s r=%s ct=%d ub=%.17g s=%d kr=%t nc=%d cw=%d cg=%t ord=%s cyc=%d",
-		c.Matching, c.InitPart, c.Refinement, c.CoarsenTo, c.Ubfactor,
+	key := fmt.Sprintf("m=%s i=%s r=%s ct=%d ub=%.17g s=%d kr=%t nc=%d cw=%d cg=%t ord=%s cyc=%d",
+		co.Scheme, c.InitPart, c.Refinement, c.CoarsenTo, c.Ubfactor,
 		c.Seed, c.KWayRefine, c.NCuts, c.CoarsenWorkers, c.CompressGraph, c.Ordering, cyc)
+	if co.Scheme == mlpart.MatchGCLP {
+		// GCLP's knobs change the result, so they join the key — but only
+		// for GCLP, keeping every matching-family key byte-identical to
+		// what previous releases produced.
+		key += fmt.Sprintf(" mcw=%d lpr=%d", co.MaxClusterWeight, co.LPRounds)
+	}
+	return key
 }
 
 // hashInts is FNV-1a over an int slice (for the repartition key's

@@ -228,6 +228,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/repartition", func(w http.ResponseWriter, r *http.Request) {
 		s.serveCompute(w, r, epRepartition, codec{json: decodeRepartition, binary: decodeRepartitionBinary})
 	})
+	s.mux.HandleFunc("/v1/capabilities", s.serveCapabilities)
 	s.mux.HandleFunc("/healthz", s.serveHealthz)
 	s.mux.HandleFunc("/readyz", s.serveReadyz)
 	s.mux.HandleFunc("/varz", s.serveVarz)
@@ -257,6 +258,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Config returns the effective (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
+
+// serveCapabilities answers GET /v1/capabilities with the server's
+// supported algorithm names (coarsening schemes with family metadata,
+// initial partitioners, refinements, presets, orderings, workloads), built
+// from the same registries the engine resolves names against. SDK clients
+// discover valid option values here instead of hardcoding strings; the
+// document is static for a given build, so clients may cache it per
+// connection.
+func (s *Server) serveCapabilities(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed; use GET", r.Method)
+		return
+	}
+	b, err := json.Marshal(mlpart.NewCapabilitiesResponse())
+	if err != nil {
+		// The capabilities object contains nothing unmarshalable; unreachable.
+		panic(err)
+	}
+	writeBody(w, http.StatusOK, append(b, '\n'))
+}
 
 // serveHealthz is the liveness probe: 200 for the whole process lifetime,
 // including the drain window — a draining daemon is alive, just not

@@ -130,13 +130,39 @@ func GenerateWorkload(name string, scale float64) (*Graph, error) {
 // WorkloadNames lists the names accepted by GenerateWorkload.
 func WorkloadNames() []string { return matgen.AllNames() }
 
-// Matching scheme names accepted by Options.Matching.
+// Coarsening scheme names accepted by CoarseningOptions.Scheme (and the
+// deprecated Options.Matching alias). RM/HEM/LEM/HCM are the paper's
+// pairwise matchings; GCLP is the aggregation-family extension. Names are
+// case-insensitive on every input surface; these consts are the canonical
+// spellings.
 const (
-	MatchRM  = "RM"  // random matching
-	MatchHEM = "HEM" // heavy-edge matching (default; the paper's choice)
-	MatchLEM = "LEM" // light-edge matching
-	MatchHCM = "HCM" // heavy-clique matching
+	MatchRM   = "RM"   // random matching
+	MatchHEM  = "HEM"  // heavy-edge matching (default; the paper's choice)
+	MatchLEM  = "LEM"  // light-edge matching
+	MatchHCM  = "HCM"  // heavy-clique matching
+	MatchGCLP = "GCLP" // size-constrained label-propagation clustering
 )
+
+// Coarsening scheme families reported by CoarseningScheme.Family.
+const (
+	// FamilyMatching marks the pairwise matchings (RM, HEM, LEM, HCM):
+	// each coarsening level at best halves the vertex count.
+	FamilyMatching = coarsen.FamilyMatching
+	// FamilyAggregation marks cluster coarseners (GCLP): a level can shrink
+	// the graph by an arbitrary factor bounded by the cluster weight cap,
+	// which is what keeps power-law graphs coarsening where matchings stall.
+	FamilyAggregation = coarsen.FamilyAggregation
+)
+
+// CoarseningScheme describes one coarsening scheme: canonical name, a
+// one-line description and its family (FamilyMatching or
+// FamilyAggregation). It is coarsen.SchemeInfo re-exported.
+type CoarseningScheme = coarsen.SchemeInfo
+
+// CoarseningSchemes lists every supported coarsening scheme. CLI help, the
+// mlbench tables and the daemon's /v1/capabilities endpoint all render this
+// registry, so SDK users can discover schemes instead of hardcoding names.
+func CoarseningSchemes() []CoarseningScheme { return coarsen.AllSchemes() }
 
 // Initial-partitioning method names accepted by Options.InitPart.
 const (
@@ -180,6 +206,26 @@ const (
 	RefineBKWAY = "BKWAY" // boundary k-way engine on the direct k-way path
 )
 
+// CoarseningOptions selects the coarsening scheme and its per-scheme knobs
+// — the structured replacement for the deprecated stringly-typed
+// Options.Matching. The zero value means MatchHEM with default knobs.
+type CoarseningOptions struct {
+	// Scheme is the coarsening scheme: MatchRM, MatchHEM, MatchLEM,
+	// MatchHCM or MatchGCLP (case-insensitive). Empty means MatchHEM.
+	Scheme string `json:"scheme,omitempty"`
+	// MaxClusterWeight caps one GCLP cluster's total vertex weight. 0
+	// derives the cap from the graph — total vertex weight divided by
+	// CoarsenTo — which guarantees the coarsest graph keeps roughly
+	// CoarsenTo vertices however aggressively clusters grow. Only
+	// meaningful for MatchGCLP; rejected as nonzero for other schemes so a
+	// typo'd configuration fails loudly instead of silently doing nothing.
+	MaxClusterWeight int `json:"max_cluster_weight,omitempty"`
+	// LPRounds bounds GCLP's label-propagation rounds per level (0 means
+	// 8; propagation also stops early once no vertex moves). Only
+	// meaningful for MatchGCLP, like MaxClusterWeight.
+	LPRounds int `json:"lp_rounds,omitempty"`
+}
+
 // Options configures partitioning and ordering. The zero value (and a nil
 // *Options) is the configuration the paper recommends: HEM coarsening to
 // 100 vertices, GGGP initial partitioning with 5 trials, BKLGR refinement,
@@ -189,9 +235,18 @@ const (
 // mlserved HTTP daemon (see wire.go and docs/SERVICE.md): every field
 // except Tracer round-trips through JSON under the tags below.
 type Options struct {
-	// Matching is the coarsening scheme: MatchRM, MatchHEM, MatchLEM or
-	// MatchHCM. Empty means MatchHEM.
+	// Matching is the coarsening scheme: MatchRM, MatchHEM, MatchLEM,
+	// MatchHCM or MatchGCLP. Empty means MatchHEM.
+	//
+	// Deprecated: use Coarsening, which also carries the per-scheme knobs.
+	// Matching remains a permanent wire alias (docs/SERVICE.md documents
+	// the deprecation policy): it canonicalizes into the same effective
+	// configuration, produces identical service cache keys, and when both
+	// fields are set they must agree. New code should set Coarsening only.
 	Matching string `json:"matching,omitempty"`
+	// Coarsening selects the coarsening scheme and its knobs. Nil defers to
+	// the deprecated Matching field, or MatchHEM when that is empty too.
+	Coarsening *CoarseningOptions `json:"coarsening,omitempty"`
 	// InitPart is the coarsest-graph partitioner: InitGGGP, InitGGP or
 	// InitSBP. Empty means InitGGGP.
 	InitPart string `json:"init_part,omitempty"`
@@ -319,6 +374,63 @@ type TraceCollector = trace.Collector
 // to w, safe for concurrent use.
 func NewJSONTracer(w io.Writer) Tracer { return trace.NewJSONTracer(w) }
 
+// EffectiveCoarsening canonicalizes the coarsening configuration: the
+// structured Coarsening field, the deprecated Matching alias, or the
+// default when neither is set. The result always carries the canonical
+// upper-case scheme name, so two spellings of the same configuration
+// compare equal — the service cache key is built from this value, which is
+// how `matching` and `coarsening` requests share cache entries.
+//
+// Rules: a nil receiver or empty configuration means MatchHEM. When both
+// Matching and Coarsening.Scheme are set they must agree (after
+// normalization); disagreeing fields are an error, not a silent
+// precedence. GCLP-only knobs (MaxClusterWeight, LPRounds) must be zero
+// for the matching-family schemes and never negative.
+func (o *Options) EffectiveCoarsening() (CoarseningOptions, error) {
+	var eff CoarseningOptions
+	name := ""
+	if o != nil {
+		name = o.Matching
+		if o.Coarsening != nil {
+			eff = *o.Coarsening
+			if eff.Scheme != "" {
+				name = eff.Scheme
+			}
+			if o.Matching != "" && o.Coarsening.Scheme != "" {
+				ms, err := coarsen.ParseScheme(o.Matching)
+				if err != nil {
+					return eff, err
+				}
+				cs, err := coarsen.ParseScheme(o.Coarsening.Scheme)
+				if err != nil {
+					return eff, err
+				}
+				if ms != cs {
+					return eff, fmt.Errorf("matching %q and coarsening.scheme %q disagree; set only coarsening", o.Matching, o.Coarsening.Scheme)
+				}
+			}
+		}
+	}
+	if name == "" {
+		name = MatchHEM
+	}
+	s, err := coarsen.ParseScheme(name)
+	if err != nil {
+		return eff, err
+	}
+	eff.Scheme = s.String()
+	if eff.MaxClusterWeight < 0 {
+		return eff, fmt.Errorf("coarsening.max_cluster_weight = %d, want >= 0", eff.MaxClusterWeight)
+	}
+	if eff.LPRounds < 0 {
+		return eff, fmt.Errorf("coarsening.lp_rounds = %d, want >= 0", eff.LPRounds)
+	}
+	if s != coarsen.GCLP && (eff.MaxClusterWeight != 0 || eff.LPRounds != 0) {
+		return eff, fmt.Errorf("coarsening knobs max_cluster_weight/lp_rounds apply only to %s, not %s", MatchGCLP, eff.Scheme)
+	}
+	return eff, nil
+}
+
 // toML converts public options to the internal configuration.
 func (o *Options) toML() (multilevel.Options, error) {
 	ml := multilevel.Options{}
@@ -345,12 +457,18 @@ func (o *Options) toML() (multilevel.Options, error) {
 		}
 		ml.Injector = inj
 	}
-	if o.Matching != "" {
-		s, err := coarsen.ParseScheme(o.Matching)
+	co, err := o.EffectiveCoarsening()
+	if err != nil {
+		return ml, err
+	}
+	if o.Matching != "" || o.Coarsening != nil {
+		s, err := coarsen.ParseScheme(co.Scheme)
 		if err != nil {
 			return ml, err
 		}
 		ml = ml.WithMatching(s)
+		ml.MaxClusterWeight = co.MaxClusterWeight
+		ml.LPRounds = co.LPRounds
 	}
 	if o.InitPart != "" {
 		m, err := initpart.ParseMethod(o.InitPart)

@@ -17,6 +17,13 @@
 #                                             # (JSON vs METIS vs binary CSR,
 #                                             # docs/WIRE.md) + the service
 #                                             # end-to-end ServiceIngest pair
+#   BENCH=CoarseningFamilies scripts/bench.sh # coarsening-family group:
+#                                             # HEM (matching) vs GCLP
+#                                             # (aggregation) at k=32 on the
+#                                             # FE3D mesh and the SOC
+#                                             # power-law graph; reports
+#                                             # edgecut, imbalance, hierarchy
+#                                             # depth and shrink/level
 #   OUT=BENCH_5.json scripts/bench.sh         # snapshot filename override
 #   scripts/bench.sh --compare old.json       # also print the delta table
 #                                             # (ns/op, allocs/op) vs old.json

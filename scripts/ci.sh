@@ -39,13 +39,15 @@ done
 echo "== service smoke (live daemon vs CLI, async batch jobs, healthz, readyz drain, cache, SIGTERM, session kill-and-recover)"
 go run ./scripts/servicesmoke
 
-echo "== perf report (refine + ingest + cycle benchmarks vs committed baseline, non-fatal)"
+echo "== perf report (refine + ingest + cycle + coarsening benchmarks vs committed baseline, non-fatal)"
 perf_now="$(mktemp)"
 if go test -json -run '^$' -bench 'BenchmarkRefineKWay|BenchmarkRefinePolicies' \
     -benchmem -benchtime 3x ./internal/refine/ >"$perf_now" 2>/dev/null &&
     go test -json -run '^$' -bench 'BenchmarkIngest$' \
         -benchmem -benchtime 3x . >>"$perf_now" 2>/dev/null &&
     go test -json -run '^$' -bench 'BenchmarkCycles' \
+        -benchmem -benchtime 1x . >>"$perf_now" 2>/dev/null &&
+    go test -json -run '^$' -bench 'BenchmarkCoarseningFamilies' \
         -benchmem -benchtime 1x . >>"$perf_now" 2>/dev/null; then
     # Report-only: machine variance makes ns/op deltas advisory in CI. To
     # gate locally, add -fail-over 25 to the benchcmp invocation.

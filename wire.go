@@ -50,6 +50,8 @@ const (
 	WireKindSession = "session"
 	// WireKindSessionList tags a SessionListResponse.
 	WireKindSessionList = "session_list"
+	// WireKindCapabilities tags a CapabilitiesResponse.
+	WireKindCapabilities = "capabilities"
 )
 
 // Job lifecycle states as they appear in JobResponse.State. A job is
@@ -352,4 +354,67 @@ type SessionListResponse struct {
 	Kind          string            `json:"kind"` // WireKindSessionList
 	SchemaVersion int               `json:"schema_version"`
 	Sessions      []SessionResponse `json:"sessions"`
+}
+
+// SchemeCapability describes one coarsening scheme in a
+// CapabilitiesResponse: the canonical name clients should send, a one-line
+// description, and the scheme family (FamilyMatching or FamilyAggregation).
+type SchemeCapability struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Family      string `json:"family"`
+}
+
+// CapabilitiesResponse is the reply to GET /v1/capabilities: the server's
+// supported algorithm names, so SDK clients discover valid option values
+// instead of hardcoding strings. Additive type, same schema version.
+type CapabilitiesResponse struct {
+	Kind          string `json:"kind"` // WireKindCapabilities
+	SchemaVersion int    `json:"schema_version"`
+	// CoarseningSchemes lists the values CoarseningOptions.Scheme (and the
+	// deprecated Options.Matching alias) accepts, with family metadata.
+	CoarseningSchemes []SchemeCapability `json:"coarsening_schemes"`
+	// InitMethods lists the Options.InitPart values.
+	InitMethods []string `json:"init_methods"`
+	// Refinements lists the Options.Refinement values.
+	Refinements []string `json:"refinements"`
+	// Presets lists the Options.Preset values.
+	Presets []string `json:"presets"`
+	// Orderings lists the Options.Ordering values ("" also means
+	// OrderingNone).
+	Orderings []string `json:"orderings"`
+	// Workloads lists the names GenerateWorkload accepts.
+	Workloads []string `json:"workloads"`
+	// FaultSites lists the named fault-injection sites (operator surface;
+	// fault plans never cross the wire, but ops tooling introspects them).
+	FaultSites []string `json:"fault_sites"`
+}
+
+// NewCapabilitiesResponse builds the capabilities document from the same
+// registries the engine itself resolves names against, so the endpoint can
+// never drift from what the server actually accepts.
+func NewCapabilitiesResponse() *CapabilitiesResponse {
+	infos := CoarseningSchemes()
+	schemes := make([]SchemeCapability, len(infos))
+	for i, info := range infos {
+		schemes[i] = SchemeCapability{
+			Name:        info.Name,
+			Description: info.Description,
+			Family:      info.Family,
+		}
+	}
+	return &CapabilitiesResponse{
+		Kind:              WireKindCapabilities,
+		SchemaVersion:     SchemaVersion,
+		CoarseningSchemes: schemes,
+		InitMethods:       []string{InitGGGP, InitGGP, InitSBP},
+		Refinements: []string{
+			RefineNone, RefineGR, RefineKLR, RefineBGR,
+			RefineBKLR, RefineBKLGR, RefineBKWAY,
+		},
+		Presets:    []string{PresetFast, PresetEco, PresetStrong},
+		Orderings:  []string{OrderingNone, OrderingDegree, OrderingBFSBlock},
+		Workloads:  WorkloadNames(),
+		FaultSites: FaultSites(),
+	}
 }
